@@ -1,0 +1,328 @@
+(* POWDER command-line driver.
+
+   Circuits come either from a mapped BLIF file ([--in file.blif]) or
+   from the built-in benchmark suite ([--circuit name]).  Networks can
+   be technology-mapped first with the [map] command. *)
+
+module Circuit = Netlist.Circuit
+module Optimizer = Powder.Optimizer
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let in_file =
+  Arg.(value & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE"
+         ~doc:"Mapped BLIF input file.")
+
+let circuit_name =
+  Arg.(value & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME"
+         ~doc:"Built-in benchmark circuit (see the suite command).")
+
+let out_file =
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+         ~doc:"Write the resulting mapped netlist as BLIF.")
+
+let words =
+  Arg.(value & opt int 16 & info [ "words" ] ~docv:"N"
+         ~doc:"Simulation words (64 patterns each) for power estimation.")
+
+let seed =
+  Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"N"
+         ~doc:"Random-pattern seed.")
+
+let delay_mode =
+  let parse s =
+    if s = "none" then Ok Optimizer.Unconstrained
+    else if s = "keep" then Ok Optimizer.Keep_initial
+    else if String.length s > 1 && s.[0] = '+' then
+      match float_of_string_opt (String.sub s 1 (String.length s - 2)) with
+      | Some p when s.[String.length s - 1] = '%' -> Ok (Optimizer.Ratio (p /. 100.0))
+      | Some _ | None -> Error (`Msg "expected +N%")
+    else
+      match float_of_string_opt s with
+      | Some d -> Ok (Optimizer.Absolute d)
+      | None -> Error (`Msg "expected none, keep, +N% or an absolute delay")
+  in
+  let print fmt = function
+    | Optimizer.Unconstrained -> Format.pp_print_string fmt "none"
+    | Optimizer.Keep_initial -> Format.pp_print_string fmt "keep"
+    | Optimizer.Ratio r -> Format.fprintf fmt "+%g%%" (100.0 *. r)
+    | Optimizer.Absolute d -> Format.fprintf fmt "%g" d
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Optimizer.Unconstrained
+       & info [ "d"; "delay" ] ~docv:"MODE"
+           ~doc:"Delay constraint: none, keep (initial delay), +N%, or an \
+                 absolute required time.")
+
+let classes =
+  let parse s =
+    let of_name = function
+      | "os2" -> Ok Powder.Subst.Os2
+      | "is2" -> Ok Powder.Subst.Is2
+      | "os3" -> Ok Powder.Subst.Os3
+      | "is3" -> Ok Powder.Subst.Is3
+      | other -> Error (`Msg ("unknown class " ^ other))
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+        match of_name (String.lowercase_ascii x) with
+        | Ok k -> go (k :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)
+  in
+  let print fmt ks =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map Powder.Subst.klass_name ks))
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Powder.Subst.all_klasses
+       & info [ "classes" ] ~docv:"LIST"
+           ~doc:"Enabled substitution classes, e.g. os2,is2.")
+
+let load_circuit in_file circuit_name =
+  match (in_file, circuit_name) with
+  | Some file, None -> (
+    match Blif.Blif_io.circuit_of_file Gatelib.Library.lib2 file with
+    | Ok c -> c
+    | Error e -> failwith ("cannot read " ^ file ^ ": " ^ e))
+  | None, Some name -> (
+    match Circuits.Suite.find name with
+    | Some spec -> Circuits.Suite.mapped spec
+    | None -> failwith ("unknown benchmark circuit " ^ name))
+  | Some _, Some _ -> failwith "give either --in or --circuit, not both"
+  | None, None -> failwith "an input is required: --in FILE or --circuit NAME"
+
+let emit out_file circ =
+  match out_file with
+  | None -> ()
+  | Some f ->
+    if Filename.check_suffix f ".v" then Blif.Verilog.circuit_to_file f circ
+    else Blif.Blif_io.circuit_to_file f circ;
+    Printf.printf "wrote %s\n" f
+
+(* ------------------------------------------------------------------ *)
+(* Commands.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let engine_arg =
+  let parse = function
+    | "sat" -> Ok `Sat
+    | "podem" -> Ok `Podem
+    | "bdd" -> Ok `Bdd
+    | _ -> Error (`Msg "expected sat, podem or bdd")
+  in
+  let print fmt = function
+    | `Sat -> Format.pp_print_string fmt "sat"
+    | `Podem -> Format.pp_print_string fmt "podem"
+    | `Bdd -> Format.pp_print_string fmt "bdd"
+  in
+  Arg.(value
+       & opt (conv (parse, print)) `Sat
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Exact permissibility engine: sat (default), podem or bdd.")
+
+let optimize_cmd =
+  let run in_file circuit_name out_file words seed delay classes engine verify =
+    let circ = load_circuit in_file circuit_name in
+    let original = Circuit.clone circ in
+    let config =
+      { Optimizer.default_config with
+        words;
+        seed = Int64.of_int seed;
+        delay;
+        classes;
+        check_engine = engine;
+      }
+    in
+    let report = Optimizer.optimize ~config circ in
+    Format.printf "%a@." Optimizer.pp_report report;
+    if verify then begin
+      match Atpg.Equiv.check ~exhaustive_limit:16 original circ with
+      | Atpg.Equiv.Equivalent -> print_endline "verification: equivalent"
+      | Atpg.Equiv.Different _ -> failwith "verification FAILED: outputs differ"
+      | Atpg.Equiv.Unknown ->
+        print_endline "verification: inconclusive (circuit too wide; every \
+                       accepted substitution was individually proven)"
+    end;
+    emit out_file circ
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Re-check input/output equivalence of the final netlist.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Reduce power by permissible substitutions (POWDER).")
+    Term.(const run $ in_file $ circuit_name $ out_file $ words $ seed
+          $ delay_mode $ classes $ engine_arg $ verify)
+
+let map_cmd =
+  let run in_file out_file objective =
+    match in_file with
+    | None -> failwith "--in FILE (a .names BLIF network) is required"
+    | Some file -> (
+      match Blif.Blif_io.network_of_file file with
+      | Error e -> failwith e
+      | Ok net ->
+        let aig = Aig.Network.to_aig net in
+        let obj =
+          if objective = "area" then Mapper.Techmap.Area else Mapper.Techmap.Power
+        in
+        let circ = Mapper.Techmap.map ~objective:obj Gatelib.Library.lib2 aig in
+        Format.printf "%a@." Circuit.pp_stats circ;
+        (match out_file with
+        | Some f ->
+          Blif.Blif_io.circuit_to_file f circ;
+          Printf.printf "wrote %s\n" f
+        | None -> print_string (Blif.Blif_io.circuit_to_string circ)))
+  in
+  let objective =
+    Arg.(value & opt string "power" & info [ "objective" ] ~docv:"OBJ"
+           ~doc:"Mapping objective: power or area.")
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Technology-map a BLIF logic network onto lib2.")
+    Term.(const run $ in_file $ out_file $ objective)
+
+let stats_cmd =
+  let run in_file circuit_name words seed =
+    let circ = load_circuit in_file circuit_name in
+    let eng = Sim.Engine.create circ ~words in
+    Sim.Engine.randomize eng (Sim.Rng.create (Int64.of_int seed));
+    let est = Power.Estimator.create eng in
+    let sta = Sta.Timing.analyze circ in
+    Format.printf "%a@." Circuit.pp_stats circ;
+    Printf.printf "switched capacitance: %.4f\n" (Power.Estimator.total est);
+    Printf.printf "power at 3.3V/20MHz: %.3g W\n" (Power.Estimator.watts est);
+    Printf.printf "critical delay: %.2f\n" (Sta.Timing.circuit_delay sta)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Report power, area and delay of a mapped netlist.")
+    Term.(const run $ in_file $ circuit_name $ words $ seed)
+
+let suite_cmd =
+  let run () =
+    Printf.printf "%-10s %-10s %-6s %-6s %s\n" "name" "source" "pis" "pos"
+      "description";
+    List.iter
+      (fun spec ->
+        let g = spec.Circuits.Suite.build () in
+        Printf.printf "%-10s %-10s %-6d %-6d %s\n" spec.Circuits.Suite.name
+          (Circuits.Suite.provenance_name spec.Circuits.Suite.provenance)
+          (List.length (Aig.Graph.pis g))
+          (List.length (Aig.Graph.pos g))
+          spec.Circuits.Suite.description)
+      Circuits.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List the built-in benchmark circuits.")
+    Term.(const run $ const ())
+
+let atpg_cmd =
+  let run in_file circuit_name patterns =
+    let circ = load_circuit in_file circuit_name in
+    let cov = Atpg.Faultsim.random_coverage circ ~patterns ~seed:7L in
+    Printf.printf "random-pattern coverage: %d / %d\n" cov.Atpg.Faultsim.detected
+      cov.Atpg.Faultsim.total;
+    let found = ref 0 and redundant = ref 0 and aborted = ref 0 in
+    List.iter
+      (fun f ->
+        match Atpg.Podem.generate_test circ f with
+        | Atpg.Podem.Test _ -> incr found
+        | Atpg.Podem.Untestable -> incr redundant
+        | Atpg.Podem.Aborted -> incr aborted)
+      cov.Atpg.Faultsim.undetected;
+    Printf.printf "PODEM: %d additional tests, %d redundant, %d aborted\n"
+      !found !redundant !aborted
+  in
+  let patterns =
+    Arg.(value & opt int 256 & info [ "patterns" ] ~docv:"N"
+           ~doc:"Random patterns for fault grading.")
+  in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"Stuck-at fault grading and PODEM test generation.")
+    Term.(const run $ in_file $ circuit_name $ patterns)
+
+let redundancy_cmd =
+  let run in_file circuit_name out_file =
+    let circ = load_circuit in_file circuit_name in
+    let original = Circuit.clone circ in
+    let stats = Atpg.Redundancy.remove circ in
+    Printf.printf
+      "wires replaced: %d, cells rewritten: %d, passes: %d, aborted proofs: %d\n"
+      stats.Atpg.Redundancy.wires_replaced stats.Atpg.Redundancy.cells_rewritten
+      stats.Atpg.Redundancy.passes stats.Atpg.Redundancy.aborted_faults;
+    Printf.printf "area: %.0f -> %.0f\n" (Circuit.area original) (Circuit.area circ);
+    emit out_file circ
+  in
+  Cmd.v
+    (Cmd.info "redundancy"
+       ~doc:"ATPG-based redundancy removal (area-oriented baseline).")
+    Term.(const run $ in_file $ circuit_name $ out_file)
+
+let resize_cmd =
+  let run in_file circuit_name out_file words =
+    let circ = load_circuit in_file circuit_name in
+    let report = Powder.Resize.optimize ~words circ in
+    Format.printf "%a@." Powder.Resize.pp_report report;
+    emit out_file circ
+  in
+  Cmd.v
+    (Cmd.info "resize"
+       ~doc:"Drive-strength re-sizing for low power under the initial delay.")
+    Term.(const run $ in_file $ circuit_name $ out_file $ words)
+
+let glitch_cmd =
+  let run in_file circuit_name pairs =
+    let circ = load_circuit in_file circuit_name in
+    let report = Power.Glitch.estimate ~pairs circ in
+    Format.printf "%a@." Power.Glitch.pp_report report
+  in
+  let pairs =
+    Arg.(value & opt int 256 & info [ "pairs" ] ~docv:"N"
+           ~doc:"Random vector pairs for the timed simulation.")
+  in
+  Cmd.v
+    (Cmd.info "glitch"
+       ~doc:"Timed power estimation: quantify hazards the zero-delay model skips.")
+    Term.(const run $ in_file $ circuit_name $ pairs)
+
+let sweep_cmd =
+  let run circuit_names words =
+    let builders =
+      List.filter_map
+        (fun n ->
+          Option.map
+            (fun spec () -> Circuits.Suite.mapped spec)
+            (Circuits.Suite.find n))
+        circuit_names
+    in
+    if builders = [] then failwith "no valid circuits given";
+    let config = { Optimizer.default_config with words } in
+    let points = Powder.Tradeoff.sweep ~config builders in
+    Format.printf "%a@." Powder.Tradeoff.pp_series points
+  in
+  let names =
+    Arg.(value & pos_all string [ "rd84"; "alu2" ] & info [] ~docv:"CIRCUIT")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Power-delay trade-off sweep (Figure 6 experiment).")
+    Term.(const run $ names $ words)
+
+let () =
+  let default =
+    Term.(ret (const (`Help (`Pager, None))))
+  in
+  let info =
+    Cmd.info "powder_cli" ~version:"1.0.0"
+      ~doc:"Power reduction after technology mapping by structural transformations."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ optimize_cmd; map_cmd; stats_cmd; suite_cmd; atpg_cmd; sweep_cmd;
+            redundancy_cmd; resize_cmd; glitch_cmd ]))

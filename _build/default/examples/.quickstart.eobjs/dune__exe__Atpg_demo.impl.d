@@ -1,0 +1,1 @@
+examples/atpg_demo.ml: Atpg Circuits Format List Netlist Option Powder Power Sim

@@ -1,0 +1,1 @@
+examples/baselines.ml: Aig Atpg Circuits Format Gatelib Mapper Netlist Powder Power Sim Sta

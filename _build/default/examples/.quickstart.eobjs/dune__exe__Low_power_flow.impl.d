@@ -1,0 +1,1 @@
+examples/low_power_flow.ml: Aig Atpg Blif Format Gatelib Mapper Netlist Powder

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atpg Format Gatelib Netlist Powder

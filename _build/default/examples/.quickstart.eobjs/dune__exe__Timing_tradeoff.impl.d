@@ -1,0 +1,1 @@
+examples/timing_tradeoff.ml: Circuits Format List Option Powder String

@@ -1,0 +1,55 @@
+(* The ATPG substrate on its own: stuck-at fault simulation, PODEM test
+   generation and redundancy identification on a benchmark circuit.
+
+   Run with: dune exec examples/atpg_demo.exe *)
+
+module Circuit = Netlist.Circuit
+module Fault = Atpg.Fault
+module Podem = Atpg.Podem
+module Faultsim = Atpg.Faultsim
+
+let () =
+  let spec = Option.get (Circuits.Suite.find "alu2") in
+  let circ = Circuits.Suite.mapped spec in
+  Format.printf "Circuit %s: %a@." spec.Circuits.Suite.name Circuit.pp_stats circ;
+
+  (* 1. grade 256 random patterns against the full stuck-at fault list *)
+  let cov = Faultsim.random_coverage circ ~patterns:256 ~seed:7L in
+  Format.printf "Random-pattern fault coverage: %d / %d (%.1f%%)@."
+    cov.Faultsim.detected cov.Faultsim.total
+    (100.0 *. float_of_int cov.Faultsim.detected /. float_of_int cov.Faultsim.total);
+
+  (* 2. chase the undetected faults with PODEM *)
+  let tests = ref 0 and redundant = ref [] and aborted = ref 0 in
+  List.iter
+    (fun f ->
+      match Podem.generate_test circ f with
+      | Podem.Test _ -> incr tests
+      | Podem.Untestable -> redundant := f :: !redundant
+      | Podem.Aborted -> incr aborted)
+    cov.Faultsim.undetected;
+  Format.printf
+    "PODEM on the %d undetected faults: %d new tests, %d proved redundant, %d aborted@."
+    (List.length cov.Faultsim.undetected)
+    !tests (List.length !redundant) !aborted;
+
+  (* 3. redundant faults point at removable logic *)
+  List.iter
+    (fun f -> Format.printf "  redundant: %s@." (Fault.to_string circ f))
+    !redundant;
+
+  (* 4. the same machinery proves POWDER substitutions permissible:
+     show one explicit example on this circuit *)
+  let eng = Sim.Engine.create circ ~words:16 in
+  Sim.Engine.randomize eng (Sim.Rng.create 3L);
+  let est = Power.Estimator.create eng in
+  match Powder.Candidates.generate est with
+  | [] -> Format.printf "no candidate substitutions on this circuit@."
+  | (s, g) :: _ ->
+    Format.printf "@.best candidate: %s (estimated PG_A+PG_B = %.4f)@."
+      (Powder.Subst.describe circ s) (Powder.Subst.total_gain g);
+    let clone = Powder.Subst.apply_to_clone circ s in
+    (match Atpg.Equiv.check circ clone with
+    | Atpg.Equiv.Equivalent -> Format.printf "proved permissible by the exact check@."
+    | Atpg.Equiv.Different _ -> Format.printf "rejected: a distinguishing test exists@."
+    | Atpg.Equiv.Unknown -> Format.printf "check aborted (treated as not permissible)@.")

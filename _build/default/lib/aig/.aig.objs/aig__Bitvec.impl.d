@@ -1,0 +1,1 @@
+lib/aig/bitvec.ml: Array Graph Printf

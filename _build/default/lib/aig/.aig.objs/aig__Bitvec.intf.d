@@ -1,0 +1,1 @@
+lib/aig/bitvec.mli: Graph

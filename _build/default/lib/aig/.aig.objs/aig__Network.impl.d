@@ -1,0 +1,1 @@
+lib/aig/network.ml: Array Graph Hashtbl List Logic Printf Result

@@ -1,0 +1,1 @@
+lib/aig/opt.ml: Array Graph Hashtbl Int List

@@ -1,0 +1,108 @@
+module G = Graph
+
+type t = G.lit array
+
+let input g name w =
+  Array.init w (fun i -> G.add_pi g (Printf.sprintf "%s_%d" name i))
+
+let const g value ~width =
+  ignore g;
+  Array.init width (fun i ->
+      if value land (1 lsl i) <> 0 then G.lit_true else G.lit_false)
+
+let width = Array.length
+
+let check2 a b = if width a <> width b then invalid_arg "Bitvec: width mismatch"
+
+let not_ a = Array.map G.compl_ a
+let and_ g a b = check2 a b; Array.map2 (G.and_ g) a b
+let or_ g a b = check2 a b; Array.map2 (G.or_ g) a b
+let xor g a b = check2 a b; Array.map2 (G.xor g) a b
+
+let full_adder g a b c =
+  let s = G.xor g (G.xor g a b) c in
+  let cout = G.or_ g (G.and_ g a b) (G.and_ g c (G.xor g a b)) in
+  (s, cout)
+
+let add g ?(carry_in = G.lit_false) a b =
+  check2 a b;
+  let w = width a in
+  let sum = Array.make w G.lit_false in
+  let carry = ref carry_in in
+  for i = 0 to w - 1 do
+    let s, c = full_adder g a.(i) b.(i) !carry in
+    sum.(i) <- s;
+    carry := c
+  done;
+  (sum, !carry)
+
+let sub g a b =
+  let diff, carry = add g ~carry_in:G.lit_true a (not_ b) in
+  (diff, carry)
+
+let mux g sel a b = check2 a b; Array.map2 (fun x y -> G.mux g ~sel ~t1:x ~e0:y) a b
+
+let eq g a b =
+  check2 a b;
+  G.and_list g (Array.to_list (Array.map2 (fun x y -> G.compl_ (G.xor g x y)) a b))
+
+let lt g a b =
+  (* a < b unsigned: not (a >= b) *)
+  let _, geq = sub g a b in
+  G.compl_ geq
+
+let reduce_and g a = G.and_list g (Array.to_list a)
+let reduce_or g a = G.or_list g (Array.to_list a)
+let reduce_xor g a = G.xor_list g (Array.to_list a)
+
+let rec popcount g v =
+  match width v with
+  | 0 -> [||]
+  | 1 -> [| v.(0) |]
+  | w ->
+    let half = w / 2 in
+    let lo = popcount g (Array.sub v 0 half) in
+    let hi = popcount g (Array.sub v half (w - half)) in
+    let m = max (Array.length lo) (Array.length hi) + 1 in
+    let pad x = Array.init m (fun i -> if i < Array.length x then x.(i) else G.lit_false) in
+    let sum, carry = add g (pad lo) (pad hi) in
+    ignore carry;
+    (* trim leading constant-zero bits beyond ceil(log2 (w+1)) *)
+    let needed =
+      let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+      bits w 0
+    in
+    Array.sub sum 0 (min needed (Array.length sum))
+
+let rotate_left_var g v amount =
+  let w = width v in
+  let stages = ref v in
+  let bits_needed =
+    let rec bits n acc = if 1 lsl acc >= n then acc else bits n (acc + 1) in
+    bits w 0
+  in
+  for k = 0 to min (Array.length amount) bits_needed - 1 do
+    let shift = 1 lsl k in
+    let rotated = Array.init w (fun i -> !stages.((i - shift + (w * 2)) mod w)) in
+    stages := mux g amount.(k) rotated !stages
+  done;
+  !stages
+
+let shift_left_var g v amount =
+  let w = width v in
+  let stages = ref v in
+  let bits_needed =
+    let rec bits n acc = if 1 lsl acc >= n then acc else bits n (acc + 1) in
+    bits w 0
+  in
+  for k = 0 to min (Array.length amount) bits_needed - 1 do
+    let shift = 1 lsl k in
+    let shifted =
+      Array.init w (fun i -> if i < shift then G.lit_false else !stages.(i - shift))
+    in
+    stages := mux g amount.(k) shifted !stages
+  done;
+  !stages
+
+let outputs g name v =
+  Array.iteri (fun i l -> G.add_po g (Printf.sprintf "%s_%d" name i) l) v

@@ -1,0 +1,46 @@
+(** Word-level construction helpers over {!Graph}: little-endian bit
+    vectors of literals.  Used by the benchmark-circuit generators. *)
+
+type t = Graph.lit array
+
+val input : Graph.t -> string -> int -> t
+(** [input g name w] creates PIs [name_0 .. name_{w-1}]. *)
+
+val const : Graph.t -> int -> width:int -> t
+val width : t -> int
+
+val not_ : t -> t
+val and_ : Graph.t -> t -> t -> t
+val or_ : Graph.t -> t -> t -> t
+val xor : Graph.t -> t -> t -> t
+
+val add : Graph.t -> ?carry_in:Graph.lit -> t -> t -> t * Graph.lit
+(** Ripple-carry sum and carry-out; operands must share a width. *)
+
+val sub : Graph.t -> t -> t -> t * Graph.lit
+(** Two's-complement subtraction; the returned literal is the borrow-free
+    flag (1 when [a >= b] unsigned). *)
+
+val mux : Graph.t -> Graph.lit -> t -> t -> t
+(** [mux g sel a b] is [a] when [sel] = 1 else [b]. *)
+
+val eq : Graph.t -> t -> t -> Graph.lit
+val lt : Graph.t -> t -> t -> Graph.lit
+(** Unsigned less-than. *)
+
+val reduce_and : Graph.t -> t -> Graph.lit
+val reduce_or : Graph.t -> t -> Graph.lit
+val reduce_xor : Graph.t -> t -> Graph.lit
+
+val popcount : Graph.t -> t -> t
+(** Binary count of set bits ([ceil log2 (w+1)] result bits). *)
+
+val rotate_left_var : Graph.t -> t -> t -> t
+(** [rotate_left_var g v amount]: barrel rotator; rotation amount is a
+    bit vector (only [log2 (width v)] low bits used). *)
+
+val shift_left_var : Graph.t -> t -> t -> t
+(** Variable left shift filling with zeros. *)
+
+val outputs : Graph.t -> string -> t -> unit
+(** Add POs [name_0 .. name_{w-1}]. *)

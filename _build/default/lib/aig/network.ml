@@ -1,0 +1,108 @@
+module Sop = Logic.Sop
+module Cube = Logic.Cube
+
+type node = { name : string; fanins : string list; sop : Sop.t }
+
+type t = {
+  model : string;
+  inputs : string list;
+  outputs : string list;
+  nodes : node list;
+}
+
+let ( let* ) = Result.bind
+
+let validate t =
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let defined = Hashtbl.create 64 in
+  let register name what =
+    if Hashtbl.mem defined name then error "signal %s defined twice" name
+    else begin
+      Hashtbl.add defined name what;
+      Ok ()
+    end
+  in
+  let rec register_all f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      register_all f rest
+  in
+  let* () = register_all (fun i -> register i `Pi) t.inputs in
+  let* () = register_all (fun n -> register n.name (`Node n)) t.nodes in
+  let* () =
+    register_all
+      (fun o ->
+        if Hashtbl.mem defined o then Ok () else error "output %s undefined" o)
+      t.outputs
+  in
+  let* () =
+    register_all
+      (fun n ->
+        if Sop.num_vars n.sop <> List.length n.fanins then
+          error "node %s: arity mismatch" n.name
+        else
+          register_all
+            (fun f ->
+              if Hashtbl.mem defined f then Ok ()
+              else error "node %s: undefined fanin %s" n.name f)
+            n.fanins)
+      t.nodes
+  in
+  (* cycle check by DFS from the outputs *)
+  let state = Hashtbl.create 64 in
+  let rec visit name =
+    match Hashtbl.find_opt state name with
+    | Some `Done -> Ok ()
+    | Some `Active -> error "combinational cycle through %s" name
+    | None -> (
+      match Hashtbl.find_opt defined name with
+      | Some (`Node n) ->
+        Hashtbl.add state name `Active;
+        let* () = register_all visit n.fanins in
+        Hashtbl.replace state name `Done;
+        Ok ()
+      | Some `Pi | None ->
+        Hashtbl.replace state name `Done;
+        Ok ())
+  in
+  register_all visit t.outputs
+
+let to_aig t =
+  (match validate t with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Network.to_aig: " ^ e));
+  let g = Graph.create () in
+  let lits = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.add lits i (Graph.add_pi g i)) t.inputs;
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.add by_name n.name n) t.nodes;
+  let rec lit_of name =
+    match Hashtbl.find_opt lits name with
+    | Some l -> l
+    | None ->
+      let n = Hashtbl.find by_name name in
+      let fanin_lits = List.map lit_of n.fanins in
+      let fanin_arr = Array.of_list fanin_lits in
+      let cube_lit c =
+        Graph.and_list g
+          (List.map
+             (fun (i, phase) ->
+               let l = fanin_arr.(i) in
+               if phase then l else Graph.compl_ l)
+             (Cube.literals c))
+      in
+      let l = Graph.or_list g (List.map cube_lit (Sop.cubes n.sop)) in
+      Hashtbl.add lits name l;
+      l
+  in
+  List.iter (fun o -> Graph.add_po g o (lit_of o)) t.outputs;
+  g
+
+let minimize t =
+  { t with nodes = List.map (fun n -> { n with sop = Sop.espresso n.sop }) t.nodes }
+
+let node_count t = List.length t.nodes
+
+let literal_count t =
+  List.fold_left (fun acc n -> acc + Sop.num_literals n.sop) 0 t.nodes

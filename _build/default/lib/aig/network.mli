@@ -1,0 +1,32 @@
+(** Technology-independent logic networks: named nodes carrying
+    sum-of-products covers over named fanins.  This is the exchange
+    format between the benchmark generators, the BLIF reader and the
+    AIG builder. *)
+
+type node = {
+  name : string;
+  fanins : string list;  (** SOP variable [i] is [List.nth fanins i] *)
+  sop : Logic.Sop.t;
+}
+
+type t = {
+  model : string;
+  inputs : string list;
+  outputs : string list;
+  nodes : node list;  (** any order; must form a DAG *)
+}
+
+val validate : t -> (unit, string) result
+(** Signals defined exactly once, no combinational cycles, outputs
+    defined, fanins within SOP arity. *)
+
+val to_aig : t -> Graph.t
+(** Elaborate; @raise Invalid_argument when {!validate} fails. *)
+
+val minimize : t -> t
+(** Apply two-level minimization ({!Logic.Sop.espresso}) to every node
+    cover — the classic technology-independent cleanup step before
+    elaboration. *)
+
+val node_count : t -> int
+val literal_count : t -> int

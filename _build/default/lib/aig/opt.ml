@@ -1,0 +1,79 @@
+module G = Graph
+
+let copy_po_names src dst mapping =
+  List.iter (fun (name, l) -> G.add_po dst name (mapping l)) (G.pos src)
+
+let rebuild src =
+  let dst = G.create () in
+  let lits = Hashtbl.create 64 in
+  List.iter (fun (name, l) -> Hashtbl.add lits (G.node_of l) (G.add_pi dst name))
+    (G.pis src);
+  let rec map_node n =
+    match Hashtbl.find_opt lits n with
+    | Some l -> l
+    | None ->
+      let l =
+        match G.node_fanins src n with
+        | None -> G.lit_false (* constant node *)
+        | Some (a, b) -> G.and_ dst (map_lit a) (map_lit b)
+      in
+      Hashtbl.add lits n l;
+      l
+  and map_lit l =
+    let m = map_node (G.node_of l) in
+    if G.is_complement l then G.compl_ m else m
+  in
+  copy_po_names src dst map_lit;
+  dst
+
+let balance src =
+  let refs = G.fanout_count src in
+  let dst = G.create () in
+  let lits = Hashtbl.create 64 in
+  List.iter (fun (name, l) -> Hashtbl.add lits (G.node_of l) (G.add_pi dst name))
+    (G.pis src);
+  (* leaves of the conjunction tree rooted at [n]: expand positive AND
+     children that have no other fanout *)
+  let conj_leaves n =
+    let leaves = ref [] in
+    let rec walk l ~root =
+      let nd = G.node_of l in
+      match G.node_fanins src nd with
+      | Some (a, b)
+        when (not (G.is_complement l)) && (root || refs.(nd) <= 1) ->
+        walk a ~root:false;
+        walk b ~root:false
+      | Some _ | None -> leaves := l :: !leaves
+    in
+    walk (G.lit_of_node n false) ~root:true;
+    !leaves
+  in
+  let rec map_node n =
+    match Hashtbl.find_opt lits n with
+    | Some l -> l
+    | None ->
+      let l =
+        match G.node_fanins src n with
+        | None -> G.lit_false
+        | Some _ ->
+          let leaves = conj_leaves n in
+          let mapped = List.map map_lit leaves in
+          (* deepest first so the balanced tree evens out arrival depth *)
+          let levels = G.level dst in
+          let depth l =
+            let nd = G.node_of l in
+            if nd < Array.length levels then levels.(nd) else 0
+          in
+          let sorted =
+            List.sort (fun a b -> Int.compare (depth a) (depth b)) mapped
+          in
+          G.and_list dst sorted
+      in
+      Hashtbl.add lits n l;
+      l
+  and map_lit l =
+    let m = map_node (G.node_of l) in
+    if G.is_complement l then G.compl_ m else m
+  in
+  copy_po_names src dst map_lit;
+  dst

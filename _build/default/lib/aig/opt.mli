@@ -1,0 +1,14 @@
+(** Technology-independent AIG optimization: the "optimization of the
+    Boolean network" phase of the paper's Figure 1 flow.
+
+    [balance] rebuilds every conjunction tree as a depth-balanced tree
+    (single-fanout pure-AND chains are flattened first), which both
+    reduces logic depth before mapping and re-shares structure through
+    strashing.  [sweep] is implied: only logic reachable from the
+    primary outputs survives the rebuild. *)
+
+val balance : Graph.t -> Graph.t
+
+val rebuild : Graph.t -> Graph.t
+(** Plain copy through the strash table: drops dead nodes and re-shares
+    duplicated structure without changing tree shapes. *)

@@ -1,0 +1,1 @@
+lib/atpg/bddcheck.ml: Array Gatelib Hashtbl List Logic Netlist

@@ -1,0 +1,1 @@
+lib/atpg/bddcheck.mli: Netlist

@@ -1,0 +1,1 @@
+lib/atpg/cnf.ml: Array Gatelib List Logic Netlist Sat

@@ -1,0 +1,1 @@
+lib/atpg/cnf.mli: Netlist

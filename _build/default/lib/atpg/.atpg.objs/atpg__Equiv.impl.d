@@ -1,0 +1,1 @@
+lib/atpg/equiv.ml: Array Cnf Gatelib Hashtbl Int64 List Logic Netlist Podem Sim String

@@ -1,0 +1,1 @@
+lib/atpg/fault.ml: List Netlist Printf

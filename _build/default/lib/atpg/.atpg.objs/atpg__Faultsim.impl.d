@@ -1,0 +1,1 @@
+lib/atpg/faultsim.ml: Array Fault Int64 List Netlist Sim

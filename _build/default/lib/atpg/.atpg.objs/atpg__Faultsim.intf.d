@@ -1,0 +1,1 @@
+lib/atpg/faultsim.mli: Fault Netlist Sim

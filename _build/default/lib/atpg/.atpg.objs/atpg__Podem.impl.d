@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Fault Gatelib List Netlist Tval

@@ -1,0 +1,1 @@
+lib/atpg/redundancy.ml: Array Fault List Netlist Podem

@@ -1,0 +1,1 @@
+lib/atpg/redundancy.mli: Netlist

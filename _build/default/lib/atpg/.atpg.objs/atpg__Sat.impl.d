@@ -1,0 +1,1 @@
+lib/atpg/sat.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/atpg/tval.ml: Array Format Logic

@@ -1,0 +1,1 @@
+lib/atpg/tval.mli: Format Logic

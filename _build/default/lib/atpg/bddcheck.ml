@@ -1,0 +1,82 @@
+module Circuit = Netlist.Circuit
+module Bdd = Logic.Bdd
+module Tt = Logic.Tt
+
+type outcome =
+  | Justified of (Circuit.node_id * bool) list
+  | Impossible
+  | Gave_up of int
+
+(* Build the global BDD of [target] over the PIs of its cone. *)
+let build ?(node_limit = 500_000) circ target =
+  let m = Bdd.manager ~node_limit () in
+  let cone = Circuit.tfi circ target in
+  cone.(target) <- true;
+  let pi_vars = Hashtbl.create 32 in
+  List.iteri
+    (fun i pi -> if cone.(pi) then Hashtbl.add pi_vars pi i)
+    (Circuit.pis circ);
+  let node_bdd = Hashtbl.create 256 in
+  let of_node id =
+    match Hashtbl.find_opt node_bdd id with
+    | Some b -> b
+    | None -> invalid_arg "Bddcheck: fanin out of order"
+  in
+  Array.iter
+    (fun id ->
+      if cone.(id) then
+        let b =
+          match Circuit.kind circ id with
+          | Circuit.Pi -> Bdd.var m (Hashtbl.find pi_vars id)
+          | Circuit.Const v -> if v then Bdd.bdd_true m else Bdd.bdd_false m
+          | Circuit.Po d -> of_node d
+          | Circuit.Cell (c, fs) ->
+            (* Shannon-expand the cell truth table over its fanin BDDs *)
+            let ins = Array.map of_node fs in
+            let k = Array.length fs in
+            let rec expand i minterm_prefix =
+              if i = k then
+                if Tt.eval_int c.Gatelib.Cell.func minterm_prefix then
+                  Bdd.bdd_true m
+                else Bdd.bdd_false m
+              else
+                let low = expand (i + 1) minterm_prefix in
+                let high = expand (i + 1) (minterm_prefix lor (1 lsl i)) in
+                Bdd.ite m ins.(i) high low
+            in
+            expand 0 0
+        in
+        Hashtbl.add node_bdd id b)
+    (Circuit.topo_order circ);
+  (m, Hashtbl.find node_bdd target, pi_vars)
+
+let justify_one ?node_limit circ target =
+  match build ?node_limit circ target with
+  | exception Bdd.Node_limit_exceeded -> Gave_up 0
+  | m, b, pi_vars ->
+    if Bdd.is_false m b then Impossible
+    else begin
+      match Bdd.any_sat m b with
+      | None -> Impossible
+      | Some assignment ->
+        let by_var = Hashtbl.create 16 in
+        List.iter (fun (v, value) -> Hashtbl.replace by_var v value) assignment;
+        Justified
+          (Hashtbl.fold
+             (fun pi v acc ->
+               match Hashtbl.find_opt by_var v with
+               | Some value -> (pi, value) :: acc
+               | None -> acc)
+             pi_vars [])
+    end
+
+let bdd_size_of_cone ?node_limit circ target =
+  match build ?node_limit circ target with
+  | exception Bdd.Node_limit_exceeded -> None
+  | m, b, _ -> Some (Bdd.size m b)
+
+let signal_probability ?node_limit circ target =
+  match build ?node_limit circ target with
+  | exception Bdd.Node_limit_exceeded -> None
+  | m, b, pi_vars ->
+    Some (Bdd.sat_fraction m b ~num_vars:(Hashtbl.length pi_vars))

@@ -1,0 +1,29 @@
+(** Global-BDD justification — the baseline technology the paper
+    contrasts with ("we don't need global BDDs, which are required by
+    other techniques to exploit functional don't cares").
+
+    Builds ROBDDs for the target's fanin cone bottom-up and decides
+    whether the signal can be 1.  Exact when it completes; a node
+    budget turns the classic exponential blow-ups (multipliers, wide
+    arithmetic) into [Gave_up], which is precisely the failure mode the
+    paper avoids by using ATPG instead. *)
+
+type outcome =
+  | Justified of (Netlist.Circuit.node_id * bool) list
+  | Impossible
+  | Gave_up of int  (** live BDD nodes when the budget tripped *)
+
+val justify_one :
+  ?node_limit:int -> Netlist.Circuit.t -> Netlist.Circuit.node_id -> outcome
+(** Default node budget: 500_000. *)
+
+val bdd_size_of_cone :
+  ?node_limit:int -> Netlist.Circuit.t -> Netlist.Circuit.node_id -> int option
+(** Shared-BDD node count of a signal's global function, or [None] on
+    blow-up — the measurement behind the BDD-vs-ATPG ablation. *)
+
+val signal_probability :
+  ?node_limit:int -> Netlist.Circuit.t -> Netlist.Circuit.node_id -> float option
+(** Exact probability that the signal is 1 under independent uniform
+    primary inputs, via its global BDD ([None] on blow-up).  An exact
+    alternative to the Monte-Carlo estimator for narrow cones. *)

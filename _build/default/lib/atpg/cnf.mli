@@ -1,0 +1,17 @@
+(** Tseitin encoding of mapped netlists into CNF, and SAT-backed
+    justification — the engine behind the permissibility check for
+    circuits too wide for exhaustive simulation. *)
+
+type outcome =
+  | Justified of (Netlist.Circuit.node_id * bool) list
+      (** PI assignment setting the target to 1 *)
+  | Impossible  (** the target is constant 0 *)
+  | Gave_up
+
+val justify_one :
+  ?conflict_limit:int -> Netlist.Circuit.t -> Netlist.Circuit.node_id -> outcome
+
+val clauses_of_circuit :
+  Netlist.Circuit.t -> int array list * (Netlist.Circuit.node_id -> int) * int
+(** [(clauses, var_of_node, num_vars)]: one SAT variable per live
+    node. *)

@@ -1,0 +1,141 @@
+module Circuit = Netlist.Circuit
+module Cell = Gatelib.Cell
+module Tt = Logic.Tt
+
+type verdict =
+  | Equivalent
+  | Different of (string * bool) list
+  | Unknown
+
+(* Virtual comparison cells; they never enter power/timing accounting
+   because miters are throw-away reasoning structures. *)
+let vcell name func =
+  Cell.make ~name ~func ~area:0.0
+    ~pin_caps:(Array.make (Tt.num_vars func) 0.0)
+    ~tau:0.0 ~drive_res:0.0 ()
+
+let vxor2 = vcell "miter_xor2" (Tt.xor (Tt.var 2 0) (Tt.var 2 1))
+let vor2 = vcell "miter_or2" (Tt.or_ (Tt.var 2 0) (Tt.var 2 1))
+let xor_cell = vxor2
+let or_cell = vor2
+
+let sorted_names of_list circ = List.sort String.compare (List.map (Circuit.name circ) (of_list circ))
+
+let copy_into dst src ~pi_map ~prefix =
+  (* Copy all live logic of [src] into [dst]; returns a map giving, for
+     each PO name of [src], the id of its driver in [dst]. *)
+  let map = Hashtbl.create 64 in
+  List.iter
+    (fun pi -> Hashtbl.add map pi (Hashtbl.find pi_map (Circuit.name src pi)))
+    (Circuit.pis src);
+  Array.iter
+    (fun id ->
+      match Circuit.kind src id with
+      | Circuit.Pi -> ()
+      | Circuit.Const b -> Hashtbl.add map id (Circuit.add_const dst b)
+      | Circuit.Po _ -> ()
+      | Circuit.Cell (c, fs) ->
+        let fs' = Array.map (Hashtbl.find map) fs in
+        Hashtbl.add map id
+          (Circuit.add_cell dst
+             ~name:(prefix ^ Circuit.name src id)
+             c fs'))
+    (Circuit.topo_order src);
+  List.map
+    (fun po -> (Circuit.name src po, Hashtbl.find map (Circuit.po_driver src po)))
+    (Circuit.pos src)
+
+let miter ca cb =
+  let pis_a = sorted_names Circuit.pis ca and pis_b = sorted_names Circuit.pis cb in
+  let pos_a = sorted_names Circuit.pos ca and pos_b = sorted_names Circuit.pos cb in
+  if pis_a <> pis_b then invalid_arg "Equiv.miter: PI name mismatch";
+  if pos_a <> pos_b then invalid_arg "Equiv.miter: PO name mismatch";
+  let m = Circuit.create (Circuit.library ca) in
+  let pi_map = Hashtbl.create 32 in
+  List.iter
+    (fun name -> Hashtbl.add pi_map name (Circuit.add_pi m ~name))
+    pis_a;
+  let drv_a = copy_into m ca ~pi_map ~prefix:"a$" in
+  let drv_b = copy_into m cb ~pi_map ~prefix:"b$" in
+  let diffs =
+    List.map
+      (fun (name, da) ->
+        let db = List.assoc name drv_b in
+        Circuit.add_cell m vxor2 [| da; db |])
+      drv_a
+  in
+  let rec or_tree = function
+    | [] -> Circuit.add_const m false
+    | [ x ] -> x
+    | x :: y :: rest -> or_tree (Circuit.add_cell m vor2 [| x; y |] :: rest)
+  in
+  let out = or_tree diffs in
+  let _po = Circuit.add_po m ~name:"miter_out" out in
+  (m, out)
+
+let check_exhaustive ca cb =
+  let n = List.length (Circuit.pis ca) in
+  let words = max 1 ((1 lsl n) / 64) in
+  let ea = Sim.Engine.create ca ~words and eb = Sim.Engine.create cb ~words in
+  Sim.Engine.exhaustive ea;
+  Sim.Engine.exhaustive eb;
+  let sb = Sim.Engine.po_signatures eb in
+  let mismatch =
+    List.find_map
+      (fun (name, va) ->
+        match List.assoc_opt name sb with
+        | None -> Some 0 (* should not happen: PO sets were checked *)
+        | Some vb ->
+          let rec scan j =
+            if j >= Array.length va then None
+            else
+              let d = Int64.logxor va.(j) vb.(j) in
+              if Int64.equal d 0L then scan (j + 1)
+              else begin
+                let bit = ref 0 in
+                while
+                  Int64.equal (Int64.logand (Int64.shift_right_logical d !bit) 1L) 0L
+                do
+                  incr bit
+                done;
+                Some ((j * 64) + !bit)
+              end
+          in
+          scan 0)
+      (Sim.Engine.po_signatures ea)
+  in
+  match mismatch with
+  | None -> Equivalent
+  | Some pattern ->
+    let assignment =
+      List.mapi
+        (fun i pi -> (Circuit.name ca pi, (pattern lsr i) land 1 = 1))
+        (Circuit.pis ca)
+    in
+    Different assignment
+
+let check ?(backtrack_limit = 20_000) ?(exhaustive_limit = 14)
+    ?(engine = `Sat) ca cb =
+  let pis_a = sorted_names Circuit.pis ca and pis_b = sorted_names Circuit.pis cb in
+  if pis_a <> pis_b then invalid_arg "Equiv.check: PI name mismatch";
+  if sorted_names Circuit.pos ca <> sorted_names Circuit.pos cb then
+    invalid_arg "Equiv.check: PO name mismatch";
+  if List.length pis_a <= exhaustive_limit then check_exhaustive ca cb
+  else begin
+    let m, out = miter ca cb in
+    match engine with
+    | `Podem -> (
+      match Podem.justify_one ~backtrack_limit m out with
+      | Podem.Untestable -> Equivalent
+      | Podem.Aborted -> Unknown
+      | Podem.Test assignment ->
+        Different
+          (List.map (fun (pi, v) -> (Circuit.name m pi, v)) assignment))
+    | `Sat -> (
+      match Cnf.justify_one ~conflict_limit:(10 * backtrack_limit) m out with
+      | Cnf.Impossible -> Equivalent
+      | Cnf.Gave_up -> Unknown
+      | Cnf.Justified assignment ->
+        Different
+          (List.map (fun (pi, v) -> (Circuit.name m pi, v)) assignment))
+  end

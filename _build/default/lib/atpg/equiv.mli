@@ -1,0 +1,39 @@
+(** Combinational equivalence checking used as the exact permissibility
+    test: two circuits are compared on shared primary-input names.
+
+    Small circuits (PI count at most [exhaustive_limit]) are compared by
+    exhaustive bit-parallel simulation — exact and fast.  Larger ones go
+    through a miter and a PODEM justification of the miter output; an
+    aborted search returns [Unknown], which callers must treat as "not
+    proven equivalent" (the paper discards such substitutions). *)
+
+type verdict =
+  | Equivalent
+  | Different of (string * bool) list
+      (** counterexample: PI name/value assignment (missing = any) *)
+  | Unknown
+
+val xor_cell : Gatelib.Cell.t
+(** Zero-cost virtual XOR2 used to compare outputs inside miters. *)
+
+val or_cell : Gatelib.Cell.t
+(** Zero-cost virtual OR2 for the miter's disjunction tree. *)
+
+val miter : Netlist.Circuit.t -> Netlist.Circuit.t -> Netlist.Circuit.t * Netlist.Circuit.node_id
+(** Single-output miter over the union of both circuits on shared PIs;
+    the returned node is 1 iff some PO differs.  Both circuits must
+    have identical PI and PO name sets.
+    @raise Invalid_argument otherwise. *)
+
+val check :
+  ?backtrack_limit:int ->
+  ?exhaustive_limit:int ->
+  ?engine:[ `Sat | `Podem ] ->
+  Netlist.Circuit.t ->
+  Netlist.Circuit.t ->
+  verdict
+(** [exhaustive_limit] defaults to 14 PIs.  Above it, the miter output
+    is justified with the CDCL solver ([`Sat], default; the
+    [backtrack_limit] scales its conflict budget) or with classic PODEM
+    ([`Podem], kept for the ablation benchmark — it aborts far more
+    often on equivalence-style UNSAT proofs). *)

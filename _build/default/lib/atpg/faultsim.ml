@@ -1,0 +1,50 @@
+module Circuit = Netlist.Circuit
+module Engine = Sim.Engine
+
+let detection_mask eng fault =
+  let circ = Engine.circuit eng in
+  let w = Engine.words eng in
+  let before = Engine.po_signatures eng in
+  let stuck_words v = Array.make w (if v then -1L else 0L) in
+  let first, perturb =
+    match fault.Fault.site with
+    | Fault.Stem s ->
+      (s, fun eng -> Engine.set_value eng s (stuck_words fault.Fault.stuck_at))
+    | Fault.Branch (sink, pin) ->
+      ( sink,
+        fun eng ->
+          Engine.recompute_with_pin_override eng ~sink ~pin
+            (stuck_words fault.Fault.stuck_at) )
+  in
+  Engine.with_perturbation eng ~first ~perturb ~measure:(fun eng ->
+      let diff = Array.make w 0L in
+      List.iter
+        (fun (name, old_sig) ->
+          match Circuit.find_by_name circ name with
+          | None -> ()
+          | Some po ->
+            let now = Engine.value eng po in
+            for j = 0 to w - 1 do
+              diff.(j) <- Int64.logor diff.(j) (Int64.logxor now.(j) old_sig.(j))
+            done)
+        before;
+      diff)
+
+let detects eng fault =
+  Array.exists (fun w -> not (Int64.equal w 0L)) (detection_mask eng fault)
+
+type coverage = { total : int; detected : int; undetected : Fault.t list }
+
+let grade eng faults =
+  let undetected = List.filter (fun f -> not (detects eng f)) faults in
+  {
+    total = List.length faults;
+    detected = List.length faults - List.length undetected;
+    undetected;
+  }
+
+let random_coverage circ ~patterns ~seed =
+  let words = max 1 ((patterns + 63) / 64) in
+  let eng = Engine.create circ ~words in
+  Engine.randomize eng (Sim.Rng.create seed);
+  grade eng (Fault.all_faults circ)

@@ -1,0 +1,72 @@
+module Circuit = Netlist.Circuit
+
+type stats = {
+  wires_replaced : int;
+  cells_rewritten : int;
+  passes : int;
+  aborted_faults : int;
+}
+
+(* Try to prove one connection redundant and replace it by a constant.
+   Returns true if the circuit changed. *)
+let try_connection ~backtrack_limit ~aborted circ ~sink ~pin =
+  let try_value v =
+    let fault = Fault.branch ~sink ~pin v in
+    match Podem.generate_test ~backtrack_limit circ fault with
+    | Podem.Untestable ->
+      let konst = Circuit.add_const circ v in
+      Circuit.set_fanin circ sink pin konst;
+      true
+    | Podem.Aborted ->
+      incr aborted;
+      false
+    | Podem.Test _ -> false
+  in
+  try_value false || try_value true
+
+let remove ?(backtrack_limit = 5_000) ?(max_passes = 4) circ =
+  let wires = ref 0 in
+  let rewritten = ref 0 in
+  let aborted = ref 0 in
+  let passes = ref 0 in
+  let progress = ref true in
+  while !progress && !passes < max_passes do
+    incr passes;
+    progress := false;
+    (* snapshot the connections up front; the circuit mutates under us *)
+    let connections = ref [] in
+    Circuit.iter_live circ (fun id ->
+        match Circuit.kind circ id with
+        | Circuit.Cell (_, fs) ->
+          Array.iteri (fun pin _ -> connections := (id, pin) :: !connections) fs
+        | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> ());
+    List.iter
+      (fun (sink, pin) ->
+        if Circuit.is_live circ sink then begin
+          let fs = Circuit.fanins circ sink in
+          if pin < Array.length fs then begin
+            let driver = fs.(pin) in
+            let already_const =
+              match Circuit.kind circ driver with
+              | Circuit.Const _ -> true
+              | Circuit.Pi | Circuit.Cell _ | Circuit.Po _ -> false
+            in
+            if (not already_const)
+               && try_connection ~backtrack_limit ~aborted circ ~sink ~pin
+            then begin
+              incr wires;
+              progress := true
+            end
+          end
+        end)
+      !connections;
+    let changed = Netlist.Simplify.propagate_constants circ in
+    rewritten := !rewritten + changed;
+    ignore (Circuit.sweep circ)
+  done;
+  {
+    wires_replaced = !wires;
+    cells_rewritten = !rewritten;
+    passes = !passes;
+    aborted_faults = !aborted;
+  }

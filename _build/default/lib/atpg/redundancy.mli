@@ -1,0 +1,21 @@
+(** Redundancy removal: classic ATPG-based netlist cleanup (the
+    technique family of Cheng & Entrena the paper builds on).
+
+    A connection whose stuck-at-[v] fault is untestable can be replaced
+    by the constant [v] without changing any primary output; constant
+    propagation then shrinks or deletes the downstream gates.  This is
+    the area-oriented baseline POWDER's power-oriented substitutions are
+    compared against in the ablation benchmark. *)
+
+type stats = {
+  wires_replaced : int;
+  cells_rewritten : int;
+  passes : int;
+  aborted_faults : int;
+}
+
+val remove :
+  ?backtrack_limit:int -> ?max_passes:int -> Netlist.Circuit.t -> stats
+(** Iterates to a fixpoint (or [max_passes], default 4), modifying the
+    circuit in place.  Untestability is proven with PODEM under the
+    given backtrack budget; aborted proofs leave the wire alone. *)

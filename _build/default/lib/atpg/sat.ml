@@ -1,0 +1,321 @@
+type result = Sat of bool array | Unsat | Timeout
+
+let lit_of v sign = (2 * v) lor (if sign then 0 else 1)
+let var_of l = l lsr 1
+let neg l = l lxor 1
+
+(* values: 0 unassigned, 1 true, 2 false (for the literal's variable) *)
+
+type clause = { mutable lits : int array; mutable activity : float }
+
+type solver = {
+  nvars : int;
+  mutable clauses : clause array;
+  mutable n_clauses : int;
+  watches : clause list array; (* indexed by literal *)
+  assign : int array;          (* per var: 0 / 1 (true) / 2 (false) *)
+  level : int array;
+  reason : clause option array;
+  trail : int array;           (* assigned literals in order *)
+  mutable trail_len : int;
+  trail_lim : int array;       (* trail length at each decision level *)
+  mutable decision_level : int;
+  activity : float array;
+  mutable var_inc : float;
+  mutable conflicts : int;
+  seen : bool array;
+}
+
+let value s l =
+  let v = s.assign.(var_of l) in
+  if v = 0 then 0 else if (v = 1) = (l land 1 = 0) then 1 else 2
+
+let watch s l c = s.watches.(l) <- c :: s.watches.(l)
+
+let enqueue s l reason =
+  let v = var_of l in
+  s.assign.(v) <- (if l land 1 = 0 then 1 else 2);
+  s.level.(v) <- s.decision_level;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1
+
+exception Conflict_found of clause
+
+(* propagate all pending assignments; raises Conflict_found *)
+let propagate s qhead_start =
+  let qhead = ref qhead_start in
+  while !qhead < s.trail_len do
+    let l = s.trail.(!qhead) in
+    incr qhead;
+    let falsified = neg l in
+    let old_watch = s.watches.(falsified) in
+    s.watches.(falsified) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest -> (
+        (* ensure falsified is at position 1 *)
+        let lits = c.lits in
+        if Array.length lits >= 2 && lits.(0) = falsified then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- falsified
+        end;
+        if Array.length lits >= 1 && value s lits.(0) = 1 then begin
+          (* clause already satisfied; keep watching *)
+          watch s falsified c;
+          go rest
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let found = ref false in
+          let i = ref 2 in
+          let n = Array.length lits in
+          while (not !found) && !i < n do
+            if value s lits.(!i) <> 2 then begin
+              let tmp = lits.(1) in
+              lits.(1) <- lits.(!i);
+              lits.(!i) <- tmp;
+              watch s lits.(1) c;
+              found := true
+            end;
+            incr i
+          done;
+          if !found then go rest
+          else begin
+            (* unit or conflicting *)
+            watch s falsified c;
+            if n = 0 || value s lits.(0) = 2 then begin
+              (* conflict: restore remaining watches first *)
+              List.iter (fun c' -> watch s falsified c') rest;
+              raise (Conflict_found c)
+            end
+            else begin
+              enqueue s lits.(0) (Some c);
+              go rest
+            end
+          end
+        end)
+    in
+    go old_watch
+  done
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+(* first-UIP learning *)
+let analyze s conflict =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let backtrack_level = ref 0 in
+  let index = ref (s.trail_len - 1) in
+  let reason_lits c p =
+    (* all literals except p *)
+    Array.to_list c.lits |> List.filter (fun l -> l <> p)
+  in
+  let process_clause c pivot =
+    List.iter
+      (fun q ->
+        let v = var_of q in
+        if (not s.seen.(v)) && s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          bump s v;
+          if s.level.(v) >= s.decision_level then incr counter
+          else begin
+            learnt := q :: !learnt;
+            if s.level.(v) > !backtrack_level then backtrack_level := s.level.(v)
+          end
+        end)
+      (reason_lits c pivot)
+  in
+  process_clause conflict (-1);
+  let uip = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    (* find next seen literal on the trail *)
+    while not s.seen.(var_of s.trail.(!index)) do
+      decr index
+    done;
+    p := s.trail.(!index);
+    let v = var_of !p in
+    s.seen.(v) <- false;
+    decr counter;
+    decr index;
+    if !counter = 0 then begin
+      uip := neg !p;
+      continue_ := false
+    end
+    else begin
+      match s.reason.(v) with
+      | Some c -> process_clause c !p
+      | None -> (* decision reached with counter > 0: shouldn't happen *) ()
+    end
+  done;
+  List.iter (fun q -> s.seen.(var_of q) <- false) !learnt;
+  (!uip :: !learnt, !backtrack_level)
+
+let backtrack s lvl =
+  let target = if lvl < Array.length s.trail_lim then s.trail_lim.(lvl) else s.trail_len in
+  for i = s.trail_len - 1 downto target do
+    let v = var_of s.trail.(i) in
+    s.assign.(v) <- 0;
+    s.reason.(v) <- None
+  done;
+  s.trail_len <- target;
+  s.decision_level <- lvl
+
+let add_clause s lits =
+  let c = { lits = Array.of_list lits; activity = 0.0 } in
+  (match c.lits with
+  | [||] -> ()
+  | [| l |] -> watch s l c (* degenerate; handled at solve start *)
+  | _ ->
+    watch s c.lits.(0) c;
+    watch s c.lits.(1) c);
+  if s.n_clauses = Array.length s.clauses then begin
+    let bigger = Array.make (max 16 (2 * Array.length s.clauses)) c in
+    Array.blit s.clauses 0 bigger 0 s.n_clauses;
+    s.clauses <- bigger
+  end;
+  s.clauses.(s.n_clauses) <- c;
+  s.n_clauses <- s.n_clauses + 1;
+  c
+
+let pick_branch s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) = 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+let solve ?(conflict_limit = 200_000) ~num_vars clauses =
+  let s =
+    {
+      nvars = num_vars;
+      clauses = Array.make 16 { lits = [||]; activity = 0.0 };
+      n_clauses = 0;
+      watches = Array.make (2 * num_vars) [];
+      assign = Array.make num_vars 0;
+      level = Array.make num_vars 0;
+      reason = Array.make num_vars None;
+      trail = Array.make (num_vars + 1) 0;
+      trail_len = 0;
+      trail_lim = Array.make (num_vars + 1) 0;
+      decision_level = 0;
+      activity = Array.make num_vars 0.0;
+      var_inc = 1.0;
+      conflicts = 0;
+      seen = Array.make num_vars false;
+    }
+  in
+  (* load clauses; handle trivial cases *)
+  let trivially_unsat = ref false in
+  let units = ref [] in
+  List.iter
+    (fun lits ->
+      let lits = Array.to_list lits |> List.sort_uniq compare in
+      let tautology =
+        List.exists (fun l -> List.mem (neg l) lits) lits
+      in
+      if not tautology then
+        match lits with
+        | [] -> trivially_unsat := true
+        | [ l ] -> units := l :: !units
+        | _ -> ignore (add_clause s lits))
+    clauses;
+  if !trivially_unsat then Unsat
+  else begin
+    (* assert unit clauses at level 0 *)
+    let conflict0 =
+      List.exists
+        (fun l ->
+          match value s l with
+          | 1 -> false
+          | 2 -> true
+          | _ ->
+            enqueue s l None;
+            false)
+        !units
+    in
+    if conflict0 then Unsat
+    else begin
+      let qhead = ref 0 in
+      let restart_interval = ref 100 in
+      let conflicts_since_restart = ref 0 in
+      let rec loop () =
+        match propagate s !qhead with
+        | () ->
+          qhead := s.trail_len;
+          let finish () =
+            let model = Array.init s.nvars (fun v -> s.assign.(v) = 1) in
+            (* belt and braces: a model must satisfy every clause *)
+            for i = 0 to s.n_clauses - 1 do
+              let c = s.clauses.(i) in
+              let sat =
+                Array.exists
+                  (fun l -> model.(var_of l) = (l land 1 = 0))
+                  c.lits
+              in
+              if not sat then failwith "Sat.solve: internal model check failed"
+            done;
+            Sat model
+          in
+          if s.trail_len = s.nvars then finish ()
+          else begin
+            let v = pick_branch s in
+            if v < 0 then finish ()
+            else begin
+              s.trail_lim.(s.decision_level) <- s.trail_len;
+              s.decision_level <- s.decision_level + 1;
+              (* phase saving would go here; default to false first *)
+              enqueue s (lit_of v false) None;
+              loop ()
+            end
+          end
+        | exception Conflict_found c ->
+          s.conflicts <- s.conflicts + 1;
+          incr conflicts_since_restart;
+          if s.conflicts > conflict_limit then Timeout
+          else if s.decision_level = 0 then Unsat
+          else begin
+            let learnt, back_lvl = analyze s c in
+            backtrack s back_lvl;
+            qhead := s.trail_len;
+            (match learnt with
+            | [] -> ()
+            | [ l ] ->
+              if value s l = 0 then enqueue s l None
+            | l :: rest ->
+              (* watch the asserting literal and a max-level literal so
+                 both watches unassign together on future backtracks *)
+              let rest =
+                List.sort
+                  (fun a b ->
+                    Int.compare s.level.(var_of b) s.level.(var_of a))
+                  rest
+              in
+              let cl = add_clause s (l :: rest) in
+              if value s l = 0 then enqueue s l (Some cl));
+            s.var_inc <- s.var_inc *. 1.05;
+            if !conflicts_since_restart > !restart_interval then begin
+              conflicts_since_restart := 0;
+              restart_interval := !restart_interval * 3 / 2;
+              backtrack s 0;
+              qhead := s.trail_len
+            end;
+            loop ()
+          end
+      in
+      loop ()
+    end
+  end

@@ -1,0 +1,21 @@
+(** A compact CDCL SAT solver used for the exact permissibility check
+    on circuits too wide for exhaustive simulation.
+
+    Features: two-watched-literal propagation, first-UIP clause
+    learning with backjumping, VSIDS-style activities, geometric
+    restarts, and a conflict budget (exceeding it reports [Timeout],
+    which POWDER maps to "not proven permissible" just as the paper
+    maps ATPG aborts).
+
+    Literal encoding: variable [v >= 0], literal [2*v] (positive) or
+    [2*v + 1] (negated). *)
+
+type result =
+  | Sat of bool array  (** model indexed by variable *)
+  | Unsat
+  | Timeout
+
+val lit_of : int -> bool -> int
+val solve : ?conflict_limit:int -> num_vars:int -> int array list -> result
+(** Clauses are arrays of literals.  An empty clause makes the problem
+    trivially UNSAT. *)

@@ -1,0 +1,1 @@
+lib/blif/blif_io.ml: Aig Array Buffer Char Gatelib Hashtbl List Logic Netlist Printf Result String

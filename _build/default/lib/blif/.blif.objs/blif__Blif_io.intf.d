@@ -1,0 +1,1 @@
+lib/blif/blif_io.mli: Aig Gatelib Netlist

@@ -1,0 +1,1 @@
+lib/blif/verilog.ml: Array Blif_io Buffer Gatelib Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/blif/verilog.mli: Netlist

@@ -1,0 +1,360 @@
+module Network = Aig.Network
+module Sop = Logic.Sop
+module Cube = Logic.Cube
+module Circuit = Netlist.Circuit
+module Library = Gatelib.Library
+module Cell = Gatelib.Cell
+
+let pin_name i =
+  if i < 26 then String.make 1 (Char.chr (Char.code 'a' + i))
+  else Printf.sprintf "p%d" i
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizing: strip comments, join continuations, split lines.        *)
+(* ------------------------------------------------------------------ *)
+
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      if line = "" then join acc pending rest
+      else if String.length line > 0 && line.[String.length line - 1] = '\\'
+      then
+        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+      else join ((pending ^ line) :: acc) "" rest
+  in
+  join [] "" raw
+
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Network reading.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type parse_state = {
+  mutable model : string;
+  mutable inputs : string list;
+  mutable outputs : string list;
+  mutable nodes : Network.node list;
+  mutable current : (string * string list * (string * char) list) option;
+      (* output name, fanins, rows (pattern, output char) *)
+}
+
+let finish_node st =
+  match st.current with
+  | None -> Ok ()
+  | Some (name, fanins, rows_rev) ->
+    st.current <- None;
+    let n = List.length fanins in
+    let rows = List.rev rows_rev in
+    let on_rows = List.filter (fun (_, o) -> o = '1') rows in
+    let off_rows = List.filter (fun (_, o) -> o = '0') rows in
+    if on_rows <> [] && off_rows <> [] then
+      Error (Printf.sprintf "node %s mixes on-set and off-set rows" name)
+    else begin
+      let to_cubes rows = List.map (fun (p, _) -> Cube.of_string p) rows in
+      let sop =
+        if off_rows <> [] then
+          Sop.complement_naive (Sop.create n (to_cubes off_rows))
+        else if rows = [] then Sop.const_false n
+        else Sop.create n (to_cubes on_rows)
+      in
+      st.nodes <- { Network.name; fanins; sop } :: st.nodes;
+      Ok ()
+    end
+
+let network_of_string text =
+  let st = { model = "top"; inputs = []; outputs = []; nodes = []; current = None } in
+  let ( let* ) = Result.bind in
+  let rec process = function
+    | [] ->
+      let* () = finish_node st in
+      Ok
+        {
+          Network.model = st.model;
+          inputs = List.rev st.inputs;
+          outputs = List.rev st.outputs;
+          nodes = List.rev st.nodes;
+        }
+    | line :: rest -> (
+      match words line with
+      | [] -> process rest
+      | ".model" :: name ->
+        let* () = finish_node st in
+        st.model <- (match name with n :: _ -> n | [] -> "top");
+        process rest
+      | ".inputs" :: ins ->
+        let* () = finish_node st in
+        st.inputs <- List.rev_append ins st.inputs;
+        process rest
+      | ".outputs" :: outs ->
+        let* () = finish_node st in
+        st.outputs <- List.rev_append outs st.outputs;
+        process rest
+      | [ ".end" ] -> process []
+      | ".names" :: signals -> (
+        let* () = finish_node st in
+        match List.rev signals with
+        | out :: fanins_rev ->
+          st.current <- Some (out, List.rev fanins_rev, []);
+          process rest
+        | [] -> Error ".names without signals")
+      | ".gate" :: _ -> Error "mapped .gate found; use circuit_of_string"
+      | [ pattern; out ]
+        when st.current <> None
+             && String.for_all (fun c -> c = '0' || c = '1' || c = '-') pattern
+             && (out = "0" || out = "1") -> (
+        match st.current with
+        | Some (name, fanins, rows) ->
+          if String.length pattern <> List.length fanins then
+            Error (Printf.sprintf "node %s: row width mismatch" name)
+          else begin
+            st.current <- Some (name, fanins, (pattern, out.[0]) :: rows);
+            process rest
+          end
+        | None -> assert false)
+      | [ out ] when st.current <> None && (out = "0" || out = "1") -> (
+        (* constant node: row with no inputs *)
+        match st.current with
+        | Some (name, fanins, rows) ->
+          st.current <- Some (name, fanins, ("", out.[0]) :: rows);
+          process rest
+        | None -> assert false)
+      | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
+        Error ("unsupported BLIF directive " ^ directive)
+      | w :: _ -> Error ("unexpected token " ^ w))
+  in
+  match process (logical_lines text) with
+  | Ok net -> (
+    match Network.validate net with Ok () -> Ok net | Error e -> Error e)
+  | Error e -> Error e
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let network_of_file path = network_of_string (read_file path)
+
+let network_to_string net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (".model " ^ net.Network.model ^ "\n");
+  Buffer.add_string buf (".inputs " ^ String.concat " " net.Network.inputs ^ "\n");
+  Buffer.add_string buf (".outputs " ^ String.concat " " net.Network.outputs ^ "\n");
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (".names " ^ String.concat " " (n.Network.fanins @ [ n.Network.name ]) ^ "\n");
+      let nv = Sop.num_vars n.Network.sop in
+      List.iter
+        (fun c -> Buffer.add_string buf (Cube.to_string nv c ^ " 1\n"))
+        (Sop.cubes n.Network.sop))
+    net.Network.nodes;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let network_to_file path net =
+  let oc = open_out path in
+  output_string oc (network_to_string net);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Mapped circuits.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let circuit_to_string circ =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ".model mapped\n";
+  Buffer.add_string buf
+    (".inputs "
+    ^ String.concat " " (List.map (Circuit.name circ) (Circuit.pis circ))
+    ^ "\n");
+  Buffer.add_string buf
+    (".outputs "
+    ^ String.concat " " (List.map (Circuit.name circ) (Circuit.pos circ))
+    ^ "\n");
+  Array.iter
+    (fun id ->
+      match Circuit.kind circ id with
+      | Circuit.Pi -> ()
+      | Circuit.Const b ->
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s\n%s" (Circuit.name circ id)
+             (if b then "1\n" else ""))
+      | Circuit.Po _ -> ()
+      | Circuit.Cell (c, fs) ->
+        Buffer.add_string buf (".gate " ^ c.Cell.name);
+        Array.iteri
+          (fun i f ->
+            Buffer.add_string buf
+              (Printf.sprintf " %s=%s" (pin_name i) (Circuit.name circ f)))
+          fs;
+        Buffer.add_string buf (Printf.sprintf " O=%s\n" (Circuit.name circ id)))
+    (Circuit.topo_order circ);
+  (* PO connections: emit a buffer-free alias only when names differ *)
+  List.iter
+    (fun po ->
+      let d = Circuit.po_driver circ po in
+      if Circuit.name circ po <> Circuit.name circ d then
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s %s\n1 1\n" (Circuit.name circ d)
+             (Circuit.name circ po)))
+    (Circuit.pos circ);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let circuit_to_file path circ =
+  let oc = open_out path in
+  output_string oc (circuit_to_string circ);
+  close_out oc
+
+let circuit_of_string lib text =
+  let ( let* ) = Result.bind in
+  let inputs = ref [] and outputs = ref [] in
+  let gates = ref [] (* (cell, [(pin_idx, net)], out_net) *) in
+  let aliases = ref [] (* (src, dst) from 2-signal identity .names *) in
+  let consts = ref [] (* (net, value) *) in
+  let pending_names = ref None in
+  let rec process = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match words line with
+      | [] -> process rest
+      | ".model" :: _ -> process rest
+      | ".inputs" :: ins ->
+        inputs := !inputs @ ins;
+        process rest
+      | ".outputs" :: outs ->
+        outputs := !outputs @ outs;
+        process rest
+      | [ ".end" ] -> Ok ()
+      | ".gate" :: cell_name :: conns -> (
+        match Library.find_opt lib cell_name with
+        | None -> Error ("unknown cell " ^ cell_name)
+        | Some cell ->
+          let* pins, out =
+            List.fold_left
+              (fun acc conn ->
+                let* pins, out = acc in
+                match String.index_opt conn '=' with
+                | None -> Error ("bad connection " ^ conn)
+                | Some i ->
+                  let formal = String.sub conn 0 i in
+                  let actual =
+                    String.sub conn (i + 1) (String.length conn - i - 1)
+                  in
+                  if formal = "O" then Ok (pins, Some actual)
+                  else
+                    let rec find_pin j =
+                      if j >= Cell.arity cell then None
+                      else if pin_name j = formal then Some j
+                      else find_pin (j + 1)
+                    in
+                    (match find_pin 0 with
+                    | Some j -> Ok ((j, actual) :: pins, out)
+                    | None -> Error ("unknown pin " ^ formal)))
+              (Ok ([], None))
+              conns
+          in
+          (match out with
+          | None -> Error ("gate without output: " ^ cell_name)
+          | Some out ->
+            if List.length pins <> Cell.arity cell then
+              Error ("gate pin count mismatch: " ^ cell_name)
+            else begin
+              gates := (cell, pins, out) :: !gates;
+              process rest
+            end))
+      | [ ".names"; src; dst ] ->
+        pending_names := Some (`Alias (src, dst));
+        process rest
+      | [ ".names"; net ] ->
+        pending_names := Some (`Const net);
+        consts := (net, false) :: !consts;
+        process rest
+      | [ "1"; "1" ] -> (
+        match !pending_names with
+        | Some (`Alias (src, dst)) ->
+          aliases := (src, dst) :: !aliases;
+          pending_names := None;
+          process rest
+        | Some (`Const _) | None -> Error "unexpected 1 1 row")
+      | [ "1" ] -> (
+        match !pending_names with
+        | Some (`Const net) ->
+          consts := (net, true) :: List.remove_assoc net !consts;
+          pending_names := None;
+          process rest
+        | Some (`Alias _) | None -> Error "unexpected 1 row")
+      | w :: _ -> Error ("unexpected token in mapped blif: " ^ w))
+  in
+  let* () = process (logical_lines text) in
+  (* elaborate *)
+  let circ = Circuit.create lib in
+  let ids = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.add ids i (Circuit.add_pi circ ~name:i)) !inputs;
+  List.iter
+    (fun (net, v) ->
+      let id = Circuit.add_const circ v in
+      Hashtbl.add ids net id)
+    !consts;
+  let gates = List.rev !gates in
+  (* iterate to fixpoint: create gates whose fanins are ready *)
+  let remaining = ref gates in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun ((cell, pins, out) as gate) ->
+        let ready =
+          List.for_all (fun (_, net) -> Hashtbl.mem ids net) pins
+        in
+        if ready then begin
+          let fanins = Array.make (Cell.arity cell) (-1) in
+          List.iter (fun (j, net) -> fanins.(j) <- Hashtbl.find ids net) pins;
+          Hashtbl.add ids out (Circuit.add_cell circ ~name:out cell fanins);
+          progress := true
+        end
+        else still := gate :: !still)
+      !remaining;
+    remaining := List.rev !still
+  done;
+  if !remaining <> [] then Error "could not order gates (cycle or missing net)"
+  else begin
+    let resolve net =
+      match Hashtbl.find_opt ids net with
+      | Some id -> Ok id
+      | None -> (
+        match List.find_opt (fun (_, dst) -> dst = net) !aliases with
+        | Some (src, _) -> (
+          match Hashtbl.find_opt ids src with
+          | Some id -> Ok id
+          | None -> Error ("undefined net " ^ net))
+        | None -> Error ("undefined net " ^ net))
+    in
+    let rec attach = function
+      | [] -> Ok circ
+      | o :: rest ->
+        let* d = resolve o in
+        let name = if Hashtbl.mem ids o && Circuit.name circ d = o then o ^ "$po" else o in
+        ignore (Circuit.add_po circ ~name d);
+        attach rest
+    in
+    attach !outputs
+  end
+
+let circuit_of_file lib path = circuit_of_string lib (read_file path)

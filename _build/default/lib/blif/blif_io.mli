@@ -1,0 +1,24 @@
+(** BLIF-subset reader/writer.
+
+    Logic networks use [.model/.inputs/.outputs/.names/.end] with
+    PLA-style rows (['0' '1' '-'] columns, output column ['1'] for
+    on-set rows or ['0'] for off-set rows — a node mixes only one kind).
+    Mapped netlists use [.gate <cell> <pin>=<net> ... O=<net>] lines,
+    where cell pins are positionally named [a b c d e f] and the output
+    pin is [O].  Line continuations with [\ ] are handled; [#] starts a
+    comment. *)
+
+val network_of_string : string -> (Aig.Network.t, string) result
+val network_of_file : string -> (Aig.Network.t, string) result
+val network_to_string : Aig.Network.t -> string
+val network_to_file : string -> Aig.Network.t -> unit
+
+val circuit_of_string :
+  Gatelib.Library.t -> string -> (Netlist.Circuit.t, string) result
+val circuit_of_file :
+  Gatelib.Library.t -> string -> (Netlist.Circuit.t, string) result
+val circuit_to_string : Netlist.Circuit.t -> string
+val circuit_to_file : string -> Netlist.Circuit.t -> unit
+
+val pin_name : int -> string
+(** Positional pin naming used in [.gate] lines: 0 -> "a", 1 -> "b", … *)

@@ -1,0 +1,86 @@
+module Circuit = Netlist.Circuit
+module Cell = Gatelib.Cell
+
+let sanitize name =
+  let ok c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let mapped = String.map (fun c -> if ok c then c else '_') name in
+  if mapped = "" then "_"
+  else if
+    (mapped.[0] >= '0' && mapped.[0] <= '9') || mapped.[0] = '_'
+  then "n" ^ mapped
+  else mapped
+
+let circuit_to_string ?(module_name = "mapped") circ =
+  let buf = Buffer.create 2048 in
+  let names = Hashtbl.create 64 in
+  let used = Hashtbl.create 64 in
+  let name_of id =
+    match Hashtbl.find_opt names id with
+    | Some n -> n
+    | None ->
+      let base = sanitize (Circuit.name circ id) in
+      let rec unique candidate k =
+        if Hashtbl.mem used candidate then
+          unique (Printf.sprintf "%s_%d" base k) (k + 1)
+        else candidate
+      in
+      let n = unique base 1 in
+      Hashtbl.add used n ();
+      Hashtbl.add names id n;
+      n
+  in
+  let pis = Circuit.pis circ and pos = Circuit.pos circ in
+  let ports =
+    List.map name_of pis @ List.map name_of pos |> String.concat ", "
+  in
+  Buffer.add_string buf (Printf.sprintf "module %s(%s);\n" module_name ports);
+  List.iter
+    (fun pi -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" (name_of pi)))
+    pis;
+  List.iter
+    (fun po -> Buffer.add_string buf (Printf.sprintf "  output %s;\n" (name_of po)))
+    pos;
+  (* wires for internal cells and constants *)
+  Circuit.iter_live circ (fun id ->
+      match Circuit.kind circ id with
+      | Circuit.Cell _ | Circuit.Const _ ->
+        Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (name_of id))
+      | Circuit.Pi | Circuit.Po _ -> ());
+  Buffer.add_char buf '\n';
+  Circuit.iter_live circ (fun id ->
+      match Circuit.kind circ id with
+      | Circuit.Const b ->
+        Buffer.add_string buf
+          (Printf.sprintf "  assign %s = 1'b%d;\n" (name_of id)
+             (if b then 1 else 0))
+      | Circuit.Cell (c, fs) ->
+        let conns =
+          Array.to_list
+            (Array.mapi
+               (fun i f ->
+                 Printf.sprintf ".%s(%s)" (Blif_io.pin_name i) (name_of f))
+               fs)
+          @ [ Printf.sprintf ".O(%s)" (name_of id) ]
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s %s (%s);\n" c.Cell.name
+             ("u_" ^ name_of id)
+             (String.concat ", " conns))
+      | Circuit.Pi | Circuit.Po _ -> ());
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun po ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (name_of po)
+           (name_of (Circuit.po_driver circ po))))
+    pos;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let circuit_to_file ?module_name path circ =
+  let oc = open_out path in
+  output_string oc (circuit_to_string ?module_name circ);
+  close_out oc

@@ -1,0 +1,8 @@
+(** Structural Verilog writer for mapped netlists: one module, one cell
+    instantiation per gate, positional pins named [a b c ... ] and
+    output [O] (matching the BLIF [.gate] convention).  Constants are
+    emitted as [1'b0]/[1'b1] assigns; names are sanitized to Verilog
+    identifiers. *)
+
+val circuit_to_string : ?module_name:string -> Netlist.Circuit.t -> string
+val circuit_to_file : ?module_name:string -> string -> Netlist.Circuit.t -> unit

@@ -1,0 +1,1 @@
+lib/circuits/generators.ml: Aig Array Int64 List Printf

@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Aig Gatelib Generators List Mapper

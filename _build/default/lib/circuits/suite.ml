@@ -1,0 +1,125 @@
+type provenance =
+  | Exact_function
+  | Structured_analog
+  | Seeded_pla
+  | Seeded_multilevel
+
+type spec = {
+  name : string;
+  description : string;
+  provenance : provenance;
+  build : unit -> Aig.Graph.t;
+}
+
+let provenance_name = function
+  | Exact_function -> "exact"
+  | Structured_analog -> "analog"
+  | Seeded_pla -> "pla"
+  | Seeded_multilevel -> "multilevel"
+
+let exact name description build = { name; description; provenance = Exact_function; build }
+let analog name description build = { name; description; provenance = Structured_analog; build }
+let pla_spec name description ~seed ~ins ~outs ~cubes ~lit_lo ~lit_hi =
+  {
+    name;
+    description;
+    provenance = Seeded_pla;
+    build = (fun () -> Generators.pla ~seed ~ins ~outs ~cubes ~lit_lo ~lit_hi);
+  }
+let ml_spec name description ~seed ~ins ~outs ~layers ~per_layer ~fanin =
+  {
+    name;
+    description;
+    provenance = Seeded_multilevel;
+    build =
+      (fun () -> Generators.multilevel ~seed ~ins ~outs ~layers ~per_layer ~fanin);
+  }
+
+let all =
+  [
+    exact "comp" "8-bit magnitude comparator" (fun () ->
+        Generators.comparator ~width:8);
+    exact "Z5xp1" "7-bit x*x + x arithmetic" (fun () ->
+        Generators.square_plus ~width:7);
+    exact "clip" "9-to-5 bit saturating clip" (fun () ->
+        Generators.clip ~in_bits:9 ~out_bits:5);
+    pla_spec "frg1" "random PLA stand-in" ~seed:101 ~ins:20 ~outs:3 ~cubes:40
+      ~lit_lo:3 ~lit_hi:8;
+    ml_spec "c8" "random multilevel stand-in" ~seed:102 ~ins:20 ~outs:14
+      ~layers:3 ~per_layer:14 ~fanin:3;
+    pla_spec "term1" "random PLA stand-in" ~seed:103 ~ins:18 ~outs:10 ~cubes:45
+      ~lit_lo:2 ~lit_hi:7;
+    exact "f51m" "4x4 multiplier (low byte)" (fun () ->
+        Generators.multiplier ~width:4);
+    exact "rd84" "8-input weight function" (fun () -> Generators.rd ~inputs:8);
+    pla_spec "bw" "random PLA stand-in" ~seed:104 ~ins:5 ~outs:24 ~cubes:36
+      ~lit_lo:2 ~lit_hi:5;
+    ml_spec "ttt2" "random multilevel stand-in" ~seed:105 ~ins:22 ~outs:16
+      ~layers:3 ~per_layer:16 ~fanin:3;
+    analog "C432" "27-channel priority interrupt" (fun () ->
+        Generators.priority_interrupt ());
+    ml_spec "i2" "wide and-or logic stand-in" ~seed:106 ~ins:40 ~outs:1
+      ~layers:2 ~per_layer:24 ~fanin:4;
+    exact "Z9sym" "9-input symmetric (two-level form)" (fun () ->
+        Generators.sym9_twolevel ());
+    ml_spec "apex7" "random multilevel stand-in" ~seed:107 ~ins:36 ~outs:24
+      ~layers:3 ~per_layer:20 ~fanin:3;
+    exact "alu4tl" "74181 4-bit ALU" (fun () -> Generators.alu181 ());
+    exact "9sym" "9-input symmetric (popcount form)" (fun () ->
+        Generators.sym9 ());
+    exact "9symml" "9-input symmetric (serial-count form)" (fun () ->
+        Generators.sym9_chain ());
+    pla_spec "x1" "random PLA stand-in" ~seed:108 ~ins:30 ~outs:20 ~cubes:60
+      ~lit_lo:2 ~lit_hi:6;
+    ml_spec "example2" "random multilevel stand-in" ~seed:109 ~ins:40 ~outs:30
+      ~layers:3 ~per_layer:22 ~fanin:3;
+    pla_spec "ex5" "random PLA stand-in" ~seed:110 ~ins:8 ~outs:30 ~cubes:60
+      ~lit_lo:3 ~lit_hi:6;
+    exact "alu2" "4-bit 4-op ALU" (fun () -> Generators.alu_small ());
+    pla_spec "x4" "random PLA stand-in" ~seed:111 ~ins:40 ~outs:30 ~cubes:70
+      ~lit_lo:2 ~lit_hi:5;
+    analog "C880" "8-bit 8-op ALU" (fun () -> Generators.alu8 ());
+    analog "C1355" "Hamming-style error corrector" (fun () ->
+        Generators.hamming ());
+    pla_spec "duke2" "random PLA stand-in" ~seed:112 ~ins:22 ~outs:26 ~cubes:80
+      ~lit_lo:3 ~lit_hi:8;
+    pla_spec "pdc" "random PLA stand-in" ~seed:113 ~ins:16 ~outs:30 ~cubes:90
+      ~lit_lo:3 ~lit_hi:8;
+    analog "rot" "16-bit barrel rotator" (fun () ->
+        Generators.rotator ~width:16);
+    analog "dalu" "dual-lane 8-bit ALU" (fun () -> Generators.dual_alu ());
+    exact "t481" "16-input t481-style function (redundant start)" (fun () ->
+        Generators.t481_bloated ());
+    pla_spec "spla" "random PLA stand-in" ~seed:114 ~ins:16 ~outs:40 ~cubes:110
+      ~lit_lo:3 ~lit_hi:8;
+    pla_spec "misex3" "random PLA stand-in" ~seed:115 ~ins:14 ~outs:14
+      ~cubes:100 ~lit_lo:3 ~lit_hi:9;
+    ml_spec "frg2" "random multilevel stand-in" ~seed:116 ~ins:28 ~outs:24
+      ~layers:4 ~per_layer:24 ~fanin:3;
+    exact "alu4" "74181 4-bit ALU (remapped seed)" (fun () ->
+        Generators.alu181 ());
+    analog "pair" "paired adders with checksum" (fun () ->
+        Generators.adder_pair ~width:10);
+    ml_spec "x3" "random multilevel stand-in" ~seed:117 ~ins:40 ~outs:30
+      ~layers:4 ~per_layer:26 ~fanin:3;
+    pla_spec "apex1" "random PLA stand-in" ~seed:118 ~ins:26 ~outs:30
+      ~cubes:120 ~lit_lo:3 ~lit_hi:9;
+    pla_spec "cps" "random PLA stand-in" ~seed:119 ~ins:24 ~outs:40 ~cubes:130
+      ~lit_lo:3 ~lit_hi:9;
+    analog "des" "two toy Feistel rounds" (fun () -> Generators.feistel ());
+  ]
+
+let fig6_names =
+  [
+    "comp"; "Z5xp1"; "clip"; "f51m"; "rd84"; "C432"; "Z9sym"; "alu4tl";
+    "9sym"; "alu2"; "C880"; "C1355"; "rot"; "dalu"; "t481"; "misex3";
+    "pair"; "des";
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let mapped ?(objective = Mapper.Techmap.Power) ?(input_prob = fun _ -> 0.5) spec =
+  (* the paper's Figure 1 flow: technology-independent optimization,
+     then (power-aware) technology mapping *)
+  let g = Aig.Opt.balance (spec.build ()) in
+  Mapper.Techmap.map ~objective ~input_prob Gatelib.Library.lib2 g

@@ -1,0 +1,35 @@
+(** The benchmark suite mirroring the paper's Table 1 circuit list.
+
+    Each entry carries the circuit name used in the paper, a builder
+    for its (functional or statistical) stand-in, and the provenance of
+    the substitution. *)
+
+type provenance =
+  | Exact_function     (** public function reproduced bit-exactly *)
+  | Structured_analog  (** same circuit family, re-derived structure *)
+  | Seeded_pla         (** deterministic random two-level stand-in *)
+  | Seeded_multilevel  (** deterministic random multi-level stand-in *)
+
+type spec = {
+  name : string;
+  description : string;
+  provenance : provenance;
+  build : unit -> Aig.Graph.t;
+}
+
+val all : spec list
+(** Full Table 1 suite, in a stable order. *)
+
+val fig6_names : string list
+(** The 18-circuit subset used for the power-delay trade-off (Fig. 6). *)
+
+val find : string -> spec option
+val provenance_name : provenance -> string
+
+val mapped :
+  ?objective:Mapper.Techmap.objective ->
+  ?input_prob:(string -> float) ->
+  spec ->
+  Netlist.Circuit.t
+(** Build and technology-map onto {!Gatelib.Library.lib2} (the paper's
+    POSE-produced starting point stand-in). *)

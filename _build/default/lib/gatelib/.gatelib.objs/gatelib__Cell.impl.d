@@ -1,0 +1,1 @@
+lib/gatelib/cell.ml: Array Format Logic

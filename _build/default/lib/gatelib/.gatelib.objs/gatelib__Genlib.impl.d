@@ -1,0 +1,1 @@
+lib/gatelib/genlib.ml: Array Buffer Cell Char Library List Logic Printf String

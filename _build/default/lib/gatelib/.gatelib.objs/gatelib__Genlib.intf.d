@@ -1,0 +1,1 @@
+lib/gatelib/genlib.mli: Library

@@ -1,0 +1,1 @@
+lib/gatelib/library.ml: Array Cell Float Format Hashtbl List Logic

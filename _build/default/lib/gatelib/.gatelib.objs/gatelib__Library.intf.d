@@ -1,0 +1,1 @@
+lib/gatelib/library.mli: Cell Format Logic

@@ -1,0 +1,294 @@
+module Tt = Logic.Tt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tgate
+  | Tpin
+  | Tident of string
+  | Tnumber of float
+  | Tequal
+  | Tsemi
+  | Tnot
+  | Tand
+  | Tor
+  | Tlparen
+  | Trparen
+  | Tpostfix_not
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '<' || c = '>' || c = '[' || c = ']' || c = '-'
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let error = ref None in
+  while !i < n && !error = None do
+    let c = text.[!i] in
+    if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && text.[!i] <> '\n' do incr i done
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '=' then (push Tequal; incr i)
+    else if c = ';' then (push Tsemi; incr i)
+    else if c = '!' then (push Tnot; incr i)
+    else if c = '\'' then (push Tpostfix_not; incr i)
+    else if c = '*' then (push Tand; incr i)
+    else if c = '+' then (push Tor; incr i)
+    else if c = '(' then (push Tlparen; incr i)
+    else if c = ')' then (push Trparen; incr i)
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do incr i done;
+      let word = String.sub text start (!i - start) in
+      match word with
+      | "GATE" -> push Tgate
+      | "PIN" -> push Tpin
+      | "LATCH" | "SEQ" -> error := Some "sequential genlib records are not supported"
+      | _ -> (
+        match float_of_string_opt word with
+        | Some f -> push (Tnumber f)
+        | None -> push (Tident word))
+    end
+    else error := Some (Printf.sprintf "unexpected character %C" c)
+  done;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev !tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Expression parsing (over pin names discovered on the fly)           *)
+(* ------------------------------------------------------------------ *)
+
+(* We first parse to a small AST, then compile to a truth table once
+   the pin count is known. *)
+type expr =
+  | Evar of string
+  | Econst of bool
+  | Enot of expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+
+exception Parse_error of string
+
+let parse_expr tokens =
+  (* returns (expr, remaining tokens); raises Parse_error *)
+  let rec expr toks =
+    let t, toks = term toks in
+    match toks with
+    | Tor :: rest ->
+      let u, toks = expr rest in
+      (Eor (t, u), toks)
+    | _ -> (t, toks)
+  and term toks =
+    let f, toks = postfix toks in
+    match toks with
+    | Tand :: rest ->
+      let g, toks = term rest in
+      (Eand (f, g), toks)
+    | (Tident _ | Tnot | Tlparen) :: _ ->
+      (* juxtaposition is conjunction *)
+      let g, toks = term toks in
+      (Eand (f, g), toks)
+    | _ -> (f, toks)
+  and postfix toks =
+    let f, toks = factor toks in
+    let rec nots f = function
+      | Tpostfix_not :: rest -> nots (Enot f) rest
+      | toks -> (f, toks)
+    in
+    nots f toks
+  and factor = function
+    | Tnot :: rest ->
+      let f, toks = postfix rest in
+      (Enot f, toks)
+    | Tlparen :: rest -> (
+      let f, toks = expr rest in
+      match toks with
+      | Trparen :: rest -> (f, rest)
+      | _ -> raise (Parse_error "expected )"))
+    | Tident "CONST0" :: rest -> (Econst false, rest)
+    | Tident "CONST1" :: rest -> (Econst true, rest)
+    | Tident v :: rest -> (Evar v, rest)
+    | _ -> raise (Parse_error "expected an expression")
+  in
+  expr tokens
+
+let rec vars_of acc = function
+  | Evar v -> if List.mem v acc then acc else acc @ [ v ]
+  | Econst _ -> acc
+  | Enot e -> vars_of acc e
+  | Eand (a, b) | Eor (a, b) -> vars_of (vars_of acc a) b
+
+let compile expr pins =
+  let n = List.length pins in
+  if n > Tt.max_vars then raise (Parse_error "too many pins (max 6)");
+  let index v =
+    let rec find i = function
+      | [] -> raise (Parse_error ("unknown pin " ^ v))
+      | p :: rest -> if p = v then i else find (i + 1) rest
+    in
+    find 0 pins
+  in
+  let rec go = function
+    | Evar v -> Tt.var n (index v)
+    | Econst b -> if b then Tt.const_true n else Tt.const_false n
+    | Enot e -> Tt.not_ (go e)
+    | Eand (a, b) -> Tt.and_ (go a) (go b)
+    | Eor (a, b) -> Tt.or_ (go a) (go b)
+  in
+  go expr
+
+(* ------------------------------------------------------------------ *)
+(* Gate statements                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type pin_record = {
+  pin_name : string option; (* None = wildcard *)
+  in_load : float;
+  rise_block : float;
+  rise_fanout : float;
+  fall_block : float;
+  fall_fanout : float;
+}
+
+let parse_pin = function
+  | Tpin :: name_tok :: _phase :: Tnumber in_load :: Tnumber _max_load
+    :: Tnumber rise_block :: Tnumber rise_fanout :: Tnumber fall_block
+    :: Tnumber fall_fanout :: rest ->
+    let pin_name =
+      match name_tok with
+      | Tident n -> Some n
+      | Tand -> None (* '*' tokenizes as Tand *)
+      | _ -> raise (Parse_error "bad PIN name")
+    in
+    ( { pin_name; in_load; rise_block; rise_fanout; fall_block; fall_fanout },
+      rest )
+  | _ -> raise (Parse_error "malformed PIN record")
+
+let parse tokens_text =
+  match tokenize tokens_text with
+  | Error e -> Error e
+  | Ok tokens -> (
+    try
+      let cells = ref [] in
+      let rec gates = function
+        | [] -> ()
+        | Tgate :: Tident name :: Tnumber area :: Tident _out :: Tequal :: rest ->
+          let expr, rest =
+            let e, toks = parse_expr rest in
+            match toks with
+            | Tsemi :: toks -> (e, toks)
+            | _ -> raise (Parse_error ("missing ; after " ^ name))
+          in
+          let rec pins acc = function
+            | Tpin :: _ as toks ->
+              let p, toks = parse_pin toks in
+              pins (p :: acc) toks
+            | toks -> (List.rev acc, toks)
+          in
+          let pin_records, rest = pins [] rest in
+          let pin_names = vars_of [] expr in
+          let func = compile expr pin_names in
+          let record_for pname =
+            match
+              List.find_opt
+                (fun p -> p.pin_name = Some pname)
+                pin_records
+            with
+            | Some p -> Some p
+            | None -> List.find_opt (fun p -> p.pin_name = None) pin_records
+          in
+          let default =
+            {
+              pin_name = None;
+              in_load = 1.0;
+              rise_block = 1.0;
+              rise_fanout = 0.2;
+              fall_block = 1.0;
+              fall_fanout = 0.2;
+            }
+          in
+          let per_pin =
+            List.map
+              (fun pname ->
+                match record_for pname with Some p -> p | None -> default)
+              pin_names
+          in
+          let pin_caps = Array.of_list (List.map (fun p -> p.in_load) per_pin) in
+          let avg f g = List.fold_left (fun acc p -> acc +. ((f p +. g p) /. 2.0)) 0.0 per_pin
+                        /. float_of_int (max 1 (List.length per_pin)) in
+          let tau = avg (fun p -> p.rise_block) (fun p -> p.fall_block) in
+          let drive_res = avg (fun p -> p.rise_fanout) (fun p -> p.fall_fanout) in
+          let cell =
+            Cell.make ~name ~func ~area ~pin_caps ~tau ~drive_res ()
+          in
+          cells := cell :: !cells;
+          gates rest
+        | _ -> raise (Parse_error "expected GATE")
+      in
+      gates tokens;
+      if !cells = [] then Error "no gates found"
+      else Ok (Library.of_cells (List.rev !cells))
+    with
+    | Parse_error e -> Error e
+    | Invalid_argument e -> Error e)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pin_letter i =
+  if i < 26 then String.make 1 (Char.chr (Char.code 'a' + i))
+  else Printf.sprintf "p%d" i
+
+let expr_of_tt func =
+  let n = Tt.num_vars func in
+  if Tt.is_const_false func then "CONST0"
+  else if Tt.is_const_true func then "CONST1"
+  else begin
+    let sop = Logic.Sop.minimize (Logic.Sop.of_tt func) in
+    let cube_str c =
+      match Logic.Cube.literals c with
+      | [] -> "CONST1"
+      | lits ->
+        String.concat "*"
+          (List.map
+             (fun (i, phase) ->
+               if i >= n then "CONST0"
+               else if phase then pin_letter i
+               else "!" ^ pin_letter i)
+             lits)
+    in
+    String.concat " + " (List.map cube_str (Logic.Sop.cubes sop))
+  end
+
+let to_genlib lib =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (c : Cell.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "GATE %s %g O=%s;\n" c.Cell.name c.Cell.area
+           (expr_of_tt c.Cell.func));
+      if Cell.arity c > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  PIN * NONINV %g 999 %g %g %g %g\n"
+             c.Cell.pin_caps.(0) c.Cell.tau c.Cell.drive_res c.Cell.tau
+             c.Cell.drive_res))
+    (Library.cells lib);
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Parser for a subset of the Berkeley [genlib] gate-library format:
+
+    {v
+    GATE <name> <area> <output>=<expr>;  PIN <pin|*> <phase> <in-load> \
+      <max-load> <rise-delay> <rise-fanout> <fall-delay> <fall-fanout>
+    v}
+
+    Expressions use [!] (not), [*] or juxtaposition (and), [+] (or),
+    [CONST0]/[CONST1] and parentheses.  Pin variables are ordered by
+    first appearance in the expression.  The linear timing model is
+    derived as [tau = avg(rise, fall) block delay] and
+    [drive_res = avg(rise, fall) fanout slope]; the input load becomes
+    the pin capacitance.  [PIN *] applies one record to all pins.
+    Latch/sequential records are rejected. *)
+
+val parse : string -> (Library.t, string) result
+val parse_file : string -> (Library.t, string) result
+
+val to_genlib : Library.t -> string
+(** Print a library back in genlib syntax (one [PIN *] record per gate,
+    using the first pin's capacitance). *)

@@ -1,0 +1,1 @@
+lib/logic/tt.ml: Array Format Hashtbl Int Int64 List Printf

@@ -1,0 +1,1 @@
+lib/mapper/techmap.ml: Aig Array Gatelib Hashtbl Int List Logic Netlist

@@ -1,0 +1,1 @@
+lib/mapper/techmap.mli: Aig Gatelib Netlist

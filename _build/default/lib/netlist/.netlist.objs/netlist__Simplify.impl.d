@@ -1,0 +1,1 @@
+lib/netlist/simplify.ml: Array Circuit Gatelib List Logic Option

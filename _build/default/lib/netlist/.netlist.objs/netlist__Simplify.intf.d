@@ -1,0 +1,1 @@
+lib/netlist/simplify.mli: Circuit

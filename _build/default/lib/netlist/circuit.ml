@@ -1,0 +1,510 @@
+module Cell = Gatelib.Cell
+module Library = Gatelib.Library
+
+type node_id = int
+
+type kind =
+  | Pi
+  | Const of bool
+  | Cell of Gatelib.Cell.t * node_id array
+  | Po of node_id
+
+type pin = { sink : node_id; pin_index : int }
+
+type node = {
+  id : node_id;
+  mutable name : string;
+  mutable kind : kind;
+  mutable fanouts : pin list;
+  mutable live : bool;
+}
+
+type t = {
+  lib : Library.t;
+  mutable nodes : node array;
+  mutable count : int;
+  mutable pis_rev : node_id list;
+  mutable pos_rev : node_id list;
+  names : (string, node_id) Hashtbl.t;
+  mutable fresh : int;
+  mutable version : int;
+  mutable topo_cache : (int * node_id array) option;
+}
+
+let dummy_node = { id = -1; name = ""; kind = Pi; fanouts = []; live = false }
+
+let create lib =
+  {
+    lib;
+    nodes = Array.make 64 dummy_node;
+    count = 0;
+    pis_rev = [];
+    pos_rev = [];
+    names = Hashtbl.create 64;
+    fresh = 0;
+    version = 0;
+    topo_cache = None;
+  }
+
+let library t = t.lib
+let num_nodes t = t.count
+
+let node t id =
+  if id < 0 || id >= t.count then invalid_arg "Circuit: bad node id";
+  t.nodes.(id)
+
+let grow t =
+  if t.count = Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) dummy_node in
+    Array.blit t.nodes 0 bigger 0 t.count;
+    t.nodes <- bigger
+  end
+
+let fresh_name t prefix =
+  let rec try_next () =
+    let candidate = Printf.sprintf "%s%d" prefix t.fresh in
+    t.fresh <- t.fresh + 1;
+    if Hashtbl.mem t.names candidate then try_next () else candidate
+  in
+  try_next ()
+
+let register_name t name id =
+  if Hashtbl.mem t.names name then
+    invalid_arg ("Circuit: duplicate name " ^ name);
+  Hashtbl.add t.names name id
+
+let touch t =
+  t.version <- t.version + 1;
+  t.topo_cache <- None
+
+let alloc t ~name kind =
+  touch t;
+  grow t;
+  let id = t.count in
+  register_name t name id;
+  t.nodes.(id) <- { id; name; kind; fanouts = []; live = true };
+  t.count <- t.count + 1;
+  id
+
+let add_pi t ~name =
+  let id = alloc t ~name Pi in
+  t.pis_rev <- id :: t.pis_rev;
+  id
+
+let add_const t b = alloc t ~name:(fresh_name t (if b then "const1_" else "const0_")) (Const b)
+
+let add_fanout t driver pin =
+  let d = node t driver in
+  d.fanouts <- pin :: d.fanouts
+
+let remove_fanout t driver pin =
+  let d = node t driver in
+  let rec drop_one = function
+    | [] -> invalid_arg "Circuit: fanout pin not found"
+    | p :: rest ->
+      if p.sink = pin.sink && p.pin_index = pin.pin_index then rest
+      else p :: drop_one rest
+  in
+  d.fanouts <- drop_one d.fanouts
+
+let add_cell t ?name cell fanins =
+  if Array.length fanins <> Cell.arity cell then
+    invalid_arg "Circuit.add_cell: arity mismatch";
+  let name = match name with Some n -> n | None -> fresh_name t "n" in
+  Array.iter (fun f -> if not (node t f).live then invalid_arg "Circuit.add_cell: dead fanin") fanins;
+  let id = alloc t ~name (Cell (cell, Array.copy fanins)) in
+  Array.iteri (fun i f -> add_fanout t f { sink = id; pin_index = i }) fanins;
+  id
+
+let add_po t ~name driver =
+  ignore (node t driver);
+  let id = alloc t ~name (Po driver) in
+  add_fanout t driver { sink = id; pin_index = 0 };
+  t.pos_rev <- id :: t.pos_rev;
+  id
+
+let pis t = List.rev t.pis_rev
+let pos t = List.rev t.pos_rev
+let kind t id = (node t id).kind
+let name t id = (node t id).name
+let find_by_name t n = Hashtbl.find_opt t.names n
+let is_live t id = (node t id).live
+let fanouts t id = (node t id).fanouts
+let num_fanouts t id = List.length (node t id).fanouts
+
+let fanins t id =
+  match (node t id).kind with
+  | Pi | Const _ -> [||]
+  | Cell (_, fs) -> fs
+  | Po d -> [| d |]
+
+let cell_of t id =
+  match (node t id).kind with
+  | Cell (c, _) -> c
+  | Pi | Const _ | Po _ -> invalid_arg "Circuit.cell_of: not a cell"
+
+let po_driver t id =
+  match (node t id).kind with
+  | Po d -> d
+  | Pi | Const _ | Cell _ -> invalid_arg "Circuit.po_driver: not a PO"
+
+let is_po_node t id = match (node t id).kind with Po _ -> true | Pi | Const _ | Cell _ -> false
+
+let drives_po t id =
+  List.exists (fun p -> is_po_node t p.sink) (node t id).fanouts
+
+let iter_live t f =
+  for id = 0 to t.count - 1 do
+    if t.nodes.(id).live then f id
+  done
+
+let live_gates t =
+  let acc = ref [] in
+  for id = t.count - 1 downto 0 do
+    let n = t.nodes.(id) in
+    match n.kind with
+    | Cell _ when n.live -> acc := id :: !acc
+    | Cell _ | Pi | Const _ | Po _ -> ()
+  done;
+  !acc
+
+let clone t =
+  let nodes =
+    Array.map
+      (fun n ->
+        { n with
+          kind =
+            (match n.kind with
+            | Cell (c, fs) -> Cell (c, Array.copy fs)
+            | (Pi | Const _ | Po _) as k -> k);
+          fanouts = n.fanouts })
+      t.nodes
+  in
+  {
+    t with
+    nodes;
+    names = Hashtbl.copy t.names;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec topo_order t =
+  match t.topo_cache with
+  | Some (v, order) when v = t.version -> order
+  | Some _ | None ->
+    let order = compute_topo_order t in
+    t.topo_cache <- Some (t.version, order);
+    order
+
+and compute_topo_order t =
+  (* Kahn over live non-PO nodes. *)
+  let indeg = Array.make t.count 0 in
+  iter_live t (fun id ->
+      match (node t id).kind with
+      | Cell (_, fs) -> indeg.(id) <- Array.length fs
+      | Pi | Const _ -> indeg.(id) <- 0
+      | Po _ -> indeg.(id) <- -1 (* excluded *));
+  let queue = Queue.create () in
+  iter_live t (fun id -> if indeg.(id) = 0 then Queue.add id queue);
+  let order = Array.make t.count 0 in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order.(!k) <- id;
+    incr k;
+    List.iter
+      (fun p ->
+        if (node t p.sink).live && indeg.(p.sink) > 0 then begin
+          indeg.(p.sink) <- indeg.(p.sink) - 1;
+          if indeg.(p.sink) = 0 then Queue.add p.sink queue
+        end)
+      (node t id).fanouts
+  done;
+  Array.sub order 0 !k
+
+let tfo t s =
+  let marked = Array.make t.count false in
+  let rec visit id =
+    List.iter
+      (fun p ->
+        if (node t p.sink).live && not marked.(p.sink) then begin
+          marked.(p.sink) <- true;
+          visit p.sink
+        end)
+      (node t id).fanouts
+  in
+  visit s;
+  marked
+
+let tfi t s =
+  let marked = Array.make t.count false in
+  let rec visit id =
+    Array.iter
+      (fun f ->
+        if not marked.(f) then begin
+          marked.(f) <- true;
+          visit f
+        end)
+      (fanins t id)
+  in
+  visit s;
+  marked
+
+let reaches t a b =
+  if a = b then true
+  else begin
+    let seen = Array.make t.count false in
+    let rec visit id =
+      id = b
+      || List.exists
+           (fun p ->
+             (node t p.sink).live && not seen.(p.sink)
+             && begin
+                  seen.(p.sink) <- true;
+                  visit p.sink
+                end)
+           (node t id).fanouts
+    in
+    visit a
+  end
+
+let dominated_region t s =
+  (* Process TFI(s) union {s} in reverse topological order; a node is
+     dominated iff it has fanouts and every fanout sink is [s]-dominated
+     (PO sinks are never dominated). *)
+  let in_tfi = tfi t s in
+  in_tfi.(s) <- true;
+  let dom = Array.make t.count false in
+  dom.(s) <- true;
+  let order = topo_order t in
+  for k = Array.length order - 1 downto 0 do
+    let id = order.(k) in
+    if in_tfi.(id) && id <> s then begin
+      let fo = (node t id).fanouts in
+      let all_dominated =
+        fo <> []
+        && List.for_all
+             (fun p -> (not (is_po_node t p.sink)) && dom.(p.sink))
+             fo
+      in
+      if all_dominated then dom.(id) <- true
+    end
+  done;
+  dom
+
+let inputs_of_region t region =
+  let result = ref [] in
+  for id = t.count - 1 downto 0 do
+    let n = t.nodes.(id) in
+    if n.live && not region.(id)
+       && List.exists (fun p -> p.sink < t.count && region.(p.sink)) n.fanouts
+    then result := id :: !result
+  done;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Edits                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let would_cycle_pin t sink _pin b =
+  (* New edge b -> sink: cycle iff sink reaches b. *)
+  (not (is_po_node t sink)) && reaches t sink b
+
+let would_cycle_stem t a b =
+  a = b
+  || List.exists
+       (fun p -> (not (is_po_node t p.sink)) && reaches t p.sink b)
+       (node t a).fanouts
+
+let set_fanin t sink pin b =
+  touch t;
+  let n = node t sink in
+  if not (node t b).live then invalid_arg "Circuit.set_fanin: dead driver";
+  match n.kind with
+  | Cell (c, fs) ->
+    if pin < 0 || pin >= Array.length fs then
+      invalid_arg "Circuit.set_fanin: bad pin";
+    if fs.(pin) = b then ()
+    else begin
+      if would_cycle_pin t sink pin b then
+        invalid_arg "Circuit.set_fanin: would create a cycle";
+      remove_fanout t fs.(pin) { sink; pin_index = pin };
+      fs.(pin) <- b;
+      n.kind <- Cell (c, fs);
+      add_fanout t b { sink; pin_index = pin }
+    end
+  | Po d ->
+    if pin <> 0 then invalid_arg "Circuit.set_fanin: bad PO pin";
+    if d = b then ()
+    else begin
+      remove_fanout t d { sink; pin_index = 0 };
+      n.kind <- Po b;
+      add_fanout t b { sink; pin_index = 0 }
+    end
+  | Pi | Const _ -> invalid_arg "Circuit.set_fanin: node has no fanins"
+
+let replace_stem t a b =
+  touch t;
+  if a = b then invalid_arg "Circuit.replace_stem: a = b";
+  if not (node t b).live then invalid_arg "Circuit.replace_stem: dead driver";
+  if would_cycle_stem t a b then
+    invalid_arg "Circuit.replace_stem: would create a cycle";
+  let moved = (node t a).fanouts in
+  (node t a).fanouts <- [];
+  List.iter
+    (fun p ->
+      let s = node t p.sink in
+      (match s.kind with
+      | Cell (c, fs) ->
+        fs.(p.pin_index) <- b;
+        s.kind <- Cell (c, fs)
+      | Po _ -> s.kind <- Po b
+      | Pi | Const _ -> assert false);
+      add_fanout t b p)
+    moved
+
+let set_cell t id cell =
+  touch t;
+  let n = node t id in
+  match n.kind with
+  | Cell (old_cell, fs) ->
+    if Cell.arity cell <> Cell.arity old_cell then
+      invalid_arg "Circuit.set_cell: arity mismatch";
+    n.kind <- Cell (cell, fs)
+  | Pi | Const _ | Po _ -> invalid_arg "Circuit.set_cell: not a cell"
+
+let sweep t =
+  touch t;
+  let killed = ref [] in
+  let rec kill id =
+    let n = node t id in
+    if n.live && n.fanouts = [] then
+      match n.kind with
+      | Cell (_, fs) ->
+        n.live <- false;
+        Hashtbl.remove t.names n.name;
+        killed := id :: !killed;
+        Array.iteri
+          (fun i f ->
+            remove_fanout t f { sink = id; pin_index = i };
+            kill f)
+          fs
+      | Const _ ->
+        n.live <- false;
+        Hashtbl.remove t.names n.name;
+        killed := id :: !killed
+      | Pi | Po _ -> ()
+  in
+  for id = 0 to t.count - 1 do
+    kill id
+  done;
+  !killed
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let area t =
+  let total = ref 0.0 in
+  iter_live t (fun id ->
+      match (node t id).kind with
+      | Cell (c, _) -> total := !total +. c.Cell.area
+      | Pi | Const _ | Po _ -> ());
+  !total
+
+let gate_count t =
+  let n = ref 0 in
+  iter_live t (fun id ->
+      match (node t id).kind with
+      | Cell _ -> incr n
+      | Pi | Const _ | Po _ -> ());
+  !n
+
+let pin_cap t p =
+  match (node t p.sink).kind with
+  | Cell (c, _) -> c.Cell.pin_caps.(p.pin_index)
+  | Po _ -> Library.default_po_load
+  | Pi | Const _ -> 0.0
+
+let load_of t id =
+  let own =
+    match (node t id).kind with
+    | Cell (c, _) -> c.Cell.out_cap
+    | Pi | Const _ | Po _ -> 0.0
+  in
+  List.fold_left (fun acc p -> acc +. pin_cap t p) own (node t id).fanouts
+
+(* ------------------------------------------------------------------ *)
+(* Validation and printing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let validate t =
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_node id =
+    let n = t.nodes.(id) in
+    if not n.live then Ok ()
+    else begin
+      (* every fanin edge has a matching fanout entry *)
+      let fanin_ok =
+        Array.to_list (fanins t id)
+        |> List.for_all (fun f ->
+               (t.nodes.(f)).live
+               && List.exists
+                    (fun p -> p.sink = id)
+                    (t.nodes.(f)).fanouts)
+      in
+      if not fanin_ok then error "node %s: fanin/fanout inconsistency" n.name
+      else begin
+        (* every fanout entry points back via the right pin *)
+        let fanout_ok =
+          List.for_all
+            (fun p ->
+              (t.nodes.(p.sink)).live
+              &&
+              match (t.nodes.(p.sink)).kind with
+              | Cell (_, fs) ->
+                p.pin_index >= 0
+                && p.pin_index < Array.length fs
+                && fs.(p.pin_index) = id
+              | Po d -> p.pin_index = 0 && d = id
+              | Pi | Const _ -> false)
+            n.fanouts
+        in
+        if not fanout_ok then error "node %s: dangling fanout" n.name
+        else Ok ()
+      end
+    end
+  in
+  let rec check_all id =
+    if id >= t.count then Ok ()
+    else match check_node id with Ok () -> check_all (id + 1) | Error e -> Error e
+  in
+  match check_all 0 with
+  | Error e -> Error e
+  | Ok () ->
+    (* acyclicity: topo order must reach all live non-PO nodes *)
+    let live_non_po = ref 0 in
+    iter_live t (fun id -> if not (is_po_node t id) then incr live_non_po);
+    if Array.length (topo_order t) <> !live_non_po then
+      Error "cycle detected: topological order is incomplete"
+    else Ok ()
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  iter_live t (fun id ->
+      let n = t.nodes.(id) in
+      match n.kind with
+      | Pi -> Format.fprintf fmt "input %s@," n.name
+      | Const b -> Format.fprintf fmt "const %s = %b@," n.name b
+      | Po d -> Format.fprintf fmt "output %s <- %s@," n.name (t.nodes.(d)).name
+      | Cell (c, fs) ->
+        Format.fprintf fmt "%s = %s(%s)@," n.name c.Cell.name
+          (String.concat ", "
+             (Array.to_list (Array.map (fun f -> (t.nodes.(f)).name) fs))));
+  Format.fprintf fmt "@]"
+
+let pp_stats fmt t =
+  Format.fprintf fmt "gates=%d area=%.0f pis=%d pos=%d" (gate_count t)
+    (area t) (List.length t.pis_rev) (List.length t.pos_rev)

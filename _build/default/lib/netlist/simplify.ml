@@ -1,0 +1,99 @@
+module Cell = Gatelib.Cell
+module Library = Gatelib.Library
+module Tt = Logic.Tt
+
+let const_value circ id =
+  match Circuit.kind circ id with
+  | Circuit.Const b -> Some b
+  | Circuit.Pi | Circuit.Cell _ | Circuit.Po _ -> None
+
+(* Rewrite one cell that has at least one constant fanin.  Returns true
+   when the netlist changed. *)
+let rewrite_cell circ id =
+  match Circuit.kind circ id with
+  | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> false
+  | Circuit.Cell (c, fs) ->
+    let consts =
+      Array.to_list (Array.mapi (fun i f -> (i, const_value circ f)) fs)
+      |> List.filter_map (fun (i, v) -> Option.map (fun v -> (i, v)) v)
+    in
+    if consts = [] then false
+    else begin
+      (* cofactor the function on all constant pins *)
+      let reduced =
+        List.fold_left (fun f (i, v) -> Tt.cofactor i v f) c.Cell.func consts
+      in
+      let live_pins =
+        List.filter
+          (fun i -> not (List.mem_assoc i consts))
+          (List.init (Cell.arity c) (fun i -> i))
+      in
+      (* keep only pins the reduced function still depends on *)
+      let support = Tt.support reduced in
+      let used_pins = List.filter (fun i -> List.mem i support) live_pins in
+      if Circuit.num_fanouts circ id = 0 then false
+      else if Tt.is_const_false reduced || Tt.is_const_true reduced then begin
+        let konst = Circuit.add_const circ (Tt.is_const_true reduced) in
+        Circuit.replace_stem circ id konst;
+        true
+      end
+      else
+        match used_pins with
+        | [ j ] when Tt.equal (Tt.project reduced [ j ]) (Tt.var 1 0) ->
+          (* wire-through *)
+          if Circuit.would_cycle_stem circ id fs.(j) then false
+          else begin
+            Circuit.replace_stem circ id fs.(j);
+            true
+          end
+        | _ ->
+          let projected = Tt.project reduced used_pins in
+          (match Library.match_tt_best (Circuit.library circ) projected with
+          | None -> false
+          | Some (cell', perm) ->
+            let fanins = Array.make (Cell.arity cell') (-1) in
+            List.iteri
+              (fun k j -> fanins.(perm.(k)) <- fs.(j))
+              used_pins;
+            (* cheap guard: replacing with the same shape loops forever *)
+            if cell'.Cell.name = c.Cell.name && Array.length fanins = Array.length fs
+            then false
+            else begin
+              let fresh = Circuit.add_cell circ cell' fanins in
+              Circuit.replace_stem circ id fresh;
+              true
+            end)
+    end
+
+let propagate_constants circ =
+  let rewritten = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun id ->
+        if Circuit.is_live circ id && rewrite_cell circ id then begin
+          incr rewritten;
+          progress := true
+        end)
+      (Circuit.topo_order circ);
+    ignore (Circuit.sweep circ)
+  done;
+  !rewritten
+
+let collapse_buffers circ =
+  let collapsed = ref 0 in
+  let identity = Tt.var 1 0 in
+  Circuit.iter_live circ (fun id ->
+      match Circuit.kind circ id with
+      | Circuit.Cell (c, fs)
+        when Cell.arity c = 1
+             && Tt.equal c.Cell.func identity
+             && Circuit.num_fanouts circ id > 0 ->
+        if not (Circuit.would_cycle_stem circ id fs.(0)) then begin
+          Circuit.replace_stem circ id fs.(0);
+          incr collapsed
+        end
+      | Circuit.Cell _ | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> ());
+  ignore (Circuit.sweep circ);
+  !collapsed

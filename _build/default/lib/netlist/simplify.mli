@@ -1,0 +1,14 @@
+(** Library-aware netlist cleanup: propagate constant fanins through
+    cells (re-matching the reduced function against the library),
+    collapse cells that degenerate to wires or constants, and sweep
+    dead logic.  Used by redundancy removal and as a general tidy-up
+    after structural edits. *)
+
+val propagate_constants : Circuit.t -> int
+(** Run to a fixpoint; returns the number of cells rewritten.  Cells
+    whose reduced function has no library match keep their constant
+    fanin (still functionally correct). *)
+
+val collapse_buffers : Circuit.t -> int
+(** Replace the stems of identity cells (buffers) by their fanin.
+    Returns the number collapsed. *)

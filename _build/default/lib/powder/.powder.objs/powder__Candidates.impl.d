@@ -1,0 +1,1 @@
+lib/powder/candidates.ml: Array Float Gatelib Int64 List Netlist Power Sim Subst

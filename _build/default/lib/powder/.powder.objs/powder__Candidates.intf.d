@@ -1,0 +1,1 @@
+lib/powder/candidates.mli: Power Subst

@@ -1,0 +1,1 @@
+lib/powder/check.ml: Array Atpg Gatelib Hashtbl Int64 List Netlist Sim Subst

@@ -1,0 +1,1 @@
+lib/powder/check.mli: Netlist Sim Subst

@@ -1,0 +1,1 @@
+lib/powder/optimizer.ml: Array Atpg Candidates Check Float Format Hashtbl Int Int64 List Logs Netlist Power Printf Sim Sta Subst Sys

@@ -1,0 +1,1 @@
+lib/powder/optimizer.mli: Format Netlist Subst

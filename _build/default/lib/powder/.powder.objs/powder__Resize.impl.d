@@ -1,0 +1,1 @@
+lib/powder/resize.ml: Array Float Format Gatelib List Logic Netlist Power Sim Sta

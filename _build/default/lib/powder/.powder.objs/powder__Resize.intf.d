@@ -1,0 +1,1 @@
+lib/powder/resize.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/powder/subst.ml: Array Float Gatelib Int64 List Logic Netlist Power Printf Sim Sta

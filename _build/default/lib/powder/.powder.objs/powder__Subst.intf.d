@@ -1,0 +1,1 @@
+lib/powder/subst.mli: Gatelib Netlist Power Sim Sta

@@ -1,0 +1,1 @@
+lib/powder/tradeoff.ml: Format List Optimizer

@@ -1,0 +1,1 @@
+lib/powder/tradeoff.mli: Format Netlist Optimizer

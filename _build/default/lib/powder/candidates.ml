@@ -1,0 +1,209 @@
+module Circuit = Netlist.Circuit
+module Cell = Gatelib.Cell
+module Library = Gatelib.Library
+module Engine = Sim.Engine
+module Estimator = Power.Estimator
+
+type config = {
+  classes : Subst.klass list;
+  per_target : int;
+  pool_limit : int;
+  require_positive : bool;
+}
+
+let default_config =
+  {
+    classes = Subst.all_klasses;
+    per_target = 4;
+    pool_limit = 16;
+    require_positive = true;
+  }
+
+let popcount64 x =
+  let rec go x acc =
+    if Int64.equal x 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+  in
+  go x 0
+
+(* number of care-patterns where the signatures disagree *)
+let disagreement sig_a sig_b care =
+  let acc = ref 0 in
+  for j = 0 to Array.length sig_a - 1 do
+    acc :=
+      !acc
+      + popcount64 (Int64.logand (Int64.logxor sig_a.(j) sig_b.(j)) care.(j))
+  done;
+  !acc
+
+let matches_on_care sig_a sig_b care =
+  let rec go j =
+    j >= Array.length sig_a
+    || (Int64.equal
+          (Int64.logand (Int64.logxor sig_a.(j) sig_b.(j)) care.(j))
+          0L
+       && go (j + 1))
+  in
+  go 0
+
+let matches_compl_on_care sig_a sig_b care =
+  let rec go j =
+    j >= Array.length sig_a
+    || (Int64.equal
+          (Int64.logand
+             (Int64.logxor sig_a.(j) (Int64.lognot sig_b.(j)))
+             care.(j))
+          0L
+       && go (j + 1))
+  in
+  go 0
+
+let is_signal_node circ id =
+  Circuit.is_live circ id
+  &&
+  match Circuit.kind circ id with
+  | Circuit.Pi | Circuit.Cell _ -> true
+  | Circuit.Const _ | Circuit.Po _ -> false
+
+type target_info = {
+  target : Subst.target;
+  a : Circuit.node_id;         (* substituted signal *)
+  care : int64 array;
+  forbidden : bool array;      (* source base signals that risk a cycle *)
+}
+
+let stem_targets circ eng =
+  List.filter_map
+    (fun id ->
+      if Circuit.num_fanouts circ id = 0 then None
+      else begin
+        let care = Engine.stem_observability eng id in
+        let forbidden = Circuit.tfo circ id in
+        forbidden.(id) <- true;
+        Some { target = Subst.Stem id; a = id; care; forbidden }
+      end)
+    (Circuit.live_gates circ)
+
+let branch_targets circ eng =
+  let out = ref [] in
+  Circuit.iter_live circ (fun id ->
+      if is_signal_node circ id && Circuit.num_fanouts circ id >= 2 then
+        List.iter
+          (fun p ->
+            let sink = p.Circuit.sink and pin = p.Circuit.pin_index in
+            let care = Engine.branch_observability eng ~sink ~pin in
+            let forbidden =
+              if Circuit.is_po_node circ sink then
+                Array.make (Circuit.num_nodes circ) false
+              else begin
+                let f = Circuit.tfo circ sink in
+                f.(sink) <- true;
+                f
+              end
+            in
+            out :=
+              { target = Subst.Branch { sink; pin }; a = id; care; forbidden }
+              :: !out)
+          (Circuit.fanouts circ id));
+  List.rev !out
+
+let generate ?(config = default_config) est =
+  let circ = Estimator.circuit est in
+  let eng = Estimator.engine est in
+  let want k = List.mem k config.classes in
+  let signals =
+    let acc = ref [] in
+    Circuit.iter_live circ (fun id ->
+        if is_signal_node circ id then acc := id :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let sigs = Array.map (fun id -> Engine.value eng id) signals in
+  let gates2 = Library.two_input_cells (Circuit.library circ) in
+  let targets =
+    (if want Subst.Os2 || want Subst.Os3 then stem_targets circ eng else [])
+    @
+    if want Subst.Is2 || want Subst.Is3 then branch_targets circ eng else []
+  in
+  let margin = 1e-12 in
+  let results = ref [] in
+  let consider acc subst =
+    let g = Subst.gain_ab est subst in
+    if (not config.require_positive) || Subst.total_gain g > margin then
+      acc := (subst, g) :: !acc
+  in
+  List.iter
+    (fun ti ->
+      let sig_a = Engine.value eng ti.a in
+      let acc = ref [] in
+      let two_signal_wanted =
+        match ti.target with
+        | Subst.Stem _ -> want Subst.Os2
+        | Subst.Branch _ -> want Subst.Is2
+      in
+      let three_signal_wanted =
+        match ti.target with
+        | Subst.Stem _ -> want Subst.Os3
+        | Subst.Branch _ -> want Subst.Is3
+      in
+      if two_signal_wanted then
+        Array.iteri
+          (fun i b ->
+            if b <> ti.a && not ti.forbidden.(b) then begin
+              if matches_on_care sig_a sigs.(i) ti.care then
+                consider acc { Subst.target = ti.target; source = Subst.Signal b };
+              if matches_compl_on_care sig_a sigs.(i) ti.care then
+                consider acc
+                  { Subst.target = ti.target; source = Subst.Inverted b }
+            end)
+          signals;
+      if three_signal_wanted && gates2 <> [] then begin
+        (* pool: the signals closest to [a] on the care set *)
+        let scored = ref [] in
+        Array.iteri
+          (fun i b ->
+            if b <> ti.a && not ti.forbidden.(b) then
+              scored := (disagreement sig_a sigs.(i) ti.care, i) :: !scored)
+          signals;
+        let pool =
+          List.sort compare !scored
+          |> List.filteri (fun k _ -> k < config.pool_limit)
+          |> List.map snd |> Array.of_list
+        in
+        Array.iter
+          (fun i ->
+            Array.iter
+              (fun j ->
+                if i <> j then
+                  List.iter
+                    (fun (cell : Cell.t) ->
+                      let g_words =
+                        Engine.apply_gate_words cell.Cell.func
+                          [| sigs.(i); sigs.(j) |]
+                      in
+                      if
+                        matches_on_care sig_a g_words ti.care
+                        (* skip pairs a plain 2-substitution already covers *)
+                        && not (matches_on_care sig_a sigs.(i) ti.care)
+                        && not (matches_on_care sig_a sigs.(j) ti.care)
+                      then
+                        consider acc
+                          {
+                            Subst.target = ti.target;
+                            source = Subst.Gate2 (cell, signals.(i), signals.(j));
+                          })
+                    gates2)
+              pool)
+          pool
+      end;
+      (* keep the best per_target candidates for this target *)
+      let best =
+        List.sort
+          (fun (_, g1) (_, g2) ->
+            Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
+          !acc
+        |> List.filteri (fun k _ -> k < config.per_target)
+      in
+      results := best @ !results)
+    targets;
+  List.sort
+    (fun (_, g1) (_, g2) -> Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
+    !results

@@ -1,0 +1,28 @@
+(** Candidate-substitution generation (the paper's
+    [get_candidate_substitutions], built on fault-simulation machinery).
+
+    A substitution can only be permissible if the source agrees with the
+    substituted signal on every simulated pattern where that signal is
+    observable at some primary output.  We therefore compare bit-parallel
+    signatures under the target's observability mask: survivors are
+    {e potentially} permissible and are later proven or rejected by the
+    exact ATPG check.
+
+    2-signal candidates scan all signals; 3-signal candidates (new
+    2-input gate) scan ordered pairs from a bounded pool of the closest
+    signatures, for every 2-input cell of the library. *)
+
+type config = {
+  classes : Subst.klass list;  (** which substitution classes to emit *)
+  per_target : int;            (** keep the best k per target (by PG_A+PG_B) *)
+  pool_limit : int;            (** pool size for 3-signal pair enumeration *)
+  require_positive : bool;     (** drop candidates with PG_A+PG_B+margin <= 0 *)
+}
+
+val default_config : config
+
+val generate :
+  ?config:config -> Power.Estimator.t -> (Subst.t * Subst.gain) list
+(** Candidates sorted by decreasing [PG_A + PG_B]; gains are the cheap
+    [Subst.gain_ab] estimates.  The estimator's engine state is left
+    unchanged. *)

@@ -1,0 +1,182 @@
+module Circuit = Netlist.Circuit
+module Library = Gatelib.Library
+module Equiv = Atpg.Equiv
+
+type verdict =
+  | Permissible
+  | Not_permissible of (string * bool) list
+  | Gave_up
+
+(* Build the incremental miter inside a clone: duplicate the changed
+   cone with the substitution applied, XOR affected PO drivers with
+   their originals, OR the differences.  Returns the clone and the
+   miter-output node, or None when no primary output is affected (the
+   substitution is then vacuously permissible). *)
+let build circ s =
+  let m = Circuit.clone circ in
+  let inv = Library.inverter (Circuit.library m) in
+  let src =
+    match Subst.plan_of m s with
+    | Subst.P_existing v -> v
+    | Subst.P_new_inv b -> Circuit.add_cell m inv [| b |]
+    | Subst.P_new_gate (c, b, d) -> Circuit.add_cell m c [| b; d |]
+  in
+  let changed =
+    match s.Subst.target with
+    | Subst.Stem a -> Circuit.tfo m a
+    | Subst.Branch { sink; _ } ->
+      let t = Circuit.tfo m sink in
+      t.(sink) <- true;
+      t
+  in
+  let dup = Hashtbl.create 64 in
+  let remap_stem_target =
+    match s.Subst.target with Subst.Stem a -> Some a | Subst.Branch _ -> None
+  in
+  let branch_target =
+    match s.Subst.target with
+    | Subst.Branch { sink; pin } -> Some (sink, pin)
+    | Subst.Stem _ -> None
+  in
+  Array.iter
+    (fun id ->
+      if changed.(id) then
+        match Circuit.kind m id with
+        | Circuit.Cell (c, fs) ->
+          let fs' =
+            Array.mapi
+              (fun pin f ->
+                let substituted =
+                  (match remap_stem_target with Some a -> f = a | None -> false)
+                  ||
+                  match branch_target with
+                  | Some (sink, p) -> id = sink && pin = p
+                  | None -> false
+                in
+                if substituted then src
+                else match Hashtbl.find_opt dup f with Some d -> d | None -> f)
+              fs
+          in
+          Hashtbl.add dup id (Circuit.add_cell m c fs')
+        | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> ())
+    (Circuit.topo_order m);
+  let diffs =
+    List.filter_map
+      (fun po ->
+        let d = Circuit.po_driver m po in
+        (* the PO's driver in the modified circuit: the source when the
+           substitution retargets this PO itself, a duplicate when the
+           driver lies in the changed cone, otherwise unchanged *)
+        let new_driver =
+          let directly_retargeted =
+            (match remap_stem_target with Some a -> d = a | None -> false)
+            ||
+            match branch_target with
+            | Some (sink, _) -> sink = po
+            | None -> false
+          in
+          if directly_retargeted then Some src
+          else Hashtbl.find_opt dup d
+        in
+        match new_driver with
+        | Some d' when d' <> d ->
+          Some (Circuit.add_cell m Equiv.xor_cell [| d; d' |])
+        | Some _ | None -> None)
+      (Circuit.pos m)
+  in
+  match diffs with
+  | [] -> None
+  | _ ->
+    let rec or_tree = function
+      | [ x ] -> x
+      | x :: y :: rest -> or_tree (Circuit.add_cell m Equiv.or_cell [| x; y |] :: rest)
+      | [] -> assert false
+    in
+    let out = or_tree diffs in
+    ignore (Circuit.add_po m ~name:"incr_miter_out" out);
+    Some (m, out)
+
+let check_exhaustive m out =
+  let pis = Circuit.pis m in
+  let n = List.length pis in
+  let words = max 1 ((1 lsl n) / 64) in
+  let eng = Sim.Engine.create m ~words in
+  Sim.Engine.exhaustive eng;
+  let v = Sim.Engine.value eng out in
+  let rec first_one j =
+    if j >= Array.length v then None
+    else if Int64.equal v.(j) 0L then first_one (j + 1)
+    else begin
+      let bit = ref 0 in
+      while
+        Int64.equal (Int64.logand (Int64.shift_right_logical v.(j) !bit) 1L) 0L
+      do
+        incr bit
+      done;
+      Some ((j * 64) + !bit)
+    end
+  in
+  match first_one 0 with
+  | None -> Permissible
+  | Some pattern ->
+    let pattern = pattern land ((1 lsl n) - 1) in
+    Not_permissible
+      (List.mapi
+         (fun i pi -> (Circuit.name m pi, pattern land (1 lsl i) <> 0))
+         pis)
+
+let permissible ?(backtrack_limit = 20_000) ?(exhaustive_limit = 12)
+    ?(engine = `Sat) circ s =
+  match build circ s with
+  | None -> Permissible
+  | Some (m, out) ->
+    if List.length (Circuit.pis m) <= exhaustive_limit then
+      check_exhaustive m out
+    else begin
+      let assignment_names pairs =
+        List.map (fun (pi, v) -> (Circuit.name m pi, v)) pairs
+      in
+      match engine with
+      | `Sat -> (
+        match Atpg.Cnf.justify_one ~conflict_limit:(10 * backtrack_limit) m out with
+        | Atpg.Cnf.Impossible -> Permissible
+        | Atpg.Cnf.Justified a -> Not_permissible (assignment_names a)
+        | Atpg.Cnf.Gave_up -> Gave_up)
+      | `Podem -> (
+        match Atpg.Podem.justify_one ~backtrack_limit m out with
+        | Atpg.Podem.Untestable -> Permissible
+        | Atpg.Podem.Test a -> Not_permissible (assignment_names a)
+        | Atpg.Podem.Aborted -> Gave_up)
+      | `Bdd -> (
+        match Atpg.Bddcheck.justify_one m out with
+        | Atpg.Bddcheck.Impossible -> Permissible
+        | Atpg.Bddcheck.Justified a -> Not_permissible (assignment_names a)
+        | Atpg.Bddcheck.Gave_up _ -> Gave_up)
+    end
+
+(* Exact refutation on the engine's pattern set: perturb the target to
+   carry the source's values, re-simulate the fanout, and look for any
+   primary-output difference. *)
+let refuted_on_patterns eng s =
+  let circ = Sim.Engine.circuit eng in
+  let words = Subst.source_words_on eng s in
+  let before = Sim.Engine.po_signatures eng in
+  let first, perturb =
+    match s.Subst.target with
+    | Subst.Stem a -> (a, fun e -> Sim.Engine.set_value e a words)
+    | Subst.Branch { sink; pin } ->
+      (sink, fun e -> Sim.Engine.recompute_with_pin_override e ~sink ~pin words)
+  in
+  Sim.Engine.with_perturbation eng ~first ~perturb ~measure:(fun eng ->
+      List.exists
+        (fun (name, old_sig) ->
+          match Circuit.find_by_name circ name with
+          | None -> false
+          | Some po ->
+            let now = Sim.Engine.value eng po in
+            let rec differs j =
+              j < Array.length now
+              && ((not (Int64.equal now.(j) old_sig.(j))) || differs (j + 1))
+            in
+            differs 0)
+        before)

@@ -1,0 +1,33 @@
+(** Exact permissibility check for one substitution (the paper's
+    [check_candidate]).
+
+    Instead of comparing two full circuit copies, an {e incremental
+    miter} duplicates only the cone the substitution actually changes —
+    the target's transitive fanout — and XORs the affected primary
+    outputs against their originals; every untouched gate is shared
+    between the two sides.  The miter output is then proved constant 0
+    (permissible) by exhaustive simulation when the circuit is narrow,
+    or by the CDCL SAT solver (or classic PODEM, for ablation). *)
+
+type verdict =
+  | Permissible
+  | Not_permissible of (string * bool) list
+      (** a distinguishing input vector, as PI-name/value pairs
+          (missing PIs are don't-care) — fed back into the optimizer's
+          counterexample pattern set *)
+  | Gave_up
+
+val permissible :
+  ?backtrack_limit:int ->
+  ?exhaustive_limit:int ->
+  ?engine:[ `Sat | `Podem | `Bdd ] ->
+  Netlist.Circuit.t ->
+  Subst.t ->
+  verdict
+(** Engine state and circuit are left untouched. *)
+
+val refuted_on_patterns : Sim.Engine.t -> Subst.t -> bool
+(** Cheap exact refutation on an engine's current pattern set: true iff
+    applying the substitution would flip some primary output on at
+    least one simulated pattern.  Used to screen candidates against
+    accumulated counterexamples before paying for a full proof. *)

@@ -1,0 +1,344 @@
+module Circuit = Netlist.Circuit
+module Engine = Sim.Engine
+module Estimator = Power.Estimator
+module Timing = Sta.Timing
+module Equiv = Atpg.Equiv
+
+type delay_mode = Unconstrained | Keep_initial | Ratio of float | Absolute of float
+
+type config = {
+  words : int;
+  seed : int64;
+  input_prob : string -> float;
+  repeat : int;
+  preselect : int;
+  delay : delay_mode;
+  classes : Subst.klass list;
+  per_target : int;
+  pool_limit : int;
+  backtrack_limit : int;
+  exhaustive_limit : int;
+  check_engine : [ `Sat | `Podem | `Bdd ];
+  max_substitutions : int;
+  max_rounds : int;
+}
+
+let default_config =
+  {
+    words = 16;
+    seed = 0xC0FFEEL;
+    input_prob = (fun _ -> 0.5);
+    repeat = 8;
+    preselect = 12;
+    delay = Unconstrained;
+    classes = Subst.all_klasses;
+    per_target = 4;
+    pool_limit = 16;
+    backtrack_limit = 10_000;
+    exhaustive_limit = 12;
+    check_engine = `Sat;
+    max_substitutions = 10_000;
+    max_rounds = 200;
+  }
+
+type class_stats = { accepted : int; power_gain : float; area_gain : float }
+
+type report = {
+  initial_power : float;
+  final_power : float;
+  initial_area : float;
+  final_area : float;
+  initial_delay : float;
+  final_delay : float;
+  delay_constraint : float option;
+  substitutions : int;
+  by_class : (Subst.klass * class_stats) list;
+  candidates_generated : int;
+  checks_run : int;
+  rejected_by_delay : int;
+  rejected_by_atpg : int;
+  rejected_by_cex : int;
+      (** screened out by accumulated counterexample patterns, without
+          running an exact proof *)
+  rounds : int;
+  cpu_seconds : float;
+}
+
+let power_reduction_percent r =
+  if r.initial_power <= 0.0 then 0.0
+  else 100.0 *. (r.initial_power -. r.final_power) /. r.initial_power
+
+let area_reduction_percent r =
+  if r.initial_area <= 0.0 then 0.0
+  else 100.0 *. (r.initial_area -. r.final_area) /. r.initial_area
+
+(* a candidate is stale once any node it references died *)
+let still_valid circ (s : Subst.t) =
+  let node_ok id = Circuit.is_live circ id in
+  let target_ok =
+    match s.Subst.target with
+    | Subst.Stem a -> node_ok a && Circuit.num_fanouts circ a > 0
+    | Subst.Branch { sink; pin } ->
+      node_ok sink
+      &&
+      (match Circuit.kind circ sink with
+      | Circuit.Cell (_, fs) -> pin >= 0 && pin < Array.length fs
+      | Circuit.Po _ -> pin = 0
+      | Circuit.Pi | Circuit.Const _ -> false)
+  in
+  let source_ok =
+    match s.Subst.source with
+    | Subst.Signal b | Subst.Inverted b -> node_ok b
+    | Subst.Gate2 (_, b, c) -> node_ok b && node_ok c
+  in
+  target_ok && source_ok
+
+let optimize ?(config = default_config) circ =
+  let t0 = Sys.time () in
+  let log = Logs.debug in
+  let eng = Engine.create circ ~words:config.words in
+  let prob_of pi = config.input_prob (Circuit.name circ pi) in
+  Engine.randomize eng ~input_probs:prob_of (Sim.Rng.create config.seed);
+  let est = Estimator.create eng in
+  let initial_power = Estimator.total est in
+  let initial_area = Circuit.area circ in
+  let initial_delay = Timing.circuit_delay (Timing.analyze circ) in
+  let constraint_ =
+    match config.delay with
+    | Unconstrained -> None
+    | Keep_initial -> Some initial_delay
+    | Ratio r -> Some (initial_delay *. (1.0 +. r))
+    | Absolute d -> Some d
+  in
+  let sta = ref (Timing.analyze ?required_time:constraint_ circ) in
+  let stats = Hashtbl.create 4 in
+  List.iter
+    (fun k -> Hashtbl.add stats k { accepted = 0; power_gain = 0.0; area_gain = 0.0 })
+    Subst.all_klasses;
+  let candidates_generated = ref 0 in
+  let checks = ref 0 in
+  let rej_delay = ref 0 in
+  let rej_atpg = ref 0 in
+  let rej_cex = ref 0 in
+  let substitutions = ref 0 in
+  let rounds = ref 0 in
+  (* Counterexample pattern set: every refuted candidate contributes its
+     distinguishing vector, which then screens future candidates for
+     free (classic simulation/SAT refinement). *)
+  let cex_words = 4 in
+  let cex_eng = Engine.create circ ~words:cex_words in
+  Engine.randomize cex_eng ~input_probs:prob_of
+    (Sim.Rng.create (Int64.add config.seed 77L));
+  let cex_cursor = ref 0 in
+  let inject_cex assignment =
+    let k = !cex_cursor mod (64 * cex_words) in
+    incr cex_cursor;
+    let word = k / 64 and bit = k mod 64 in
+    List.iter
+      (fun pi ->
+        match List.assoc_opt (Circuit.name circ pi) assignment with
+        | None -> ()
+        | Some v ->
+          let values = Array.copy (Engine.value cex_eng pi) in
+          let mask = Int64.shift_left 1L bit in
+          values.(word) <-
+            (if v then Int64.logor values.(word) mask
+             else Int64.logand values.(word) (Int64.lognot mask));
+          Engine.set_value cex_eng pi values)
+      (Circuit.pis circ);
+    Engine.resim_all cex_eng
+  in
+  let cand_config =
+    {
+      Candidates.classes = config.classes;
+      per_target = config.per_target;
+      pool_limit = config.pool_limit;
+      require_positive = true;
+    }
+  in
+  (* Attempt the best pre-selected candidate from the pool.  All tried
+     or discarded candidates are marked used, so progress is guaranteed.
+     Returns [`Accepted], [`Tried] (pool consumed but nothing accepted
+     yet) or [`Exhausted]. *)
+  let try_pick pool used ranked_cache =
+    let compute_ranked () =
+      (* rank the still-valid unused candidates by fresh PG_A+PG_B *)
+      let ranked = ref [] in
+      Array.iteri
+        (fun i (s, _) ->
+          if (not used.(i)) && still_valid circ s
+             && not (Subst.creates_cycle circ s)
+          then begin
+            let g = Subst.gain_ab est s in
+            if Subst.total_gain g > 0.0 then ranked := (i, s, g) :: !ranked
+            else used.(i) <- true
+          end
+          else used.(i) <- true)
+        pool;
+      List.sort
+        (fun (_, _, g1) (_, _, g2) ->
+          Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
+        !ranked
+    in
+    let ranked =
+      match ranked_cache with
+      | Some r -> List.filter (fun (i, _, _) -> not used.(i)) r
+      | None -> compute_ranked ()
+    in
+    match ranked with
+    | [] -> `Exhausted
+    | _ ->
+      let top = List.filteri (fun k _ -> k < config.preselect) ranked in
+      (* re-estimate PG_C for the pre-selected candidates (Section 3.5) *)
+      let refined =
+        List.filter_map
+          (fun (i, s, _) ->
+            let g = Subst.gain_full est s in
+            if Subst.total_gain g > 0.0 then Some (i, s, g)
+            else begin
+              used.(i) <- true;
+              None
+            end)
+          top
+      in
+      let class_rank s =
+        match Subst.klass s with
+        | Subst.Is2 -> 0
+        | Subst.Os2 -> 1
+        | Subst.Os3 -> 2
+        | Subst.Is3 -> 3
+      in
+      let refined =
+        List.sort
+          (fun (_, s1, g1) (_, s2, g2) ->
+            let c = Float.compare (Subst.total_gain g2) (Subst.total_gain g1) in
+            if c <> 0 then c else Int.compare (class_rank s1) (class_rank s2))
+          refined
+      in
+      let rec attempt = function
+        | [] -> `Tried ranked
+        | (i, s, g) :: rest ->
+          used.(i) <- true;
+          let delay_fine =
+            match constraint_ with
+            | None -> true
+            | Some _ -> Subst.delay_ok !sta s
+          in
+          if not delay_fine then begin
+            incr rej_delay;
+            attempt rest
+          end
+          else if Check.refuted_on_patterns cex_eng s then begin
+            incr rej_cex;
+            attempt rest
+          end
+          else begin
+            incr checks;
+            let verdict =
+              match
+                Check.permissible ~backtrack_limit:config.backtrack_limit
+                  ~exhaustive_limit:config.exhaustive_limit
+                  ~engine:config.check_engine circ s
+              with
+              | v -> v
+              | exception Invalid_argument _ -> Check.Gave_up
+            in
+            match verdict with
+            | Check.Permissible ->
+              let power_before = Estimator.total est in
+              let area_before = Circuit.area circ in
+              let src = Subst.apply circ s in
+              Estimator.update_after_edit est src;
+              Engine.resim_tfo cex_eng src;
+              sta := Timing.analyze ?required_time:constraint_ circ;
+              incr substitutions;
+              let k = Subst.klass s in
+              let st = Hashtbl.find stats k in
+              Hashtbl.replace stats k
+                {
+                  accepted = st.accepted + 1;
+                  power_gain = st.power_gain +. (power_before -. Estimator.total est);
+                  area_gain = st.area_gain +. (area_before -. Circuit.area circ);
+                };
+              log (fun m ->
+                  m "accepted %s (gain %.4f)" (Subst.describe circ s)
+                    (Subst.total_gain g));
+              `Accepted
+            | Check.Not_permissible cex ->
+              incr rej_atpg;
+              inject_cex cex;
+              attempt rest
+            | Check.Gave_up ->
+              incr rej_atpg;
+              attempt rest
+          end
+      in
+      attempt refined
+  in
+  let continue_ = ref true in
+  while
+    !continue_ && !rounds < config.max_rounds
+    && !substitutions < config.max_substitutions
+  do
+    incr rounds;
+    let pool = Array.of_list (Candidates.generate ~config:cand_config est) in
+    candidates_generated := !candidates_generated + Array.length pool;
+    if Array.length pool = 0 then continue_ := false
+    else begin
+      let used = Array.make (Array.length pool) false in
+      let accepted_this_round = ref 0 in
+      let batch_active = ref true in
+      let ranked_cache = ref None in
+      while
+        !batch_active
+        && !accepted_this_round < config.repeat
+        && !substitutions < config.max_substitutions
+      do
+        match try_pick pool used !ranked_cache with
+        | `Accepted ->
+          incr accepted_this_round;
+          ranked_cache := None (* circuit changed; re-rank *)
+        | `Tried ranked -> ranked_cache := Some ranked
+        | `Exhausted -> batch_active := false
+      done;
+      if !accepted_this_round = 0 then continue_ := false
+    end
+  done;
+  let final_sta = Timing.analyze circ in
+  {
+    initial_power;
+    final_power = Estimator.total est;
+    initial_area;
+    final_area = Circuit.area circ;
+    initial_delay;
+    final_delay = Timing.circuit_delay final_sta;
+    delay_constraint = constraint_;
+    substitutions = !substitutions;
+    by_class = List.map (fun k -> (k, Hashtbl.find stats k)) Subst.all_klasses;
+    candidates_generated = !candidates_generated;
+    checks_run = !checks;
+    rejected_by_delay = !rej_delay;
+    rejected_by_atpg = !rej_atpg;
+    rejected_by_cex = !rej_cex;
+    rounds = !rounds;
+    cpu_seconds = Sys.time () -. t0;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>power: %.4f -> %.4f (%.1f%%)@,area: %.0f -> %.0f (%.1f%%)@,\
+     delay: %.2f -> %.2f%s@,substitutions: %d (checks %d, rej delay %d, rej \
+     atpg %d, rej cex %d, rounds %d)@,"
+    r.initial_power r.final_power (power_reduction_percent r) r.initial_area
+    r.final_area (area_reduction_percent r) r.initial_delay r.final_delay
+    (match r.delay_constraint with
+    | None -> ""
+    | Some d -> Printf.sprintf " (constraint %.2f)" d)
+    r.substitutions r.checks_run r.rejected_by_delay r.rejected_by_atpg
+    r.rejected_by_cex r.rounds;
+  List.iter
+    (fun (k, st) ->
+      Format.fprintf fmt "  %s: %d accepted, power %.4f, area %.0f@,"
+        (Subst.klass_name k) st.accepted st.power_gain st.area_gain)
+    r.by_class;
+  Format.fprintf fmt "cpu: %.2fs@]" r.cpu_seconds

@@ -1,0 +1,76 @@
+(** The POWDER optimization loop (Figure 5 of the paper).
+
+    Repeatedly: generate candidate substitutions by signature matching,
+    pre-select by [PG_A + PG_B], re-estimate [PG_C] for the pre-selected
+    few, and try them best-first — discarding any that would violate the
+    delay constraint (Section 3.4) or that the exact ATPG/equivalence
+    check cannot prove permissible.  Every accepted substitution is
+    applied in place, the transition probabilities of the affected
+    transitive fanout are updated incrementally, and timing is
+    re-analyzed.  The inner loop performs up to [repeat] substitutions
+    per candidate-set generation. *)
+
+type delay_mode =
+  | Unconstrained
+  | Keep_initial                (** constraint = the initial circuit delay *)
+  | Ratio of float              (** constraint = initial delay * (1 + r) *)
+  | Absolute of float
+      (** an absolute required time; if tighter than the initial delay,
+          every substitution that touches negative-slack paths is
+          rejected — POWDER reduces power under a constraint, it does
+          not repair timing *)
+
+type config = {
+  words : int;                  (** simulation words; patterns = 64 * words *)
+  seed : int64;
+  input_prob : string -> float; (** PI signal probabilities, by name *)
+  repeat : int;                 (** inner-loop batch size (Figure 5) *)
+  preselect : int;              (** candidates re-estimated with PG_C per pick *)
+  delay : delay_mode;
+  classes : Subst.klass list;
+  per_target : int;
+  pool_limit : int;
+  backtrack_limit : int;        (** PODEM/SAT abort threshold *)
+  exhaustive_limit : int;       (** max PI count for exhaustive equivalence *)
+  check_engine : [ `Sat | `Podem | `Bdd ];
+      (** exact-check engine above the exhaustive cutoff *)
+  max_substitutions : int;
+  max_rounds : int;             (** outer-loop safety bound *)
+}
+
+val default_config : config
+
+type class_stats = {
+  accepted : int;
+  power_gain : float;   (** measured switched-capacitance reduction *)
+  area_gain : float;    (** measured area reduction (negative = growth) *)
+}
+
+type report = {
+  initial_power : float;
+  final_power : float;
+  initial_area : float;
+  final_area : float;
+  initial_delay : float;
+  final_delay : float;
+  delay_constraint : float option;
+  substitutions : int;
+  by_class : (Subst.klass * class_stats) list;
+  candidates_generated : int;
+  checks_run : int;
+  rejected_by_delay : int;
+  rejected_by_atpg : int;
+  rejected_by_cex : int;
+      (** screened out by accumulated counterexample patterns before
+          any exact proof was attempted *)
+  rounds : int;
+  cpu_seconds : float;
+}
+
+val power_reduction_percent : report -> float
+val area_reduction_percent : report -> float
+
+val optimize : ?config:config -> Netlist.Circuit.t -> report
+(** Optimizes the circuit in place. *)
+
+val pp_report : Format.formatter -> report -> unit

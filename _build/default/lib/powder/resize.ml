@@ -1,0 +1,127 @@
+module Circuit = Netlist.Circuit
+module Cell = Gatelib.Cell
+module Library = Gatelib.Library
+module Timing = Sta.Timing
+module Estimator = Power.Estimator
+
+type report = {
+  initial_power : float;
+  final_power : float;
+  initial_area : float;
+  final_area : float;
+  initial_delay : float;
+  final_delay : float;
+  resized : int;
+  passes : int;
+}
+
+let variants lib (c : Cell.t) =
+  List.filter
+    (fun (c' : Cell.t) ->
+      c'.Cell.name <> c.Cell.name && Logic.Tt.equal c'.Cell.func c.Cell.func)
+    (Library.cells lib)
+
+(* switched-capacitance delta of swapping [old_c] for [new_c] at [id] *)
+let power_delta est circ id (old_c : Cell.t) (new_c : Cell.t) =
+  let fs = Circuit.fanins circ id in
+  let pin_part = ref 0.0 in
+  Array.iteri
+    (fun j f ->
+      pin_part :=
+        !pin_part
+        +. ((new_c.Cell.pin_caps.(j) -. old_c.Cell.pin_caps.(j))
+            *. Estimator.transition_prob est f))
+    fs;
+  !pin_part
+  +. ((new_c.Cell.out_cap -. old_c.Cell.out_cap)
+      *. Estimator.transition_prob est id)
+
+(* conservative legality under the required-time snapshot *)
+let delay_ok sta circ id (old_c : Cell.t) (new_c : Cell.t) =
+  let eps = 1e-9 in
+  let fs = Circuit.fanins circ id in
+  let own_load =
+    Circuit.load_of circ id -. old_c.Cell.out_cap +. new_c.Cell.out_cap
+  in
+  let new_delay = new_c.Cell.tau +. (new_c.Cell.drive_res *. own_load) in
+  let max_input_push = ref 0.0 in
+  let inputs_ok = ref true in
+  Array.iteri
+    (fun j f ->
+      let dc = new_c.Cell.pin_caps.(j) -. old_c.Cell.pin_caps.(j) in
+      let load = Circuit.load_of circ f in
+      let push =
+        Timing.delay_with_load circ f (load +. dc)
+        -. Timing.delay_with_load circ f load
+      in
+      if push > Timing.slack sta f +. eps then inputs_ok := false;
+      if push > !max_input_push then max_input_push := push)
+    fs;
+  let inputs_ready =
+    Array.fold_left (fun acc f -> Float.max acc (Timing.arrival sta f)) 0.0 fs
+  in
+  let new_arrival = inputs_ready +. !max_input_push +. new_delay in
+  !inputs_ok && new_arrival <= Timing.required sta id +. eps
+
+let optimize ?(words = 16) ?(seed = 0xC0FFEEL) ?(input_prob = fun _ -> 0.5)
+    ?delay_limit ?(max_passes = 6) circ =
+  let eng = Sim.Engine.create circ ~words in
+  let prob pi = input_prob (Circuit.name circ pi) in
+  Sim.Engine.randomize eng ~input_probs:prob (Sim.Rng.create seed);
+  let est = Estimator.create eng in
+  let lib = Circuit.library circ in
+  let initial_power = Estimator.total est in
+  let initial_area = Circuit.area circ in
+  let initial_delay = Timing.circuit_delay (Timing.analyze circ) in
+  let limit = match delay_limit with Some d -> d | None -> initial_delay in
+  let resized = ref 0 in
+  let passes = ref 0 in
+  let progress = ref true in
+  while !progress && !passes < max_passes do
+    incr passes;
+    progress := false;
+    let sta = ref (Timing.analyze ~required_time:limit circ) in
+    List.iter
+      (fun id ->
+        let old_c = Circuit.cell_of circ id in
+        let best =
+          List.fold_left
+            (fun best new_c ->
+              let dp = power_delta est circ id old_c new_c in
+              match best with
+              | Some (_, best_dp) when best_dp <= dp -> best
+              | _ when dp < -1e-12 && delay_ok !sta circ id old_c new_c ->
+                Some (new_c, dp)
+              | _ -> best)
+            None (variants lib old_c)
+        in
+        match best with
+        | Some (new_c, _) ->
+          Circuit.set_cell circ id new_c;
+          incr resized;
+          progress := true;
+          sta := Timing.analyze ~required_time:limit circ
+        | None -> ())
+      (Circuit.live_gates circ)
+  done;
+  {
+    initial_power;
+    final_power = Estimator.total est;
+    initial_area;
+    final_area = Circuit.area circ;
+    initial_delay;
+    final_delay = Timing.circuit_delay (Timing.analyze circ);
+    resized = !resized;
+    passes = !passes;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "resize: power %.4f -> %.4f (%.1f%%), area %.0f -> %.0f, delay %.2f -> \
+     %.2f, %d swaps in %d passes"
+    r.initial_power r.final_power
+    (if r.initial_power > 0.0 then
+       100.0 *. (r.initial_power -. r.final_power) /. r.initial_power
+     else 0.0)
+    r.initial_area r.final_area r.initial_delay r.final_delay r.resized
+    r.passes

@@ -1,0 +1,35 @@
+(** Gate re-sizing for low power — the adjacent technique the paper
+    cites (Bahar et al. [14]) as a baseline: swap each instance for a
+    weaker or stronger drive-strength variant of the same function so
+    that switched capacitance drops while every path still meets the
+    required time.
+
+    Unlike POWDER this never changes the netlist structure; it is run
+    either standalone (ablation) or after POWDER (the flow of Figure 1,
+    where re-sizing follows structural optimization). *)
+
+type report = {
+  initial_power : float;
+  final_power : float;
+  initial_area : float;
+  final_area : float;
+  initial_delay : float;
+  final_delay : float;
+  resized : int;
+  passes : int;
+}
+
+val optimize :
+  ?words:int ->
+  ?seed:int64 ->
+  ?input_prob:(string -> float) ->
+  ?delay_limit:float ->
+  ?max_passes:int ->
+  Netlist.Circuit.t ->
+  report
+(** [delay_limit] defaults to the initial circuit delay (re-sizing must
+    never slow the circuit down).  The library searched for variants is
+    the circuit's own library — map against
+    {!Gatelib.Library.lib2_sized} to give the optimizer real choices. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,45 @@
+type point = {
+  constraint_percent : float;
+  relative_power : float;
+  relative_delay : float;
+  substitutions : int;
+}
+
+let default_percents = [ 0.0; 10.0; 20.0; 30.0; 50.0; 80.0; 120.0; 200.0 ]
+
+let sweep ?(config = Optimizer.default_config) ?(percents = default_percents)
+    builders =
+  List.map
+    (fun percent ->
+      let totals =
+        List.fold_left
+          (fun (ip, fp, idel, fdel, subs) build ->
+            let circ = build () in
+            let cfg =
+              { config with Optimizer.delay = Optimizer.Ratio (percent /. 100.0) }
+            in
+            let r = Optimizer.optimize ~config:cfg circ in
+            ( ip +. r.Optimizer.initial_power,
+              fp +. r.Optimizer.final_power,
+              idel +. r.Optimizer.initial_delay,
+              fdel +. r.Optimizer.final_delay,
+              subs + r.Optimizer.substitutions ))
+          (0.0, 0.0, 0.0, 0.0, 0) builders
+      in
+      let ip, fp, idel, fdel, subs = totals in
+      {
+        constraint_percent = percent;
+        relative_power = (if ip > 0.0 then fp /. ip else 1.0);
+        relative_delay = (if idel > 0.0 then fdel /. idel else 1.0);
+        substitutions = subs;
+      })
+    percents
+
+let pp_series fmt points =
+  Format.fprintf fmt "@[<v>%% constraint | rel. delay | rel. power | substs@,";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%11.0f%% | %10.3f | %10.3f | %6d@,"
+        p.constraint_percent p.relative_delay p.relative_power p.substitutions)
+    points;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,23 @@
+(** The power-delay trade-off experiment of the paper's Figure 6: run
+    the optimizer over a set of circuits under a sweep of delay
+    constraints (given as allowed percentage increase over each
+    circuit's initial delay) and accumulate total power and delay,
+    relative to the initial totals. *)
+
+type point = {
+  constraint_percent : float;  (** allowed delay increase, in percent *)
+  relative_power : float;      (** sum of final power / sum of initial power *)
+  relative_delay : float;      (** sum of final delay / sum of initial delay *)
+  substitutions : int;
+}
+
+val sweep :
+  ?config:Optimizer.config ->
+  ?percents:float list ->
+  (unit -> Netlist.Circuit.t) list ->
+  point list
+(** Each circuit thunk is re-built for every constraint point (the
+    optimizer mutates its input).  Default sweep:
+    [0; 10; 20; 30; 50; 80; 120; 200] percent. *)
+
+val pp_series : Format.formatter -> point list -> unit

@@ -1,0 +1,1 @@
+lib/power/estimator.ml: Array Int64 List Netlist Sim

@@ -1,0 +1,1 @@
+lib/power/estimator.mli: Netlist Sim

@@ -1,0 +1,1 @@
+lib/power/glitch.ml: Array Float Format Gatelib List Map Netlist Sim Sta

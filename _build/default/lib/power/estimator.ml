@@ -1,0 +1,97 @@
+module Circuit = Netlist.Circuit
+module Engine = Sim.Engine
+
+type t = {
+  eng : Engine.t;
+  mutable p : float array; (* signal probability per node id *)
+}
+
+let signal_prob_of_node eng id = Engine.prob_one eng id
+
+let create eng =
+  let circ = Engine.circuit eng in
+  let p = Array.make (Circuit.num_nodes circ) 0.0 in
+  Circuit.iter_live circ (fun id -> p.(id) <- signal_prob_of_node eng id);
+  { eng; p }
+
+let engine t = t.eng
+let circuit t = Engine.circuit t.eng
+
+let ensure_capacity t =
+  let n = Circuit.num_nodes (circuit t) in
+  if n > Array.length t.p then begin
+    let bigger = Array.make (max n (2 * Array.length t.p)) 0.0 in
+    Array.blit t.p 0 bigger 0 (Array.length t.p);
+    t.p <- bigger
+  end
+
+let signal_prob t id = t.p.(id)
+let transition_prob t id = 2.0 *. t.p.(id) *. (1.0 -. t.p.(id))
+
+let node_power t id =
+  let circ = circuit t in
+  if not (Circuit.is_live circ id) then 0.0
+  else
+    match Circuit.kind circ id with
+    | Circuit.Po _ -> 0.0
+    | Circuit.Pi | Circuit.Const _ | Circuit.Cell _ ->
+      Circuit.load_of circ id *. transition_prob t id
+
+let total t =
+  let circ = circuit t in
+  let acc = ref 0.0 in
+  Circuit.iter_live circ (fun id -> acc := !acc +. node_power t id);
+  !acc
+
+let watts ?(vdd = 3.3) ?(freq = 20.0e6) t =
+  0.5 *. vdd *. vdd *. freq *. total t
+
+let refresh_all t =
+  ensure_capacity t;
+  let circ = circuit t in
+  Circuit.iter_live circ (fun id -> t.p.(id) <- signal_prob_of_node t.eng id)
+
+let update_after_edit t s =
+  ensure_capacity t;
+  let circ = circuit t in
+  Engine.resim_tfo t.eng s;
+  let tfo = Circuit.tfo circ s in
+  t.p.(s) <- signal_prob_of_node t.eng s;
+  Circuit.iter_live circ (fun id ->
+      if tfo.(id) then t.p.(id) <- signal_prob_of_node t.eng id)
+
+let transition_of_words words ~total_patterns =
+  let ones =
+    Array.fold_left
+      (fun acc w ->
+        let rec pop x acc =
+          if Int64.equal x 0L then acc
+          else pop (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+        in
+        pop w acc)
+      0 words
+  in
+  let p = float_of_int ones /. float_of_int total_patterns in
+  2.0 *. p *. (1.0 -. p)
+
+let region_power t region =
+  let circ = circuit t in
+  let acc = ref 0.0 in
+  Circuit.iter_live circ (fun id -> if region.(id) then acc := !acc +. node_power t id);
+  !acc
+
+let region_input_relief t region =
+  let circ = circuit t in
+  let acc = ref 0.0 in
+  List.iter
+    (fun id ->
+      let inside_cap =
+        List.fold_left
+          (fun c pin ->
+            if region.(pin.Circuit.sink) then c +. Circuit.pin_cap circ pin
+            else c)
+          0.0 (Circuit.fanouts circ id)
+      in
+      acc := !acc +. (inside_cap *. transition_prob t id))
+    (Circuit.inputs_of_region circ region);
+  !acc

@@ -1,0 +1,50 @@
+(** Zero-delay power estimation (Section 2 of the paper).
+
+    The cost is the switched capacitance [sum_i C(i) * E(i)] over all
+    stem signals [i], with [E(i) = 2 p(i) (1 - p(i))] under temporal
+    independence of the primary inputs.  Signal probabilities come from
+    the attached simulation engine's current pattern set (Monte-Carlo
+    with a deterministic seed, or exhaustive patterns for exactness).
+    The physical constant [1/2 Vdd^2 f] is a fixed scale factor and is
+    exposed separately. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+(** Snapshot transition probabilities from the engine's current values.
+    The engine must have been simulated. *)
+
+val engine : t -> Sim.Engine.t
+val circuit : t -> Netlist.Circuit.t
+
+val signal_prob : t -> Netlist.Circuit.node_id -> float
+val transition_prob : t -> Netlist.Circuit.node_id -> float
+
+val node_power : t -> Netlist.Circuit.node_id -> float
+(** [C(i) * E(i)] of one stem; 0 for PO nodes and dead nodes. *)
+
+val total : t -> float
+(** Circuit switched capacitance (the paper's "power" column). *)
+
+val watts : ?vdd:float -> ?freq:float -> t -> float
+(** [1/2 Vdd^2 f * total]; defaults Vdd = 3.3, f = 20 MHz. *)
+
+val refresh_all : t -> unit
+(** Recompute all probabilities from current engine values. *)
+
+val update_after_edit : t -> Netlist.Circuit.node_id -> unit
+(** After a structural edit whose functional effect starts at node [s]:
+    re-simulate [s] and its TFO and refresh their probabilities (the
+    paper's [power_estimate_update]). *)
+
+val transition_of_words : int64 array -> total_patterns:int -> float
+(** Transition probability a signature implies. *)
+
+val region_power : t -> bool array -> float
+(** Summed [C * E] of the stems inside a node mask — the first term of
+    [PG_A] (Equation 3). *)
+
+val region_input_relief : t -> bool array -> float
+(** Second term of [PG_A]: [sum_{i in inputs(Dom)} C'(i) * E(i)], where
+    [C'(i)] is the part of [i]'s load presented by pins inside the
+    region. *)

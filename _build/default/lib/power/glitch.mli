@@ -1,0 +1,30 @@
+(** Timed (transport-delay) power estimation — the effect the paper's
+    zero-delay model deliberately ignores (it cites glitching at
+    roughly 20% of total power but hard to model before layout).
+
+    Random vector pairs are applied to the circuit; an event-driven
+    simulation under the linear gate-delay model counts {e every}
+    output transition, hazards included.  Comparing against the
+    zero-delay count of the same vector pairs isolates the glitch
+    contribution, letting the benchmark report how POWDER's
+    optimizations affect it. *)
+
+type report = {
+  zero_delay_switched_cap : float;
+      (** [sum C(i) * E(i)] over the vector pairs, functional
+          transitions only *)
+  timed_switched_cap : float;  (** same, counting every timed event *)
+  glitch_fraction : float;
+      (** [(timed - zero_delay) / timed], 0 when no glitches *)
+  pairs : int;
+}
+
+val estimate :
+  ?pairs:int ->
+  ?seed:int64 ->
+  ?input_prob:(string -> float) ->
+  Netlist.Circuit.t ->
+  report
+(** Default 256 vector pairs. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Gatelib Hashtbl Int64 List Logic Netlist Rng

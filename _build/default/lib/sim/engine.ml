@@ -1,0 +1,308 @@
+module Circuit = Netlist.Circuit
+module Tt = Logic.Tt
+module Cell = Gatelib.Cell
+
+type t = {
+  circ : Circuit.t;
+  w : int;
+  mutable values : int64 array array; (* per node id *)
+}
+
+let create circ ~words =
+  if words <= 0 then invalid_arg "Engine.create";
+  {
+    circ;
+    w = words;
+    values = Array.init (Circuit.num_nodes circ) (fun _ -> Array.make words 0L);
+  }
+
+let circuit t = t.circ
+let words t = t.w
+let num_patterns t = 64 * t.w
+
+let ensure_capacity t =
+  let n = Circuit.num_nodes t.circ in
+  if n > Array.length t.values then begin
+    let bigger =
+      Array.init (max n (2 * Array.length t.values)) (fun i ->
+          if i < Array.length t.values then t.values.(i) else Array.make t.w 0L)
+    in
+    t.values <- bigger
+  end
+
+let value t id = t.values.(id)
+
+(* Evaluate one cell output word-vector from its fanin word-vectors.
+   One- and two-input cells (the vast majority of instances) get direct
+   bitwise implementations; larger cells fall back to an OR over the
+   function's ON-minterms. *)
+let eval_cell_words func (ins : int64 array array) (out : int64 array) w =
+  let k = Tt.num_vars func in
+  let generic () =
+    let ons = Array.of_list (Tt.minterms func) in
+    for j = 0 to w - 1 do
+      let acc = ref 0L in
+      for mi = 0 to Array.length ons - 1 do
+        let m = ons.(mi) in
+        let conj = ref (-1L) in
+        for i = 0 to k - 1 do
+          let v = ins.(i).(j) in
+          conj :=
+            Int64.logand !conj
+              (if m land (1 lsl i) <> 0 then v else Int64.lognot v)
+        done;
+        acc := Int64.logor !acc !conj
+      done;
+      out.(j) <- !acc
+    done
+  in
+  match k with
+  | 0 -> Array.fill out 0 w (if Tt.is_const_true func then -1L else 0L)
+  | 1 -> (
+    let a = ins.(0) in
+    match Int64.to_int (Tt.word func) land 3 with
+    | 0b01 -> for j = 0 to w - 1 do out.(j) <- Int64.lognot a.(j) done
+    | 0b10 -> Array.blit a 0 out 0 w
+    | 0b00 -> Array.fill out 0 w 0L
+    | _ -> Array.fill out 0 w (-1L))
+  | 2 -> (
+    let a = ins.(0) and b = ins.(1) in
+    let ( &&& ) = Int64.logand and ( ||| ) = Int64.logor in
+    let ( ^^^ ) = Int64.logxor and nt = Int64.lognot in
+    match Int64.to_int (Tt.word func) land 0xF with
+    | 0x8 -> for j = 0 to w - 1 do out.(j) <- a.(j) &&& b.(j) done
+    | 0xE -> for j = 0 to w - 1 do out.(j) <- a.(j) ||| b.(j) done
+    | 0x6 -> for j = 0 to w - 1 do out.(j) <- a.(j) ^^^ b.(j) done
+    | 0x7 -> for j = 0 to w - 1 do out.(j) <- nt (a.(j) &&& b.(j)) done
+    | 0x1 -> for j = 0 to w - 1 do out.(j) <- nt (a.(j) ||| b.(j)) done
+    | 0x9 -> for j = 0 to w - 1 do out.(j) <- nt (a.(j) ^^^ b.(j)) done
+    | 0x2 -> for j = 0 to w - 1 do out.(j) <- a.(j) &&& nt b.(j) done
+    | 0x4 -> for j = 0 to w - 1 do out.(j) <- nt a.(j) &&& b.(j) done
+    | 0xB -> for j = 0 to w - 1 do out.(j) <- a.(j) ||| nt b.(j) done
+    | 0xD -> for j = 0 to w - 1 do out.(j) <- nt a.(j) ||| b.(j) done
+    | _ -> generic ())
+  | _ -> generic ()
+
+let eval_node t id =
+  match Circuit.kind t.circ id with
+  | Circuit.Pi -> ()
+  | Circuit.Const b ->
+    Array.fill t.values.(id) 0 t.w (if b then -1L else 0L)
+  | Circuit.Po d -> Array.blit t.values.(d) 0 t.values.(id) 0 t.w
+  | Circuit.Cell (c, fs) ->
+    let ins = Array.map (fun f -> t.values.(f)) fs in
+    eval_cell_words c.Cell.func ins t.values.(id) t.w
+
+let resim_all t =
+  ensure_capacity t;
+  let order = Circuit.topo_order t.circ in
+  Array.iter (fun id -> eval_node t id) order;
+  List.iter (fun po -> eval_node t po) (Circuit.pos t.circ)
+
+let resim_tfo t s =
+  ensure_capacity t;
+  let tfo = Circuit.tfo t.circ s in
+  eval_node t s;
+  let order = Circuit.topo_order t.circ in
+  Array.iter (fun id -> if tfo.(id) then eval_node t id) order;
+  List.iter (fun po -> if tfo.(po) then eval_node t po) (Circuit.pos t.circ)
+
+let randomize t ?input_probs rng =
+  ensure_capacity t;
+  let prob =
+    match input_probs with Some f -> f | None -> fun _ -> 0.5
+  in
+  List.iter
+    (fun pi ->
+      let p = prob pi in
+      let v = t.values.(pi) in
+      for j = 0 to t.w - 1 do
+        v.(j) <- Rng.bits_with_prob rng p
+      done)
+    (Circuit.pis t.circ);
+  resim_all t
+
+let exhaustive t =
+  ensure_capacity t;
+  let pis = Circuit.pis t.circ in
+  let n = List.length pis in
+  if n > 6 && 64 * t.w < 1 lsl n then
+    invalid_arg "Engine.exhaustive: not enough patterns";
+  List.iteri
+    (fun i pi ->
+      let v = t.values.(pi) in
+      if i < 6 then begin
+        let m = Tt.word (Tt.var 6 i) in
+        Array.fill v 0 t.w m
+      end
+      else
+        for j = 0 to t.w - 1 do
+          v.(j) <- (if (j lsr (i - 6)) land 1 = 1 then -1L else 0L)
+        done)
+    pis;
+  resim_all t
+
+let popcount64 x =
+  let rec go x acc =
+    if Int64.equal x 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+  in
+  go x 0
+
+let count_ones t id =
+  Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.values.(id)
+
+let prob_one t id = float_of_int (count_ones t id) /. float_of_int (num_patterns t)
+
+let equal_signature t a b =
+  let va = t.values.(a) and vb = t.values.(b) in
+  let rec go j = j >= t.w || (Int64.equal va.(j) vb.(j) && go (j + 1)) in
+  go 0
+
+let complement_signature t a b =
+  let va = t.values.(a) and vb = t.values.(b) in
+  let rec go j =
+    j >= t.w || (Int64.equal va.(j) (Int64.lognot vb.(j)) && go (j + 1))
+  in
+  go 0
+
+(* Flip-and-resimulate machinery for observability masks.  Saves the
+   affected slice, perturbs, replays, diffs the POs, restores. *)
+let observability_core t ~first ~perturb =
+  let tfo = Circuit.tfo t.circ first in
+  let order = Circuit.topo_order t.circ in
+  let affected =
+    first
+    :: (Array.to_list order |> List.filter (fun id -> tfo.(id) && id <> first))
+  in
+  let saved = List.map (fun id -> (id, Array.copy t.values.(id))) affected in
+  perturb ();
+  List.iter (fun id -> if id <> first then eval_node t id) affected;
+  let diff = Array.make t.w 0L in
+  List.iter
+    (fun po ->
+      let d = Circuit.po_driver t.circ po in
+      let old_d =
+        match List.assoc_opt d saved with
+        | Some v -> v
+        | None -> t.values.(d) (* unaffected: diff is zero *)
+      in
+      for j = 0 to t.w - 1 do
+        diff.(j) <- Int64.logor diff.(j) (Int64.logxor t.values.(d).(j) old_d.(j))
+      done)
+    (Circuit.pos t.circ);
+  List.iter (fun (id, v) -> Array.blit v 0 t.values.(id) 0 t.w) saved;
+  diff
+
+let stem_observability t s =
+  ensure_capacity t;
+  let flip () =
+    let v = t.values.(s) in
+    for j = 0 to t.w - 1 do
+      v.(j) <- Int64.lognot v.(j)
+    done
+  in
+  observability_core t ~first:s ~perturb:flip
+
+let branch_observability t ~sink ~pin =
+  ensure_capacity t;
+  match Circuit.kind t.circ sink with
+  | Circuit.Po _ -> Array.make t.w (-1L) (* an output branch is always observed *)
+  | Circuit.Cell (c, fs) ->
+    let recompute_with_flipped_pin () =
+      let ins =
+        Array.mapi
+          (fun i f ->
+            if i = pin then Array.map Int64.lognot t.values.(f)
+            else t.values.(f))
+          fs
+      in
+      eval_cell_words c.Cell.func ins t.values.(sink) t.w
+    in
+    observability_core t ~first:sink ~perturb:recompute_with_flipped_pin
+  | Circuit.Pi | Circuit.Const _ ->
+    invalid_arg "Engine.branch_observability: sink has no pins"
+
+let with_perturbation t ~first ~perturb ~measure =
+  ensure_capacity t;
+  let tfo = Circuit.tfo t.circ first in
+  let order = Circuit.topo_order t.circ in
+  let affected =
+    first
+    :: (Array.to_list order |> List.filter (fun id -> tfo.(id) && id <> first))
+  in
+  let affected =
+    affected
+    @ List.filter (fun po -> tfo.(po)) (Circuit.pos t.circ)
+  in
+  let saved = List.map (fun id -> (id, Array.copy t.values.(id))) affected in
+  perturb t;
+  List.iter (fun id -> if id <> first then eval_node t id) affected;
+  let result = measure t in
+  List.iter (fun (id, v) -> Array.blit v 0 t.values.(id) 0 t.w) saved;
+  result
+
+let set_value t id v =
+  ensure_capacity t;
+  if Array.length v <> t.w then invalid_arg "Engine.set_value";
+  Array.blit v 0 t.values.(id) 0 t.w
+
+let apply_gate_words func ins =
+  match ins with
+  | [||] -> invalid_arg "Engine.apply_gate_words: no inputs"
+  | _ ->
+    let w = Array.length ins.(0) in
+    let out = Array.make w 0L in
+    eval_cell_words func ins out w;
+    out
+
+let recompute_with_pin_override t ~sink ~pin v =
+  match Circuit.kind t.circ sink with
+  | Circuit.Cell (c, fs) ->
+    let ins =
+      Array.mapi (fun i f -> if i = pin then v else t.values.(f)) fs
+    in
+    eval_cell_words c.Cell.func ins t.values.(sink) t.w
+  | Circuit.Po _ ->
+    if pin <> 0 then invalid_arg "Engine.recompute_with_pin_override";
+    Array.blit v 0 t.values.(sink) 0 t.w
+  | Circuit.Pi | Circuit.Const _ ->
+    invalid_arg "Engine.recompute_with_pin_override: no pins"
+
+let po_signatures t =
+  List.map
+    (fun po -> (Circuit.name t.circ po, Array.copy t.values.(po)))
+    (Circuit.pos t.circ)
+
+let equivalent_on_patterns ta tb =
+  if ta.w <> tb.w then invalid_arg "Engine.equivalent_on_patterns";
+  let sb = po_signatures tb in
+  List.for_all
+    (fun (name, va) ->
+      match List.assoc_opt name sb with
+      | None -> false
+      | Some vb ->
+        let rec go j = j >= ta.w || (Int64.equal va.(j) vb.(j) && go (j + 1)) in
+        go 0)
+    (po_signatures ta)
+
+let eval_single circ pi_values =
+  let memo = Hashtbl.create 64 in
+  let pis = Circuit.pis circ in
+  if List.length pis <> List.length pi_values then
+    invalid_arg "Engine.eval_single: PI count mismatch";
+  List.iter2 (fun pi v -> Hashtbl.add memo pi v) pis pi_values;
+  let rec ev id =
+    match Hashtbl.find_opt memo id with
+    | Some v -> v
+    | None ->
+      let v =
+        match Circuit.kind circ id with
+        | Circuit.Pi -> invalid_arg "Engine.eval_single: unset PI"
+        | Circuit.Const b -> b
+        | Circuit.Po d -> ev d
+        | Circuit.Cell (c, fs) -> Cell.eval c (Array.map ev fs)
+      in
+      Hashtbl.add memo id v;
+      v
+  in
+  List.map (fun po -> (Circuit.name circ po, ev po)) (Circuit.pos circ)

@@ -1,0 +1,16 @@
+(** Deterministic splitmix64 generator; every stochastic component of
+    the library threads one of these explicitly so runs are
+    reproducible. *)
+
+type t
+
+val create : int64 -> t
+val next : t -> int64
+val next_float : t -> float
+(** Uniform in [0, 1). *)
+
+val bits_with_prob : t -> float -> int64
+(** A 64-bit word whose bits are independently 1 with probability [p]. *)
+
+val split : t -> t
+(** A statistically independent child generator. *)

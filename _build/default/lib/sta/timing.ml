@@ -1,0 +1,111 @@
+module Circuit = Netlist.Circuit
+module Cell = Gatelib.Cell
+
+type t = {
+  circ : Circuit.t;
+  arrival : float array;
+  required : float array;
+  delay : float;
+  req_time : float;
+}
+
+let delay_with_load circ id load =
+  match Circuit.kind circ id with
+  | Circuit.Cell (c, _) -> c.Cell.tau +. (c.Cell.drive_res *. load)
+  | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> 0.0
+
+let gate_delay circ id = delay_with_load circ id (Circuit.load_of circ id)
+
+let analyze ?required_time circ =
+  let n = Circuit.num_nodes circ in
+  let arrival = Array.make n 0.0 in
+  let order = Circuit.topo_order circ in
+  Array.iter
+    (fun id ->
+      match Circuit.kind circ id with
+      | Circuit.Pi | Circuit.Const _ -> arrival.(id) <- 0.0
+      | Circuit.Po d -> arrival.(id) <- arrival.(d)
+      | Circuit.Cell (_, fs) ->
+        let inputs_ready =
+          Array.fold_left (fun acc f -> Float.max acc arrival.(f)) 0.0 fs
+        in
+        arrival.(id) <- inputs_ready +. gate_delay circ id)
+    order;
+  let delay =
+    List.fold_left
+      (fun acc po -> Float.max acc arrival.(Circuit.po_driver circ po))
+      0.0 (Circuit.pos circ)
+  in
+  let req_time = match required_time with Some r -> r | None -> delay in
+  let required = Array.make n infinity in
+  List.iter
+    (fun po ->
+      let d = Circuit.po_driver circ po in
+      required.(d) <- Float.min required.(d) req_time;
+      required.(po) <- req_time)
+    (Circuit.pos circ);
+  for k = Array.length order - 1 downto 0 do
+    let id = order.(k) in
+    List.iter
+      (fun p ->
+        let s = p.Circuit.sink in
+        if Circuit.is_live circ s && not (Circuit.is_po_node circ s) then
+          required.(id) <-
+            Float.min required.(id) (required.(s) -. gate_delay circ s))
+      (Circuit.fanouts circ id)
+  done;
+  { circ; arrival; required; delay; req_time }
+
+let circuit t = t.circ
+let arrival t id = t.arrival.(id)
+let required t id = t.required.(id)
+let slack t id = t.required.(id) -. t.arrival.(id)
+let circuit_delay t = t.delay
+let required_time t = t.req_time
+
+let critical_path t =
+  let circ = t.circ in
+  let worst_po =
+    List.fold_left
+      (fun acc po ->
+        let d = Circuit.po_driver circ po in
+        match acc with
+        | None -> Some d
+        | Some best -> if t.arrival.(d) > t.arrival.(best) then Some d else acc)
+      None (Circuit.pos circ)
+  in
+  let rec walk id acc =
+    let acc = id :: acc in
+    let fs = Circuit.fanins circ id in
+    if Array.length fs = 0 then acc
+    else begin
+      let eps = 1e-9 in
+      let target = t.arrival.(id) -. gate_delay circ id in
+      let pred =
+        Array.fold_left
+          (fun best f ->
+            match best with
+            | Some _ -> best
+            | None ->
+              if Float.abs (t.arrival.(f) -. target) < eps then Some f else None)
+          None fs
+      in
+      match pred with
+      | Some f -> walk f acc
+      | None ->
+        (* numeric fallback: take the latest fanin *)
+        let f =
+          Array.fold_left
+            (fun best f ->
+              match best with
+              | None -> Some f
+              | Some b -> if t.arrival.(f) > t.arrival.(b) then Some f else best)
+            None fs
+        in
+        (match f with Some f -> walk f acc | None -> acc)
+    end
+  in
+  match worst_po with None -> [] | Some d -> walk d []
+
+let pp_summary fmt t =
+  Format.fprintf fmt "delay=%.2f required=%.2f" t.delay t.req_time

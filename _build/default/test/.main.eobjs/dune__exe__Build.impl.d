@@ -1,0 +1,1 @@
+test/build.ml: Array Gatelib Int64 List Netlist Printf Sim

@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Fun Gen Int64 List Logic Printf QCheck QCheck_alcotest Result Sim

@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Atpg Build Gatelib List Logic Netlist QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Atpg Build Circuits Float Gatelib Int64 List Logic Mapper Netlist Powder Power Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Aig Alcotest Array List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_blif.ml: Aig Alcotest Atpg Blif Build Circuits Gatelib List Netlist Sim Str String

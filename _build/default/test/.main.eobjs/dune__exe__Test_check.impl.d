@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Atpg Build Circuits List Netlist Powder Power QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Build Gatelib List Netlist QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cube.ml: Alcotest Gen Logic Printf QCheck QCheck_alcotest

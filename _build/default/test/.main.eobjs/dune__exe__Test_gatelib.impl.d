@@ -1,0 +1,1 @@
+test/test_gatelib.ml: Alcotest Array Gatelib Int64 List Logic Printf QCheck QCheck_alcotest Result

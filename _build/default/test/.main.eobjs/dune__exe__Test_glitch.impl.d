@@ -1,0 +1,1 @@
+test/test_glitch.ml: Alcotest Build Circuits Gatelib List Netlist Option Power Printf Sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Atpg Circuits Hashtbl List Netlist Powder Printf Sim Sta

@@ -1,0 +1,1 @@
+test/test_mapper.ml: Aig Alcotest Array Build Gatelib Int64 List Mapper Netlist Printf QCheck QCheck_alcotest Sim

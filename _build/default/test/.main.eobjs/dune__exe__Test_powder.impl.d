@@ -1,0 +1,1 @@
+test/test_powder.ml: Alcotest Atpg Build Circuits Float Gatelib List Netlist Powder Power Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Build Float List Netlist Power QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_redundancy.ml: Alcotest Atpg Build Gatelib List Netlist QCheck QCheck_alcotest Sim

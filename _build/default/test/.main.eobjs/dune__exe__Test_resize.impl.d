@@ -1,0 +1,1 @@
+test/test_resize.ml: Alcotest Array Atpg Circuits Gatelib List Logic Mapper Netlist Option Powder Printf Sta String

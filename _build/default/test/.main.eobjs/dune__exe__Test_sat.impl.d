@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Atpg Build Gatelib List Netlist QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Build Float Gatelib Int64 List Netlist QCheck QCheck_alcotest Sim

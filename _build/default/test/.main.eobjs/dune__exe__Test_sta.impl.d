@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Build Float Gatelib List Netlist QCheck QCheck_alcotest Sta

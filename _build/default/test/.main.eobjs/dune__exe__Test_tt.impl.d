@@ -1,0 +1,1 @@
+test/test_tt.ml: Alcotest Int64 Logic Printf QCheck QCheck_alcotest

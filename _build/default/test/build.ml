@@ -1,0 +1,100 @@
+(* Shared circuit builders for the test suite. *)
+
+module Circuit = Netlist.Circuit
+module Library = Gatelib.Library
+
+let lib = Library.lib2
+
+let cell name = Library.find lib name
+
+(* The paper's Figure 2 topology (circuit A):
+     e = a AND b        (kept output)
+     d = a EXOR c
+     f = d AND b        (output)
+   The IS2 substitution reconnects the EXOR input from [a] to [e],
+   turning d into g = (a*b) xor c without changing f = g*b. *)
+let fig2_a () =
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let b = Circuit.add_pi c ~name:"b" in
+  let ci = Circuit.add_pi c ~name:"c" in
+  let e = Circuit.add_cell c ~name:"e" (cell "and2") [| a; b |] in
+  let d = Circuit.add_cell c ~name:"d" (cell "xor2") [| a; ci |] in
+  let f = Circuit.add_cell c ~name:"f" (cell "and2") [| d; b |] in
+  let _ = Circuit.add_po c ~name:"out_f" f in
+  let _ = Circuit.add_po c ~name:"out_e" e in
+  (c, a, b, ci, d, e, f)
+
+let fig2_b () =
+  let c, a, _, _, d, e, _ = fig2_a () in
+  (* reconnect pin 0 of the EXOR (currently a) to e *)
+  ignore a;
+  Circuit.set_fanin c d 0 e;
+  c
+
+(* n-input XOR chain with a PO, pi names x0.. *)
+let parity_chain n =
+  let c = Circuit.create lib in
+  let pis = List.init n (fun i -> Circuit.add_pi c ~name:(Printf.sprintf "x%d" i)) in
+  let out =
+    match pis with
+    | [] -> Circuit.add_const c false
+    | first :: rest ->
+      List.fold_left
+        (fun acc pi -> Circuit.add_cell c (cell "xor2") [| acc; pi |])
+        first rest
+  in
+  let _ = Circuit.add_po c ~name:"parity" out in
+  c
+
+(* A circuit with an easy redundancy: out = (a & b) | (a & b & c') has
+   the same function as a & b. *)
+let redundant_and () =
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let b = Circuit.add_pi c ~name:"b" in
+  let ci = Circuit.add_pi c ~name:"c" in
+  let ab = Circuit.add_cell c ~name:"ab" (cell "and2") [| a; b |] in
+  let nc = Circuit.add_cell c ~name:"nc" (cell "inv1") [| ci |] in
+  let abc = Circuit.add_cell c ~name:"abc" (cell "and2") [| ab; nc |] in
+  let out = Circuit.add_cell c ~name:"o" (cell "or2") [| ab; abc |] in
+  let _ = Circuit.add_po c ~name:"out" out in
+  (c, ab, abc, out)
+
+(* Random mapped circuit: n_pis inputs, n_gates random 2-input gates
+   drawing fanins from previously created signals.  Every sink-less
+   signal becomes a PO.  Deterministic in [seed]. *)
+let random_circuit ~seed ~n_pis ~n_gates =
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let gates2 =
+    List.filter
+      (fun (c : Gatelib.Cell.t) -> Gatelib.Cell.arity c = 2)
+      (Library.cells lib)
+  in
+  let gates2 = Array.of_list gates2 in
+  let c = Circuit.create lib in
+  let signals = ref [] in
+  for i = 0 to n_pis - 1 do
+    signals := Circuit.add_pi c ~name:(Printf.sprintf "x%d" i) :: !signals
+  done;
+  let pick () =
+    let arr = Array.of_list !signals in
+    arr.(Int64.to_int (Int64.rem (Int64.logand (Sim.Rng.next rng) Int64.max_int)
+                         (Int64.of_int (Array.length arr))))
+  in
+  for _ = 1 to n_gates do
+    let g = gates2.(Int64.to_int (Int64.rem (Int64.logand (Sim.Rng.next rng) Int64.max_int)
+                                    (Int64.of_int (Array.length gates2)))) in
+    let f0 = pick () in
+    let f1 = pick () in
+    signals := Circuit.add_cell c g [| f0; f1 |] :: !signals
+  done;
+  let n_po = ref 0 in
+  List.iter
+    (fun s ->
+      if Circuit.num_fanouts c s = 0 then begin
+        incr n_po;
+        ignore (Circuit.add_po c ~name:(Printf.sprintf "po%d" !n_po) s)
+      end)
+    !signals;
+  c

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "powder"
+    (Test_tt.suite @ Test_cube.suite @ Test_gatelib.suite @ Test_circuit.suite
+   @ Test_sim.suite @ Test_power.suite @ Test_sta.suite @ Test_sat.suite @ Test_bdd.suite
+   @ Test_atpg.suite @ Test_aig.suite @ Test_bitvec.suite @ Test_mapper.suite @ Test_blif.suite
+   @ Test_redundancy.suite @ Test_resize.suite @ Test_glitch.suite @ Test_circuits.suite @ Test_check.suite @ Test_powder.suite
+   @ Test_integration.suite)

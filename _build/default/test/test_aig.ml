@@ -1,0 +1,252 @@
+module G = Aig.Graph
+module Network = Aig.Network
+module Sop = Logic.Sop
+module Cube = Logic.Cube
+
+let test_const_folding () =
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  Alcotest.(check int) "a & 0" G.lit_false (G.and_ g a G.lit_false);
+  Alcotest.(check int) "a & 1" a (G.and_ g a G.lit_true);
+  Alcotest.(check int) "a & a" a (G.and_ g a a);
+  Alcotest.(check int) "a & !a" G.lit_false (G.and_ g a (G.compl_ a))
+
+let test_strashing () =
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  let b = G.add_pi g "b" in
+  let x1 = G.and_ g a b in
+  let x2 = G.and_ g b a in
+  Alcotest.(check int) "commutative strash" x1 x2;
+  Alcotest.(check int) "one and node" 1 (G.num_ands g)
+
+let test_eval () =
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  let b = G.add_pi g "b" in
+  let c = G.add_pi g "c" in
+  G.add_po g "f" (G.or_ g (G.and_ g a b) (G.compl_ c));
+  let check_pattern va vb vc expected =
+    let outs = G.eval g [| va; vb; vc |] in
+    Alcotest.(check bool)
+      (Printf.sprintf "%b%b%b" va vb vc)
+      expected (List.assoc "f" outs)
+  in
+  check_pattern false false false true;
+  check_pattern false false true false;
+  check_pattern true true true true
+
+let test_xor_mux () =
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  let b = G.add_pi g "b" in
+  let s = G.add_pi g "s" in
+  G.add_po g "x" (G.xor g a b);
+  G.add_po g "m" (G.mux g ~sel:s ~t1:a ~e0:b);
+  for m = 0 to 7 do
+    let va = m land 1 <> 0 and vb = m land 2 <> 0 and vs = m land 4 <> 0 in
+    let outs = G.eval g [| va; vb; vs |] in
+    Alcotest.(check bool) "xor" (va <> vb) (List.assoc "x" outs);
+    Alcotest.(check bool) "mux" (if vs then va else vb) (List.assoc "m" outs)
+  done
+
+let test_balanced_lists () =
+  let g = G.create () in
+  let pis = List.init 8 (fun i -> G.add_pi g (Printf.sprintf "x%d" i)) in
+  let all = G.and_list g pis in
+  G.add_po g "f" all;
+  let levels = G.level g in
+  Alcotest.(check int) "balanced depth" 3 levels.(G.node_of all);
+  Alcotest.(check bool) "true only when all ones" true
+    (List.assoc "f" (G.eval g (Array.make 8 true)));
+  Alcotest.(check bool) "false otherwise" false
+    (List.assoc "f" (G.eval g (Array.init 8 (fun i -> i <> 3))))
+
+let simple_network () =
+  {
+    Network.model = "test";
+    inputs = [ "a"; "b"; "c" ];
+    outputs = [ "f" ];
+    nodes =
+      [
+        { Network.name = "t"; fanins = [ "a"; "b" ];
+          sop = Sop.create 2 [ Cube.of_string "11" ] };
+        { Network.name = "f"; fanins = [ "t"; "c" ];
+          sop = Sop.create 2 [ Cube.of_string "1-"; Cube.of_string "-0" ] };
+      ];
+  }
+
+let test_network_validate () =
+  let net = simple_network () in
+  (match Network.validate net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let bad = { net with outputs = [ "zz" ] } in
+  Alcotest.(check bool) "undefined output" true
+    (Result.is_error (Network.validate bad));
+  let cyc =
+    {
+      net with
+      nodes =
+        [
+          { Network.name = "t"; fanins = [ "f" ];
+            sop = Sop.create 1 [ Cube.of_string "1" ] };
+          { Network.name = "f"; fanins = [ "t" ];
+            sop = Sop.create 1 [ Cube.of_string "1" ] };
+        ];
+    }
+  in
+  Alcotest.(check bool) "cycle" true (Result.is_error (Network.validate cyc))
+
+let test_network_to_aig () =
+  let net = simple_network () in
+  let g = Network.to_aig net in
+  (* f = (a & b) | !c *)
+  for m = 0 to 7 do
+    let va = m land 1 <> 0 and vb = m land 2 <> 0 and vc = m land 4 <> 0 in
+    let outs = G.eval g [| va; vb; vc |] in
+    Alcotest.(check bool)
+      (Printf.sprintf "m=%d" m)
+      ((va && vb) || not vc)
+      (List.assoc "f" outs)
+  done
+
+let prop_or_list_semantics =
+  QCheck.Test.make ~name:"or_list = any" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 8) bool)
+    (fun bits ->
+      let g = G.create () in
+      let pis = List.mapi (fun i _ -> G.add_pi g (Printf.sprintf "x%d" i)) bits in
+      G.add_po g "f" (G.or_list g pis);
+      List.assoc "f" (G.eval g (Array.of_list bits)) = List.exists Fun.id bits)
+
+let base_tests =
+  [
+        Alcotest.test_case "const folding" `Quick test_const_folding;
+        Alcotest.test_case "strashing" `Quick test_strashing;
+        Alcotest.test_case "eval" `Quick test_eval;
+        Alcotest.test_case "xor and mux" `Quick test_xor_mux;
+        Alcotest.test_case "balanced lists" `Quick test_balanced_lists;
+        Alcotest.test_case "network validate" `Quick test_network_validate;
+        Alcotest.test_case "network to aig" `Quick test_network_to_aig;
+        QCheck_alcotest.to_alcotest prop_or_list_semantics;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Opt: rebuild and balance                                            *)
+(* ------------------------------------------------------------------ *)
+
+let eval_equal g1 g2 n_pis =
+  let ok = ref true in
+  for m = 0 to (1 lsl n_pis) - 1 do
+    let inputs = Array.init n_pis (fun i -> m land (1 lsl i) <> 0) in
+    let o1 = G.eval g1 inputs and o2 = G.eval g2 inputs in
+    List.iter
+      (fun (name, v) -> if List.assoc name o2 <> v then ok := false)
+      o1
+  done;
+  !ok
+
+let deep_chain n =
+  let g = G.create () in
+  let pis = List.init n (fun i -> G.add_pi g (Printf.sprintf "x%d" i)) in
+  (* left-leaning AND chain: depth n-1 *)
+  let all = List.fold_left (fun acc l -> G.and_ g acc l) (List.hd pis) (List.tl pis) in
+  G.add_po g "f" all;
+  g
+
+let test_balance_reduces_depth () =
+  let g = deep_chain 8 in
+  let depth graph =
+    let levels = G.level graph in
+    Array.fold_left max 0 levels
+  in
+  Alcotest.(check int) "chain depth" 7 (depth g);
+  let b = Aig.Opt.balance g in
+  Alcotest.(check int) "balanced depth" 3 (depth b);
+  Alcotest.(check bool) "same function" true (eval_equal g b 8)
+
+let test_rebuild_drops_dead () =
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  let b = G.add_pi g "b" in
+  let live = G.and_ g a b in
+  let _dead = G.and_ g a (G.compl_ b) in
+  G.add_po g "f" live;
+  let r = Aig.Opt.rebuild g in
+  Alcotest.(check int) "dead node dropped" 1 (G.num_ands r);
+  Alcotest.(check bool) "same function" true (eval_equal g r 2)
+
+let prop_balance_preserves_function =
+  QCheck.Test.make ~name:"balance preserves function" ~count:40
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      (* random aig using the mapper test helper shape *)
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let g = G.create () in
+      let lits = ref [] in
+      for i = 0 to 5 do
+        lits := G.add_pi g (Printf.sprintf "x%d" i) :: !lits
+      done;
+      let pick () =
+        let arr = Array.of_list !lits in
+        let idx =
+          Int64.to_int
+            (Int64.rem (Int64.logand (Sim.Rng.next rng) Int64.max_int)
+               (Int64.of_int (Array.length arr)))
+        in
+        let l = arr.(idx) in
+        if Int64.rem (Int64.logand (Sim.Rng.next rng) Int64.max_int) 2L = 0L
+        then l else G.compl_ l
+      in
+      for _ = 1 to 25 do
+        lits := G.and_ g (pick ()) (pick ()) :: !lits
+      done;
+      (match !lits with
+      | o1 :: o2 :: _ ->
+        G.add_po g "f" o1;
+        G.add_po g "gout" o2
+      | _ -> ());
+      let b = Aig.Opt.balance g in
+      let r = Aig.Opt.rebuild g in
+      eval_equal g b 6 && eval_equal g r 6
+      && G.num_ands b <= G.num_ands g + 4)
+
+let opt_tests =
+  [
+    Alcotest.test_case "balance reduces depth" `Quick test_balance_reduces_depth;
+    Alcotest.test_case "rebuild drops dead" `Quick test_rebuild_drops_dead;
+    QCheck_alcotest.to_alcotest prop_balance_preserves_function;
+  ]
+
+
+let test_network_minimize () =
+  let redundant =
+    {
+      Network.model = "m";
+      inputs = [ "a"; "b" ];
+      outputs = [ "f" ];
+      nodes =
+        [
+          { Network.name = "f"; fanins = [ "a"; "b" ];
+            sop =
+              Sop.create 2
+                [ Cube.of_string "11"; Cube.of_string "10"; Cube.of_string "01" ] };
+        ];
+    }
+  in
+  let m = Network.minimize redundant in
+  (match m.Network.nodes with
+  | [ n ] -> Alcotest.(check int) "cubes" 2 (Sop.num_cubes n.Network.sop)
+  | _ -> Alcotest.fail "one node");
+  let g1 = Network.to_aig redundant and g2 = Network.to_aig m in
+  for v = 0 to 3 do
+    let inputs = [| v land 1 <> 0; v land 2 <> 0 |] in
+    Alcotest.(check bool) "same" (List.assoc "f" (G.eval g1 inputs))
+      (List.assoc "f" (G.eval g2 inputs))
+  done
+
+let suite =
+  [ ("aig",
+     base_tests @ opt_tests
+     @ [ Alcotest.test_case "network minimize" `Quick test_network_minimize ]) ]

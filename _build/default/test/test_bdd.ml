@@ -1,0 +1,201 @@
+module Bdd = Logic.Bdd
+module Tt = Logic.Tt
+module Bddcheck = Atpg.Bddcheck
+module Circuit = Netlist.Circuit
+
+let test_constants_and_vars () =
+  let m = Bdd.manager () in
+  Alcotest.(check bool) "true" true (Bdd.is_true m (Bdd.bdd_true m));
+  Alcotest.(check bool) "false" true (Bdd.is_false m (Bdd.bdd_false m));
+  let x = Bdd.var m 0 in
+  Alcotest.(check bool) "x under x=1" true (Bdd.eval m x (fun _ -> true));
+  Alcotest.(check bool) "x under x=0" false (Bdd.eval m x (fun _ -> false))
+
+let test_hash_consing () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let a = Bdd.and_ m x y in
+  let b = Bdd.and_ m y x in
+  Alcotest.(check bool) "same node" true (Bdd.equal a b);
+  (* (x and y) or (x and not y) = x *)
+  let c = Bdd.or_ m a (Bdd.and_ m x (Bdd.not_ m y)) in
+  Alcotest.(check bool) "reduces to x" true (Bdd.equal c x)
+
+let test_tautology_detection () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 in
+  Alcotest.(check bool) "x or !x" true (Bdd.is_true m (Bdd.or_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "x and !x" true (Bdd.is_false m (Bdd.and_ m x (Bdd.not_ m x)))
+
+let test_sat_fraction () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.and_ m x y in
+  Alcotest.(check (float 1e-12)) "and" 0.25 (Bdd.sat_fraction m f ~num_vars:2);
+  let g = Bdd.xor m x y in
+  Alcotest.(check (float 1e-12)) "xor" 0.5 (Bdd.sat_fraction m g ~num_vars:2)
+
+let test_node_limit () =
+  let m = Bdd.manager ~node_limit:8 () in
+  Alcotest.check_raises "limit" Bdd.Node_limit_exceeded (fun () ->
+      let vars = List.init 8 (Bdd.var m) in
+      ignore
+        (List.fold_left (fun acc v -> Bdd.xor m acc v) (Bdd.bdd_false m) vars))
+
+let prop_bdd_matches_tt =
+  (* random 4-var functions built two ways must agree minterm by minterm *)
+  QCheck.Test.make ~name:"bdd agrees with truth table" ~count:200
+    QCheck.(int_bound 0xFFFF)
+    (fun w ->
+      let tt = Tt.create 4 (Int64.of_int w) in
+      let m = Bdd.manager () in
+      (* build the BDD from the minterm expansion *)
+      let f =
+        List.fold_left
+          (fun acc minterm ->
+            let cube =
+              List.fold_left
+                (fun c i ->
+                  let v = Bdd.var m i in
+                  Bdd.and_ m c
+                    (if minterm land (1 lsl i) <> 0 then v else Bdd.not_ m v))
+                (Bdd.bdd_true m)
+                [ 0; 1; 2; 3 ]
+            in
+            Bdd.or_ m acc cube)
+          (Bdd.bdd_false m) (Tt.minterms tt)
+      in
+      let ok = ref true in
+      for minterm = 0 to 15 do
+        let assign i = minterm land (1 lsl i) <> 0 in
+        if Bdd.eval m f assign <> Tt.eval_int tt minterm then ok := false
+      done;
+      !ok
+      && Float.abs
+           (Bdd.sat_fraction m f ~num_vars:4
+           -. (float_of_int (Tt.count_ones tt) /. 16.0))
+         < 1e-12)
+
+let test_bddcheck_justify () =
+  let c, _, _, _, _, _, f = Build.fig2_a () in
+  (match Bddcheck.justify_one c f with
+  | Bddcheck.Justified assignment ->
+    let vector =
+      List.map
+        (fun pi ->
+          match List.assoc_opt pi assignment with Some v -> v | None -> false)
+        (Circuit.pis c)
+    in
+    let outs = Sim.Engine.eval_single c vector in
+    Alcotest.(check bool) "vector works" true (List.assoc "out_f" outs)
+  | Bddcheck.Impossible | Bddcheck.Gave_up _ -> Alcotest.fail "justifiable");
+  (* constant-zero cone *)
+  let lib = Build.lib in
+  let c2 = Circuit.create lib in
+  let x = Circuit.add_pi c2 ~name:"x" in
+  let nx = Circuit.add_cell c2 (Gatelib.Library.inverter lib) [| x |] in
+  let z = Circuit.add_cell c2 (Gatelib.Library.find lib "and2") [| x; nx |] in
+  ignore (Circuit.add_po c2 ~name:"z" z);
+  match Bddcheck.justify_one c2 z with
+  | Bddcheck.Impossible -> ()
+  | Bddcheck.Justified _ | Bddcheck.Gave_up _ -> Alcotest.fail "constant 0"
+
+let prop_bddcheck_matches_exhaustive =
+  QCheck.Test.make ~name:"bdd justification = exhaustive" ~count:15
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let c = Build.random_circuit ~seed ~n_pis:6 ~n_gates:22 in
+      let eng = Sim.Engine.create c ~words:1 in
+      Sim.Engine.exhaustive eng;
+      List.for_all
+        (fun g ->
+          let can_be_one = Sim.Engine.count_ones eng g > 0 in
+          match Bddcheck.justify_one c g with
+          | Bddcheck.Justified _ -> can_be_one
+          | Bddcheck.Impossible -> not can_be_one
+          | Bddcheck.Gave_up _ -> false)
+        (Circuit.live_gates c))
+
+let test_bdd_engine_in_check () =
+  (* the `Bdd engine agrees with the exhaustive path on a benchmark *)
+  match Circuits.Suite.find "rd84" with
+  | None -> Alcotest.fail "rd84"
+  | Some spec ->
+    let circ = Circuits.Suite.mapped spec in
+    let eng = Sim.Engine.create circ ~words:8 in
+    Sim.Engine.randomize eng (Sim.Rng.create 2L);
+    let est = Power.Estimator.create eng in
+    let cands =
+      Powder.Candidates.generate est |> List.filteri (fun i _ -> i < 20)
+    in
+    List.iter
+      (fun (s, _) ->
+        if not (Powder.Subst.creates_cycle circ s) then begin
+          let reference = Powder.Check.permissible ~exhaustive_limit:16 circ s in
+          let bdd = Powder.Check.permissible ~exhaustive_limit:0 ~engine:`Bdd circ s in
+          let tag = function
+            | Powder.Check.Permissible -> `P
+            | Powder.Check.Not_permissible _ -> `N
+            | Powder.Check.Gave_up -> `G
+          in
+          if tag bdd <> `G then
+            Alcotest.(check bool) "verdicts agree" true (tag reference = tag bdd)
+        end)
+      cands
+
+let test_bdd_size_blowup_multiplier () =
+  (* product-output BDDs of multipliers blow up: the budget must trip on
+     a modest multiplier where simulation/SAT sail through *)
+  let g = Circuits.Generators.multiplier ~width:7 in
+  let circ =
+    Mapper.Techmap.map ~objective:Mapper.Techmap.Area Gatelib.Library.lib2 g
+  in
+  let mid_po =
+    (* a middle product bit has the widest cone *)
+    match Circuit.find_by_name circ "p_7" with
+    | Some po -> Circuit.po_driver circ po
+    | None -> Alcotest.fail "p_7 missing"
+  in
+  match Atpg.Bddcheck.bdd_size_of_cone ~node_limit:2_000 circ mid_po with
+  | None -> () (* blew the tiny budget, as expected *)
+  | Some n ->
+    (* even if it fits, it must be disproportionately large *)
+    Alcotest.(check bool) (Printf.sprintf "size %d" n) true (n > 500)
+
+let suite =
+  [
+    ( "bdd",
+      [
+        Alcotest.test_case "constants and vars" `Quick test_constants_and_vars;
+        Alcotest.test_case "hash consing" `Quick test_hash_consing;
+        Alcotest.test_case "tautology" `Quick test_tautology_detection;
+        Alcotest.test_case "sat fraction" `Quick test_sat_fraction;
+        Alcotest.test_case "node limit" `Quick test_node_limit;
+        QCheck_alcotest.to_alcotest prop_bdd_matches_tt;
+        Alcotest.test_case "bddcheck justify" `Quick test_bddcheck_justify;
+        QCheck_alcotest.to_alcotest prop_bddcheck_matches_exhaustive;
+        Alcotest.test_case "bdd engine in check" `Quick test_bdd_engine_in_check;
+        Alcotest.test_case "multiplier blow-up" `Quick test_bdd_size_blowup_multiplier;
+      ] );
+  ]
+
+let prop_bdd_probability_exact =
+  (* BDD signal probability must equal the exhaustive-simulation count *)
+  QCheck.Test.make ~name:"bdd probability = exhaustive" ~count:15
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let c = Build.random_circuit ~seed ~n_pis:6 ~n_gates:20 in
+      let eng = Sim.Engine.create c ~words:1 in
+      Sim.Engine.exhaustive eng;
+      List.for_all
+        (fun g ->
+          match Bddcheck.signal_probability c g with
+          | None -> false
+          | Some p -> Float.abs (p -. Sim.Engine.prob_one eng g) < 1e-12)
+        (Circuit.live_gates c))
+
+let suite =
+  match suite with
+  | [ (name, tests) ] ->
+    [ (name, tests @ [ QCheck_alcotest.to_alcotest prop_bdd_probability_exact ]) ]
+  | other -> other

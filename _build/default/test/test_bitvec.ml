@@ -1,0 +1,186 @@
+module G = Aig.Graph
+module Bv = Aig.Bitvec
+
+(* evaluate a bit-vector expression by building an AIG with fixed-width
+   inputs and checking against integer arithmetic *)
+let with_two_operands width f check =
+  let g = G.create () in
+  let a = Bv.input g "a" width in
+  let b = Bv.input g "b" width in
+  let result = f g a b in
+  Bv.outputs g "r" result;
+  let mask = (1 lsl width) - 1 in
+  for va = 0 to mask do
+    for vb = 0 to mask do
+      let inputs =
+        Array.init (2 * width) (fun i ->
+            if i < width then va land (1 lsl i) <> 0
+            else vb land (1 lsl (i - width)) <> 0)
+      in
+      let outs = G.eval g inputs in
+      let r =
+        List.fold_left
+          (fun acc bit ->
+            acc
+            + (if List.assoc (Printf.sprintf "r_%d" bit) outs then 1 lsl bit else 0))
+          0
+          (List.init (Bv.width result) (fun i -> i))
+      in
+      Alcotest.(check int) (Printf.sprintf "a=%d b=%d" va vb) (check va vb mask) r
+    done
+  done
+
+let test_add () =
+  with_two_operands 4
+    (fun g a b -> fst (Bv.add g a b))
+    (fun a b mask -> (a + b) land mask)
+
+let test_sub () =
+  with_two_operands 4
+    (fun g a b -> fst (Bv.sub g a b))
+    (fun a b mask -> (a - b) land mask)
+
+let test_and_or_xor () =
+  with_two_operands 3 (fun g a b -> Bv.and_ g a b) (fun a b _ -> a land b);
+  with_two_operands 3 (fun g a b -> Bv.or_ g a b) (fun a b _ -> a lor b);
+  with_two_operands 3 (fun g a b -> Bv.xor g a b) (fun a b _ -> a lxor b)
+
+let test_comparisons () =
+  let g = G.create () in
+  let a = Bv.input g "a" 4 in
+  let b = Bv.input g "b" 4 in
+  G.add_po g "lt" (Bv.lt g a b);
+  G.add_po g "eq" (Bv.eq g a b);
+  for va = 0 to 15 do
+    for vb = 0 to 15 do
+      let inputs =
+        Array.init 8 (fun i ->
+            if i < 4 then va land (1 lsl i) <> 0 else vb land (1 lsl (i - 4)) <> 0)
+      in
+      let outs = G.eval g inputs in
+      Alcotest.(check bool) "lt" (va < vb) (List.assoc "lt" outs);
+      Alcotest.(check bool) "eq" (va = vb) (List.assoc "eq" outs)
+    done
+  done
+
+let test_mux () =
+  let g = G.create () in
+  let s = G.add_pi g "s" in
+  let a = Bv.input g "a" 3 in
+  let b = Bv.input g "b" 3 in
+  Bv.outputs g "m" (Bv.mux g s a b);
+  for m = 0 to 127 do
+    let vs = m land 1 <> 0 in
+    let va = (m lsr 1) land 7 and vb = (m lsr 4) land 7 in
+    let inputs =
+      Array.init 7 (fun i ->
+          if i = 0 then vs
+          else if i <= 3 then va land (1 lsl (i - 1)) <> 0
+          else vb land (1 lsl (i - 4)) <> 0)
+    in
+    let outs = G.eval g inputs in
+    let r =
+      List.fold_left
+        (fun acc bit ->
+          acc + (if List.assoc (Printf.sprintf "m_%d" bit) outs then 1 lsl bit else 0))
+        0 [ 0; 1; 2 ]
+    in
+    Alcotest.(check int) "mux" (if vs then va else vb) r
+  done
+
+let test_popcount () =
+  let g = G.create () in
+  let x = Bv.input g "x" 7 in
+  Bv.outputs g "c" (Bv.popcount g x);
+  for v = 0 to 127 do
+    let inputs = Array.init 7 (fun i -> v land (1 lsl i) <> 0) in
+    let outs = G.eval g inputs in
+    let c =
+      List.fold_left
+        (fun acc bit ->
+          acc + (if List.assoc (Printf.sprintf "c_%d" bit) outs then 1 lsl bit else 0))
+        0 [ 0; 1; 2 ]
+    in
+    let rec pop x acc = if x = 0 then acc else pop (x land (x - 1)) (acc + 1) in
+    Alcotest.(check int) "popcount" (pop v 0) c
+  done
+
+let test_shift () =
+  let g = G.create () in
+  let v = Bv.input g "v" 8 in
+  let amt = Bv.input g "amt" 3 in
+  Bv.outputs g "s" (Bv.shift_left_var g v amt);
+  List.iter
+    (fun (value, shift) ->
+      let inputs =
+        Array.init 11 (fun i ->
+            if i < 8 then value land (1 lsl i) <> 0
+            else shift land (1 lsl (i - 8)) <> 0)
+      in
+      let outs = G.eval g inputs in
+      let r =
+        List.fold_left
+          (fun acc bit ->
+            acc + (if List.assoc (Printf.sprintf "s_%d" bit) outs then 1 lsl bit else 0))
+          0
+          (List.init 8 (fun i -> i))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d << %d" value shift)
+        ((value lsl shift) land 0xFF)
+        r)
+    [ (0xFF, 0); (0xFF, 3); (0x01, 7); (0xA5, 4); (0x80, 1) ]
+
+let test_reduce () =
+  let g = G.create () in
+  let x = Bv.input g "x" 5 in
+  G.add_po g "all" (Bv.reduce_and g x);
+  G.add_po g "any" (Bv.reduce_or g x);
+  G.add_po g "par" (Bv.reduce_xor g x);
+  for v = 0 to 31 do
+    let inputs = Array.init 5 (fun i -> v land (1 lsl i) <> 0) in
+    let outs = G.eval g inputs in
+    let rec pop x acc = if x = 0 then acc else pop (x land (x - 1)) (acc + 1) in
+    Alcotest.(check bool) "all" (v = 31) (List.assoc "all" outs);
+    Alcotest.(check bool) "any" (v <> 0) (List.assoc "any" outs);
+    Alcotest.(check bool) "par" (pop v 0 land 1 = 1) (List.assoc "par" outs)
+  done
+
+let prop_rotate_composition =
+  QCheck.Test.make ~name:"rotate by a then b = rotate by a+b" ~count:50
+    QCheck.(triple (int_bound 255) (int_bound 7) (int_bound 7))
+    (fun (v, r1, r2) ->
+      let rotate value amount =
+        ((value lsl amount) lor (value lsr (8 - amount))) land 0xFF
+      in
+      let g = G.create () in
+      let x = Bv.input g "x" 8 in
+      let once = Bv.rotate_left_var g x (Bv.const g r1 ~width:3) in
+      let twice = Bv.rotate_left_var g once (Bv.const g r2 ~width:3) in
+      Bv.outputs g "r" twice;
+      let inputs = Array.init 8 (fun i -> v land (1 lsl i) <> 0) in
+      let outs = G.eval g inputs in
+      let result =
+        List.fold_left
+          (fun acc bit ->
+            acc + (if List.assoc (Printf.sprintf "r_%d" bit) outs then 1 lsl bit else 0))
+          0
+          (List.init 8 (fun i -> i))
+      in
+      result = rotate v ((r1 + r2) mod 8))
+
+let suite =
+  [
+    ( "bitvec",
+      [
+        Alcotest.test_case "add" `Quick test_add;
+        Alcotest.test_case "sub" `Quick test_sub;
+        Alcotest.test_case "bitwise ops" `Quick test_and_or_xor;
+        Alcotest.test_case "comparisons" `Quick test_comparisons;
+        Alcotest.test_case "mux" `Quick test_mux;
+        Alcotest.test_case "popcount" `Quick test_popcount;
+        Alcotest.test_case "variable shift" `Quick test_shift;
+        Alcotest.test_case "reductions" `Quick test_reduce;
+        QCheck_alcotest.to_alcotest prop_rotate_composition;
+      ] );
+  ]

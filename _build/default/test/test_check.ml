@@ -1,0 +1,96 @@
+(* The incremental-miter permissibility check must agree with the
+   brute-force clone + full equivalence check on every candidate. *)
+
+module Circuit = Netlist.Circuit
+module Engine = Sim.Engine
+module Estimator = Power.Estimator
+module Subst = Powder.Subst
+module Check = Powder.Check
+module Equiv = Atpg.Equiv
+
+type tag = Perm | Not_perm
+
+let tag_of = function
+  | Check.Permissible -> Some Perm
+  | Check.Not_permissible _ -> Some Not_perm
+  | Check.Gave_up -> None
+
+let reference_verdict circ s =
+  match Powder.Subst.apply_to_clone circ s with
+  | clone -> (
+    match Equiv.check ~exhaustive_limit:16 circ clone with
+    | Equiv.Equivalent -> Some Perm
+    | Equiv.Different _ -> Some Not_perm
+    | Equiv.Unknown -> None)
+  | exception Invalid_argument _ -> None
+
+let candidates_of circ =
+  let eng = Engine.create circ ~words:8 in
+  Engine.randomize eng (Sim.Rng.create 5L);
+  let est = Estimator.create eng in
+  (* include negative-gain candidates too: correctness is what matters *)
+  let config = { Powder.Candidates.default_config with require_positive = false } in
+  Powder.Candidates.generate ~config est
+
+let agree_on_circuit circ =
+  List.for_all
+    (fun (s, _) ->
+      if Subst.creates_cycle circ s then true
+      else
+        match reference_verdict circ s with
+        | None -> true
+        | Some expected -> (
+          match tag_of (Check.permissible ~exhaustive_limit:12 circ s) with
+          | None -> true
+          | Some got -> got = expected))
+    (candidates_of circ)
+
+let test_fig2_candidates () =
+  let circ, _, _, _, _, _, _ = Build.fig2_a () in
+  Alcotest.(check bool) "agree" true (agree_on_circuit circ)
+
+let prop_incremental_equals_full =
+  QCheck.Test.make ~name:"incremental miter = full check" ~count:12
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let circ = Build.random_circuit ~seed ~n_pis:7 ~n_gates:30 in
+      agree_on_circuit circ)
+
+let prop_incremental_equals_full_sat =
+  (* force the SAT path even on narrow circuits *)
+  QCheck.Test.make ~name:"incremental miter (sat) = full check" ~count:8
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let circ = Build.random_circuit ~seed ~n_pis:7 ~n_gates:25 in
+      List.for_all
+        (fun (s, _) ->
+          if Subst.creates_cycle circ s then true
+          else
+            match reference_verdict circ s with
+            | None -> true
+            | Some expected -> (
+              match
+                tag_of (Check.permissible ~exhaustive_limit:0 ~engine:`Sat circ s)
+              with
+              | None -> true
+              | Some got -> got = expected))
+        (candidates_of circ))
+
+let test_benchmark_candidates () =
+  (* cross-check on a real mapped benchmark with reconvergence *)
+  match Circuits.Suite.find "alu2" with
+  | None -> Alcotest.fail "alu2 missing"
+  | Some spec ->
+    let circ = Circuits.Suite.mapped spec in
+    Alcotest.(check bool) "agree on alu2" true (agree_on_circuit circ)
+
+let suite =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "fig2 candidates" `Quick test_fig2_candidates;
+        QCheck_alcotest.to_alcotest prop_incremental_equals_full;
+        QCheck_alcotest.to_alcotest prop_incremental_equals_full_sat;
+        Alcotest.test_case "benchmark candidates" `Slow test_benchmark_candidates;
+      ] );
+  ]

@@ -1,0 +1,154 @@
+module Cube = Logic.Cube
+module Sop = Logic.Sop
+module Tt = Logic.Tt
+
+let test_parse_print () =
+  let c = Cube.of_string "1-0" in
+  Alcotest.(check string) "roundtrip" "1-0" (Cube.to_string 3 c);
+  Alcotest.(check (list (pair int bool)))
+    "literals"
+    [ (0, true); (2, false) ]
+    (Cube.literals c)
+
+let test_eval () =
+  let c = Cube.of_string "1-0" in
+  Alcotest.(check bool) "101 -> x0=1,x2=1 fails" false (Cube.eval c 0b101);
+  Alcotest.(check bool) "001 ok" true (Cube.eval c 0b001);
+  Alcotest.(check bool) "011 ok" true (Cube.eval c 0b011)
+
+let test_contains () =
+  let big = Cube.of_string "1--" and small = Cube.of_string "1-0" in
+  Alcotest.(check bool) "big contains small" true (Cube.contains big small);
+  Alcotest.(check bool) "small contains big" false (Cube.contains small big)
+
+let test_merge () =
+  let a = Cube.of_string "10-" and b = Cube.of_string "11-" in
+  (match Cube.merge a b with
+  | Some m -> Alcotest.(check string) "merged" "1--" (Cube.to_string 3 m)
+  | None -> Alcotest.fail "expected merge");
+  let c = Cube.of_string "01-" in
+  Alcotest.(check bool) "no merge at distance 2" true (Cube.merge a c = None)
+
+let test_sop_tt_roundtrip () =
+  let sop = Sop.create 3 [ Cube.of_string "11-"; Cube.of_string "--1" ] in
+  let f = Sop.to_tt sop in
+  for m = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "minterm %d" m)
+      (Sop.eval sop m) (Tt.eval_int f m)
+  done;
+  let back = Sop.of_tt f in
+  Alcotest.(check bool) "of_tt equal" true (Tt.equal f (Sop.to_tt back))
+
+let test_complement () =
+  let sop = Sop.create 3 [ Cube.of_string "1-0"; Cube.of_string "01-" ] in
+  let comp = Sop.complement_naive sop in
+  Alcotest.(check bool)
+    "complement tt" true
+    (Tt.equal (Sop.to_tt comp) (Tt.not_ (Sop.to_tt sop)))
+
+let qcheck_sop n =
+  let cube =
+    QCheck.map
+      (fun (p, q) -> { Cube.pos = p land ((1 lsl n) - 1); neg = q land ((1 lsl n) - 1) })
+      QCheck.(pair (int_bound 255) (int_bound 255))
+  in
+  QCheck.map (fun cs -> Sop.create n cs) QCheck.(list_of_size Gen.(0 -- 6) cube)
+
+let prop_minimize_preserves =
+  QCheck.Test.make ~name:"minimize preserves function" ~count:300 (qcheck_sop 4)
+    (fun sop -> Tt.equal (Sop.to_tt sop) (Sop.to_tt (Sop.minimize sop)))
+
+let prop_minimize_no_growth =
+  QCheck.Test.make ~name:"minimize never grows" ~count:300 (qcheck_sop 4)
+    (fun sop -> Sop.num_cubes (Sop.minimize sop) <= Sop.num_cubes sop)
+
+let prop_complement_involution =
+  QCheck.Test.make ~name:"complement is involutive on tt" ~count:100
+    (qcheck_sop 4) (fun sop ->
+      let c2 = Sop.complement_naive (Sop.complement_naive sop) in
+      Tt.equal (Sop.to_tt sop) (Sop.to_tt c2))
+
+let base_tests =
+  [
+        Alcotest.test_case "parse/print" `Quick test_parse_print;
+        Alcotest.test_case "eval" `Quick test_eval;
+        Alcotest.test_case "contains" `Quick test_contains;
+        Alcotest.test_case "merge" `Quick test_merge;
+        Alcotest.test_case "sop/tt roundtrip" `Quick test_sop_tt_roundtrip;
+        Alcotest.test_case "complement" `Quick test_complement;
+        QCheck_alcotest.to_alcotest prop_minimize_preserves;
+        QCheck_alcotest.to_alcotest prop_minimize_no_growth;
+        QCheck_alcotest.to_alcotest prop_complement_involution;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tautology / espresso                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tautology_basics () =
+  Alcotest.(check bool) "universe" true
+    (Sop.tautology (Sop.const_true 3));
+  Alcotest.(check bool) "empty" false (Sop.tautology (Sop.const_false 3));
+  (* x + !x *)
+  let t = Sop.create 2 [ Cube.of_string "1-"; Cube.of_string "0-" ] in
+  Alcotest.(check bool) "x + !x" true (Sop.tautology t);
+  let u = Sop.create 2 [ Cube.of_string "1-"; Cube.of_string "01" ] in
+  Alcotest.(check bool) "x + !x y" false (Sop.tautology u)
+
+let test_covers_cube () =
+  let t = Sop.create 3 [ Cube.of_string "1--"; Cube.of_string "01-" ] in
+  Alcotest.(check bool) "covers 11-" true (Sop.covers_cube t (Cube.of_string "11-"));
+  (* the cover equals x0 + x1, so the whole of x1 is covered... *)
+  Alcotest.(check bool) "covers -1-" true (Sop.covers_cube t (Cube.of_string "-1-"));
+  (* ...but x2 alone is not *)
+  Alcotest.(check bool) "covers --1 fails" false
+    (Sop.covers_cube t (Cube.of_string "--1"));
+  Alcotest.(check bool) "covers 01-" true (Sop.covers_cube t (Cube.of_string "01-"))
+
+let test_espresso_classic () =
+  (* xy + x!y + !xy  ->  x + y (2 cubes) *)
+  let t =
+    Sop.create 2 [ Cube.of_string "11"; Cube.of_string "10"; Cube.of_string "01" ]
+  in
+  let m = Sop.espresso t in
+  Alcotest.(check int) "two cubes" 2 (Sop.num_cubes m);
+  Alcotest.(check bool) "function kept" true
+    (Tt.equal (Sop.to_tt t) (Sop.to_tt m))
+
+let prop_tautology_matches_tt =
+  QCheck.Test.make ~name:"tautology = tt check" ~count:300 (qcheck_sop 4)
+    (fun sop -> Sop.tautology sop = Tt.is_const_true (Sop.to_tt sop))
+
+let prop_espresso_preserves =
+  QCheck.Test.make ~name:"espresso preserves function" ~count:300
+    (qcheck_sop 4)
+    (fun sop -> Tt.equal (Sop.to_tt sop) (Sop.to_tt (Sop.espresso sop)))
+
+let prop_espresso_not_worse =
+  QCheck.Test.make ~name:"espresso <= minimize cube count" ~count:300
+    (qcheck_sop 4)
+    (fun sop ->
+      Sop.num_cubes (Sop.espresso sop) <= Sop.num_cubes (Sop.minimize sop))
+
+let prop_covers_cube_matches_tt =
+  QCheck.Test.make ~name:"covers_cube = tt containment" ~count:300
+    QCheck.(pair (qcheck_sop 4) (pair (int_bound 15) (int_bound 15)))
+    (fun (sop, (p, q)) ->
+      let c = { Cube.pos = p land 0xF; neg = q land 0xF land lnot p } in
+      let cube_tt = Cube.to_tt 4 c in
+      Sop.covers_cube sop c
+      = Tt.is_const_true (Tt.or_ (Sop.to_tt sop) (Tt.not_ cube_tt)))
+
+let extra_tests =
+  [
+    Alcotest.test_case "tautology basics" `Quick test_tautology_basics;
+    Alcotest.test_case "covers_cube" `Quick test_covers_cube;
+    Alcotest.test_case "espresso classic" `Quick test_espresso_classic;
+    QCheck_alcotest.to_alcotest prop_tautology_matches_tt;
+    QCheck_alcotest.to_alcotest prop_espresso_preserves;
+    QCheck_alcotest.to_alcotest prop_espresso_not_worse;
+    QCheck_alcotest.to_alcotest prop_covers_cube_matches_tt;
+  ]
+
+let suite = [ ("cube-sop", base_tests @ extra_tests) ]

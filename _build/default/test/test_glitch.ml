@@ -1,0 +1,73 @@
+module Circuit = Netlist.Circuit
+module Glitch = Power.Glitch
+module Library = Gatelib.Library
+
+let test_no_glitches_single_gate () =
+  (* one gate cannot glitch: timed = zero-delay *)
+  let lib = Build.lib in
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let b = Circuit.add_pi c ~name:"b" in
+  let f = Circuit.add_cell c (Library.find lib "and2") [| a; b |] in
+  ignore (Circuit.add_po c ~name:"o" f);
+  let r = Glitch.estimate ~pairs:64 c in
+  Alcotest.(check (float 1e-9)) "no glitches" 0.0 r.Glitch.glitch_fraction
+
+let test_unbalanced_paths_glitch () =
+  (* classic hazard: f = xor(a, delayed(a)) shape — build
+     f = xor2(a, inv(inv(inv(a)))): functionally constant... use
+     instead g = and2(a, inv(a)) via a long inverter chain: the output
+     is functionally constant 0 but pulses on rising a *)
+  let lib = Build.lib in
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let inv = Gatelib.Library.inverter lib in
+  let i1 = Circuit.add_cell c inv [| a |] in
+  let i2 = Circuit.add_cell c inv [| i1 |] in
+  let i3 = Circuit.add_cell c inv [| i2 |] in
+  let f = Circuit.add_cell c (Library.find lib "and2") [| a; i3 |] in
+  ignore (Circuit.add_po c ~name:"o" f);
+  let r = Glitch.estimate ~pairs:128 c in
+  (* f is functionally constant 0: all its timed activity is glitches *)
+  Alcotest.(check bool) "glitches observed" true (r.Glitch.glitch_fraction > 0.0);
+  Alcotest.(check bool) "timed >= zero-delay" true
+    (r.Glitch.timed_switched_cap >= r.Glitch.zero_delay_switched_cap -. 1e-9)
+
+let test_zero_delay_matches_estimator_scale () =
+  (* the zero-delay part of the glitch report must roughly agree with
+     the Monte-Carlo estimator (same model, different sampling) *)
+  let spec = Option.get (Circuits.Suite.find "rd84") in
+  let c = Circuits.Suite.mapped spec in
+  let r = Glitch.estimate ~pairs:512 ~seed:3L c in
+  let eng = Sim.Engine.create c ~words:32 in
+  Sim.Engine.randomize eng (Sim.Rng.create 3L);
+  let est = Power.Estimator.create eng in
+  let reference = Power.Estimator.total est in
+  let ratio = r.Glitch.zero_delay_switched_cap /. reference in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f in [0.8, 1.2]" ratio)
+    true
+    (ratio > 0.8 && ratio < 1.2)
+
+let test_timed_at_least_zero_delay () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (Circuits.Suite.find name) in
+      let c = Circuits.Suite.mapped spec in
+      let r = Glitch.estimate ~pairs:128 c in
+      Alcotest.(check bool)
+        (name ^ " timed >= functional")
+        true
+        (r.Glitch.timed_switched_cap >= r.Glitch.zero_delay_switched_cap -. 1e-9))
+    [ "rd84"; "alu2"; "f51m" ]
+
+let suite =
+  [
+    ( "glitch",
+      [
+        Alcotest.test_case "single gate clean" `Quick test_no_glitches_single_gate;
+        Alcotest.test_case "hazard pulses counted" `Quick test_unbalanced_paths_glitch;
+        Alcotest.test_case "agrees with estimator" `Quick test_zero_delay_matches_estimator_scale;
+        Alcotest.test_case "timed >= functional" `Quick test_timed_at_least_zero_delay;
+      ] );
+  ]

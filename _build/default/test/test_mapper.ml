@@ -1,0 +1,153 @@
+module G = Aig.Graph
+module Techmap = Mapper.Techmap
+module Circuit = Netlist.Circuit
+module Engine = Sim.Engine
+
+(* Compare a mapped circuit against its source AIG on all input
+   combinations (n <= 10). *)
+let equivalent_to_aig g circ =
+  let pis = Circuit.pis circ in
+  let n = List.length pis in
+  Alcotest.(check bool) "few inputs" true (n <= 10);
+  let ok = ref true in
+  for m = 0 to (1 lsl n) - 1 do
+    let vector = List.mapi (fun i _ -> m land (1 lsl i) <> 0) pis in
+    (* the AIG's pi order must match the circuit's (mapper preserves it) *)
+    let aig_out = G.eval g (Array.of_list vector) in
+    let circ_out = Engine.eval_single circ vector in
+    List.iter
+      (fun (name, v) ->
+        if List.assoc name circ_out <> v then ok := false)
+      aig_out
+  done;
+  !ok
+
+let full_adder_aig () =
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  let b = G.add_pi g "b" in
+  let cin = G.add_pi g "cin" in
+  let sum = G.xor g (G.xor g a b) cin in
+  let carry =
+    G.or_ g (G.and_ g a b) (G.and_ g cin (G.xor g a b))
+  in
+  G.add_po g "sum" sum;
+  G.add_po g "carry" carry;
+  g
+
+let test_map_full_adder_area () =
+  let g = full_adder_aig () in
+  let circ = Techmap.map ~objective:Techmap.Area Build.lib g in
+  (match Circuit.validate circ with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "equivalent" true (equivalent_to_aig g circ)
+
+let test_map_full_adder_power () =
+  let g = full_adder_aig () in
+  let circ = Techmap.map ~objective:Techmap.Power Build.lib g in
+  Alcotest.(check bool) "equivalent" true (equivalent_to_aig g circ)
+
+let test_map_uses_xor_cells () =
+  (* a parity function should map onto xor2/xnor2 cells, far fewer
+     gates than the 4-AND decomposition *)
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  let b = G.add_pi g "b" in
+  G.add_po g "p" (G.xor g a b);
+  let circ = Techmap.map ~objective:Techmap.Area Build.lib g in
+  Alcotest.(check int) "single cell" 1 (Circuit.gate_count circ);
+  Alcotest.(check bool) "equivalent" true (equivalent_to_aig g circ)
+
+let test_map_minimal_library () =
+  (* the minimal library lacks many cell shapes: the structural
+     fallback must still produce a correct netlist *)
+  let g = full_adder_aig () in
+  let circ = Techmap.map ~objective:Techmap.Area Gatelib.Library.minimal g in
+  (match Circuit.validate circ with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "equivalent" true (equivalent_to_aig g circ)
+
+let test_map_constant_po () =
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  G.add_po g "zero" (G.and_ g a (G.compl_ a));
+  G.add_po g "one" G.lit_true;
+  let circ = Techmap.map Build.lib g in
+  let outs = Engine.eval_single circ [ true ] in
+  Alcotest.(check bool) "zero" false (List.assoc "zero" outs);
+  Alcotest.(check bool) "one" true (List.assoc "one" outs)
+
+let test_map_po_on_pi () =
+  let g = G.create () in
+  let a = G.add_pi g "a" in
+  G.add_po g "buf" a;
+  G.add_po g "neg" (G.compl_ a);
+  let circ = Techmap.map Build.lib g in
+  let outs = Engine.eval_single circ [ true ] in
+  Alcotest.(check bool) "buf" true (List.assoc "buf" outs);
+  Alcotest.(check bool) "neg" false (List.assoc "neg" outs)
+
+let random_aig ~seed ~n_pis ~n_nodes =
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let g = G.create () in
+  let lits = ref [] in
+  for i = 0 to n_pis - 1 do
+    lits := G.add_pi g (Printf.sprintf "x%d" i) :: !lits
+  done;
+  let pick () =
+    let arr = Array.of_list !lits in
+    let idx =
+      Int64.to_int
+        (Int64.rem (Int64.logand (Sim.Rng.next rng) Int64.max_int)
+           (Int64.of_int (Array.length arr)))
+    in
+    let l = arr.(idx) in
+    if Int64.rem (Int64.logand (Sim.Rng.next rng) Int64.max_int) 2L = 0L then l
+    else G.compl_ l
+  in
+  for _ = 1 to n_nodes do
+    lits := G.and_ g (pick ()) (pick ()) :: !lits
+  done;
+  (* a couple of outputs over the last signals *)
+  (match !lits with
+  | o1 :: o2 :: o3 :: _ ->
+    G.add_po g "f" o1;
+    G.add_po g "gout" o2;
+    G.add_po g "h" o3
+  | _ -> ());
+  g
+
+let prop_mapping_preserves_function =
+  QCheck.Test.make ~name:"mapping preserves function" ~count:25
+    QCheck.(pair (int_bound 9999) (oneofl [ Techmap.Area; Techmap.Power ]))
+    (fun (seed, objective) ->
+      let g = random_aig ~seed ~n_pis:6 ~n_nodes:30 in
+      let circ = Techmap.map ~objective Build.lib g in
+      (match Circuit.validate circ with Ok () -> () | Error e -> failwith e);
+      equivalent_to_aig g circ)
+
+let prop_area_mapping_not_larger =
+  QCheck.Test.make ~name:"area objective <= power objective area * 2" ~count:10
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let g = random_aig ~seed ~n_pis:6 ~n_nodes:30 in
+      let ca = Techmap.map ~objective:Techmap.Area Build.lib g in
+      let cp = Techmap.map ~objective:Techmap.Power Build.lib g in
+      Circuit.area ca <= 2.0 *. Circuit.area cp +. 1e-6)
+
+let suite =
+  [
+    ( "mapper",
+      [
+        Alcotest.test_case "full adder (area)" `Quick test_map_full_adder_area;
+        Alcotest.test_case "full adder (power)" `Quick test_map_full_adder_power;
+        Alcotest.test_case "xor cells used" `Quick test_map_uses_xor_cells;
+        Alcotest.test_case "minimal library fallback" `Quick test_map_minimal_library;
+        Alcotest.test_case "constant po" `Quick test_map_constant_po;
+        Alcotest.test_case "po on pi" `Quick test_map_po_on_pi;
+        QCheck_alcotest.to_alcotest prop_mapping_preserves_function;
+        QCheck_alcotest.to_alcotest prop_area_mapping_not_larger;
+      ] );
+  ]

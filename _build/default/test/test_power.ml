@@ -1,0 +1,122 @@
+module Circuit = Netlist.Circuit
+module Engine = Sim.Engine
+module Estimator = Power.Estimator
+
+let make_estimator c =
+  let eng = Engine.create c ~words:1 in
+  Engine.exhaustive eng;
+  Estimator.create eng
+
+let test_transition_prob () =
+  let c, a, _, _, _, e, _ = Build.fig2_a () in
+  let est = make_estimator c in
+  Alcotest.(check (float 1e-9)) "E(pi)" 0.5 (Estimator.transition_prob est a);
+  (* e = a & b: p = 1/4, E = 2 * 1/4 * 3/4 = 0.375 *)
+  Alcotest.(check (float 1e-9)) "E(and)" 0.375 (Estimator.transition_prob est e)
+
+let test_total_by_hand () =
+  let c, a, b, ci, d, e, f = Build.fig2_a () in
+  let est = make_estimator c in
+  (* loads: a=3 (and pin + xor pin), b=2, c=2 (xor pin), d=1, e=1 (po), f=1 (po) *)
+  let expected =
+    (3.0 *. 0.5) +. (2.0 *. 0.5) +. (2.0 *. 0.5)
+    +. (1.0 *. Estimator.transition_prob est d)
+    +. (1.0 *. Estimator.transition_prob est e)
+    +. (1.0 *. Estimator.transition_prob est f)
+  in
+  ignore (a, b, ci);
+  Alcotest.(check (float 1e-9)) "total" expected (Estimator.total est)
+
+let test_update_after_edit_matches_full () =
+  let c, _, _, _, d, e, _ = Build.fig2_a () in
+  let est = make_estimator c in
+  Circuit.set_fanin c d 0 e;
+  Estimator.update_after_edit est d;
+  let incremental = Estimator.total est in
+  Estimator.refresh_all est;
+  let full = Estimator.total est in
+  Alcotest.(check (float 1e-12)) "incremental = full" full incremental
+
+let test_po_nodes_not_counted () =
+  let c = Build.parity_chain 3 in
+  let est = make_estimator c in
+  List.iter
+    (fun po ->
+      Alcotest.(check (float 1e-12)) "po power" 0.0 (Estimator.node_power est po))
+    (Circuit.pos c)
+
+let test_region_power () =
+  let c, ab, abc, out = Build.redundant_and () in
+  let est = make_estimator c in
+  let dom = Circuit.dominated_region c abc in
+  let region = Estimator.region_power est dom in
+  (* region is abc + nc + pi c (whose only fanout is nc) *)
+  let named n =
+    match Circuit.find_by_name c n with
+    | Some id -> Circuit.load_of c id *. Estimator.transition_prob est id
+    | None -> Alcotest.fail ("missing node " ^ n)
+  in
+  let expected =
+    (Circuit.load_of c abc *. Estimator.transition_prob est abc)
+    +. named "nc" +. named "c"
+  in
+  ignore (ab, out);
+  Alcotest.(check (float 1e-9)) "region power" expected region
+
+let test_region_input_relief () =
+  let c, ab, abc, _ = Build.redundant_and () in
+  let est = make_estimator c in
+  let dom = Circuit.dominated_region c abc in
+  (* the only region input is ab, contributing its pin into abc (and2
+     pin = 1.0); pi c lies inside the region *)
+  let expected = 1.0 *. Estimator.transition_prob est ab in
+  Alcotest.(check (float 1e-9)) "relief" expected
+    (Estimator.region_input_relief est dom)
+
+let test_watts_scale () =
+  let c = Build.parity_chain 3 in
+  let est = make_estimator c in
+  let w = Estimator.watts ~vdd:2.0 ~freq:1.0e6 est in
+  Alcotest.(check (float 1e-6)) "scale" (2.0e6 *. Estimator.total est) w
+
+let prop_total_nonnegative =
+  QCheck.Test.make ~name:"power total >= 0" ~count:20 QCheck.(int_bound 9999)
+    (fun seed ->
+      let c = Build.random_circuit ~seed ~n_pis:6 ~n_gates:25 in
+      let est = make_estimator c in
+      Estimator.total est >= 0.0)
+
+let prop_incremental_equals_full =
+  QCheck.Test.make ~name:"incremental update = full refresh" ~count:20
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let c = Build.random_circuit ~seed ~n_pis:6 ~n_gates:25 in
+      let est = make_estimator c in
+      (* perturb: retarget the first gate's pin 0 to the first PI if legal *)
+      match (Circuit.live_gates c, Circuit.pis c) with
+      | g :: _, pi :: _ ->
+        if Circuit.would_cycle_pin c g 0 pi then true
+        else begin
+          Circuit.set_fanin c g 0 pi;
+          Estimator.update_after_edit est g;
+          let incr = Estimator.total est in
+          Estimator.refresh_all est;
+          Float.abs (incr -. Estimator.total est) < 1e-9
+        end
+      | _ -> true)
+
+let suite =
+  [
+    ( "power",
+      [
+        Alcotest.test_case "transition prob" `Quick test_transition_prob;
+        Alcotest.test_case "total by hand" `Quick test_total_by_hand;
+        Alcotest.test_case "incremental update" `Quick test_update_after_edit_matches_full;
+        Alcotest.test_case "po nodes not counted" `Quick test_po_nodes_not_counted;
+        Alcotest.test_case "region power" `Quick test_region_power;
+        Alcotest.test_case "region input relief" `Quick test_region_input_relief;
+        Alcotest.test_case "watts scale" `Quick test_watts_scale;
+        QCheck_alcotest.to_alcotest prop_total_nonnegative;
+        QCheck_alcotest.to_alcotest prop_incremental_equals_full;
+      ] );
+  ]

@@ -1,0 +1,111 @@
+module Circuit = Netlist.Circuit
+module Simplify = Netlist.Simplify
+module Redundancy = Atpg.Redundancy
+module Equiv = Atpg.Equiv
+module Library = Gatelib.Library
+
+let test_simplify_constants () =
+  (* f = and2(a, const1) -> wire; g = or2(b, const1) -> const1 *)
+  let lib = Build.lib in
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let b = Circuit.add_pi c ~name:"b" in
+  let one = Circuit.add_const c true in
+  let f = Circuit.add_cell c ~name:"f" (Library.find lib "and2") [| a; one |] in
+  let g = Circuit.add_cell c ~name:"g" (Library.find lib "or2") [| b; one |] in
+  let h = Circuit.add_cell c ~name:"h" (Library.find lib "xor2") [| f; g |] in
+  ignore (Circuit.add_po c ~name:"out" h);
+  let n = Simplify.propagate_constants c in
+  Alcotest.(check bool) "some rewrites" true (n >= 2);
+  (match Circuit.validate c with Ok () -> () | Error e -> Alcotest.fail e);
+  (* out = a xor 1 = !a *)
+  List.iter
+    (fun (va, vb) ->
+      let outs = Sim.Engine.eval_single c [ va; vb ] in
+      Alcotest.(check bool) "function" (not va) (List.assoc "out" outs))
+    [ (false, false); (true, true); (false, true); (true, false) ]
+
+let test_simplify_three_input () =
+  (* aoi21(a, const1, c) = !(a + c) -> must re-match to nor2 *)
+  let lib = Build.lib in
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let ci = Circuit.add_pi c ~name:"c" in
+  let one = Circuit.add_const c true in
+  let f = Circuit.add_cell c ~name:"f" (Library.find lib "aoi21") [| a; one; ci |] in
+  ignore (Circuit.add_po c ~name:"out" f);
+  ignore (Simplify.propagate_constants c);
+  (match Circuit.validate c with Ok () -> () | Error e -> Alcotest.fail e);
+  List.iter
+    (fun (va, vc) ->
+      let outs = Sim.Engine.eval_single c [ va; vc ] in
+      Alcotest.(check bool) "nor" (not (va || vc)) (List.assoc "out" outs))
+    [ (false, false); (true, false); (false, true); (true, true) ];
+  (* the 3-input cell must be gone *)
+  Circuit.iter_live c (fun id ->
+      match Circuit.kind c id with
+      | Circuit.Cell (cell, _) ->
+        Alcotest.(check bool) "smaller cell" true (Gatelib.Cell.arity cell <= 2)
+      | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> ())
+
+let test_collapse_buffers () =
+  let lib = Build.lib in
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let buf = Circuit.add_cell c (Library.find lib "buf1") [| a |] in
+  let inv = Circuit.add_cell c (Gatelib.Library.inverter lib) [| buf |] in
+  ignore (Circuit.add_po c ~name:"out" inv);
+  let n = Simplify.collapse_buffers c in
+  Alcotest.(check int) "one buffer" 1 n;
+  Alcotest.(check bool) "buffer dead" false (Circuit.is_live c buf)
+
+let test_redundancy_removal () =
+  let c, _, _, _ = Build.redundant_and () in
+  let original = Circuit.clone c in
+  let before = Circuit.gate_count c in
+  let stats = Redundancy.remove c in
+  (match Circuit.validate c with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "wires replaced" true (stats.Redundancy.wires_replaced >= 1);
+  Alcotest.(check bool) "smaller" true (Circuit.gate_count c < before);
+  Alcotest.(check bool) "equivalent" true (Equiv.check original c = Equiv.Equivalent)
+
+let test_redundancy_on_irredundant () =
+  (* a parity chain has no redundancy: nothing must change *)
+  let c = Build.parity_chain 5 in
+  let before = Circuit.gate_count c in
+  let stats = Redundancy.remove c in
+  Alcotest.(check int) "no wires" 0 stats.Redundancy.wires_replaced;
+  Alcotest.(check int) "same size" before (Circuit.gate_count c)
+
+let prop_redundancy_preserves_function =
+  QCheck.Test.make ~name:"redundancy removal preserves function" ~count:10
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let c = Build.random_circuit ~seed ~n_pis:6 ~n_gates:25 in
+      let original = Circuit.clone c in
+      ignore (Redundancy.remove c);
+      (match Circuit.validate c with Ok () -> () | Error e -> failwith e);
+      Equiv.check original c = Equiv.Equivalent)
+
+let prop_redundancy_never_grows =
+  QCheck.Test.make ~name:"redundancy removal never grows area" ~count:10
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let c = Build.random_circuit ~seed ~n_pis:6 ~n_gates:25 in
+      let before = Circuit.area c in
+      ignore (Redundancy.remove c);
+      Circuit.area c <= before +. 1e-9)
+
+let suite =
+  [
+    ( "redundancy",
+      [
+        Alcotest.test_case "constant propagation" `Quick test_simplify_constants;
+        Alcotest.test_case "3-input rematch" `Quick test_simplify_three_input;
+        Alcotest.test_case "collapse buffers" `Quick test_collapse_buffers;
+        Alcotest.test_case "removal on redundant circuit" `Quick test_redundancy_removal;
+        Alcotest.test_case "no-op on parity" `Quick test_redundancy_on_irredundant;
+        QCheck_alcotest.to_alcotest prop_redundancy_preserves_function;
+        QCheck_alcotest.to_alcotest prop_redundancy_never_grows;
+      ] );
+  ]

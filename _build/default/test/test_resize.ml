@@ -1,0 +1,102 @@
+module Circuit = Netlist.Circuit
+module Library = Gatelib.Library
+module Cell = Gatelib.Cell
+module Resize = Powder.Resize
+module Timing = Sta.Timing
+
+let test_lib2_sized_variants () =
+  let lib = Library.lib2_sized in
+  let base = Library.find lib "nand2" in
+  let big = Library.find lib "nand2_2x" in
+  let small = Library.find lib "nand2_h" in
+  Alcotest.(check bool) "same function" true
+    (Logic.Tt.equal base.Cell.func big.Cell.func
+    && Logic.Tt.equal base.Cell.func small.Cell.func);
+  Alcotest.(check bool) "2x drives harder" true
+    (big.Cell.drive_res < base.Cell.drive_res);
+  Alcotest.(check bool) "2x costs more cap" true
+    (big.Cell.pin_caps.(0) > base.Cell.pin_caps.(0));
+  Alcotest.(check bool) "h is lighter" true
+    (small.Cell.pin_caps.(0) < base.Cell.pin_caps.(0))
+
+let test_set_cell () =
+  let lib = Library.lib2_sized in
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let b = Circuit.add_pi c ~name:"b" in
+  let g = Circuit.add_cell c (Library.find lib "nand2") [| a; b |] in
+  ignore (Circuit.add_po c ~name:"o" g);
+  Circuit.set_cell c g (Library.find lib "nand2_2x");
+  (match Circuit.validate c with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "swapped" "nand2_2x" (Circuit.cell_of c g).Cell.name;
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Circuit.set_cell: arity mismatch") (fun () ->
+      Circuit.set_cell c g (Library.inverter lib))
+
+(* A power-mapped circuit is already minimum-size everywhere, so give
+   the resizer genuine headroom by force-upsizing every instance. *)
+let sized_circuit seed =
+  let g = Circuits.Generators.multiplier ~width:4 in
+  ignore seed;
+  let lib = Library.lib2_sized in
+  let c = Mapper.Techmap.map ~objective:Mapper.Techmap.Power lib g in
+  List.iter
+    (fun id ->
+      let cell = Circuit.cell_of c id in
+      match Library.find_opt lib (cell.Cell.name ^ "_2x") with
+      | Some big -> Circuit.set_cell c id big
+      | None -> (
+        (* already a variant: swap _h for the base cell *)
+        match String.index_opt cell.Cell.name '_' with
+        | Some i ->
+          let base = String.sub cell.Cell.name 0 i in
+          (match Library.find_opt lib (base ^ "_2x") with
+          | Some big -> Circuit.set_cell c id big
+          | None -> ())
+        | None -> ()))
+    (Circuit.live_gates c);
+  c
+
+let test_resize_reduces_power () =
+  let c = sized_circuit 1 in
+  let report = Resize.optimize c in
+  Alcotest.(check bool) "power reduced or equal" true
+    (report.Resize.final_power <= report.Resize.initial_power +. 1e-9);
+  Alcotest.(check bool) "did some work" true (report.Resize.resized > 0);
+  (match Circuit.validate c with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_resize_respects_delay () =
+  let c = sized_circuit 2 in
+  let report = Resize.optimize c in
+  Alcotest.(check bool)
+    (Printf.sprintf "delay %.3f <= initial %.3f" report.Resize.final_delay
+       report.Resize.initial_delay)
+    true
+    (report.Resize.final_delay <= report.Resize.initial_delay +. 1e-6)
+
+let test_resize_preserves_function () =
+  let c = sized_circuit 3 in
+  let original = Circuit.clone c in
+  ignore (Resize.optimize c);
+  Alcotest.(check bool) "equivalent" true
+    (Atpg.Equiv.check original c = Atpg.Equiv.Equivalent)
+
+let test_resize_noop_without_variants () =
+  (* plain lib2 has single strengths: nothing to swap *)
+  let spec = Option.get (Circuits.Suite.find "rd84") in
+  let c = Circuits.Suite.mapped spec in
+  let report = Resize.optimize c in
+  Alcotest.(check int) "no swaps" 0 report.Resize.resized
+
+let suite =
+  [
+    ( "resize",
+      [
+        Alcotest.test_case "sized library" `Quick test_lib2_sized_variants;
+        Alcotest.test_case "set_cell" `Quick test_set_cell;
+        Alcotest.test_case "reduces power" `Quick test_resize_reduces_power;
+        Alcotest.test_case "respects delay" `Quick test_resize_respects_delay;
+        Alcotest.test_case "preserves function" `Quick test_resize_preserves_function;
+        Alcotest.test_case "no-op without variants" `Quick test_resize_noop_without_variants;
+      ] );
+  ]

@@ -1,0 +1,102 @@
+module Circuit = Netlist.Circuit
+module Timing = Sta.Timing
+module Library = Gatelib.Library
+module Cell = Gatelib.Cell
+
+let test_gate_delay_formula () =
+  let c, _, _, _, d, _, _ = Build.fig2_a () in
+  let xor2 = Library.find Build.lib "xor2" in
+  (* d (xor2) drives one and2 pin: load 1.0 *)
+  Alcotest.(check (float 1e-9)) "delay d"
+    (xor2.Cell.tau +. (xor2.Cell.drive_res *. 1.0))
+    (Timing.gate_delay c d)
+
+let test_arrival_chain () =
+  let c = Build.parity_chain 3 in
+  let t = Timing.analyze c in
+  let xor2 = Library.find Build.lib "xor2" in
+  let d_last = xor2.Cell.tau +. (xor2.Cell.drive_res *. 1.0) in
+  let d_first = xor2.Cell.tau +. (xor2.Cell.drive_res *. 2.0) in
+  Alcotest.(check (float 1e-9)) "chain delay" (d_first +. d_last)
+    (Timing.circuit_delay t)
+
+let test_required_and_slack () =
+  let c = Build.parity_chain 4 in
+  let t = Timing.analyze c in
+  (* with required = circuit delay, the critical path has zero slack *)
+  let min_slack =
+    List.fold_left
+      (fun acc g -> Float.min acc (Timing.slack t g))
+      infinity (Circuit.live_gates c)
+  in
+  Alcotest.(check (float 1e-9)) "zero slack on critical" 0.0 min_slack;
+  (* a looser constraint gives positive slack everywhere *)
+  let t2 = Timing.analyze ~required_time:(Timing.circuit_delay t +. 5.0) c in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "positive slack" true (Timing.slack t2 g >= 4.999))
+    (Circuit.live_gates c)
+
+let test_critical_path_is_path () =
+  let c = Build.random_circuit ~seed:17 ~n_pis:6 ~n_gates:40 in
+  let t = Timing.analyze c in
+  let path = Timing.critical_path t in
+  Alcotest.(check bool) "nonempty" true (path <> []);
+  let rec check_consecutive = function
+    | a :: (b :: _ as rest) ->
+      let fanout_ok =
+        List.exists (fun p -> p.Circuit.sink = b) (Circuit.fanouts c a)
+      in
+      Alcotest.(check bool) "edge exists" true fanout_ok;
+      check_consecutive rest
+    | [ last ] ->
+      Alcotest.(check bool) "ends at po driver" true (Circuit.drives_po c last)
+    | [] -> ()
+  in
+  check_consecutive path
+
+let test_arrival_monotone_along_path () =
+  let c = Build.random_circuit ~seed:23 ~n_pis:6 ~n_gates:40 in
+  let t = Timing.analyze c in
+  Array.iter
+    (fun id ->
+      Array.iter
+        (fun f ->
+          Alcotest.(check bool) "arrival monotone" true
+            (Timing.arrival t f <= Timing.arrival t id +. 1e-9))
+        (Circuit.fanins c id))
+    (Circuit.topo_order c)
+
+let prop_load_increases_delay =
+  QCheck.Test.make ~name:"delay grows with load" ~count:50
+    QCheck.(pair (float_range 0.0 10.0) (float_range 0.0 10.0))
+    (fun (l1, l2) ->
+      let c, _, _, _, d, _, _ = Build.fig2_a () in
+      let low = Float.min l1 l2 and high = Float.max l1 l2 in
+      Timing.delay_with_load c d low <= Timing.delay_with_load c d high +. 1e-12)
+
+let prop_slack_consistency =
+  QCheck.Test.make ~name:"slack = required - arrival" ~count:20
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let c = Build.random_circuit ~seed ~n_pis:5 ~n_gates:20 in
+      let t = Timing.analyze c in
+      List.for_all
+        (fun g ->
+          Float.abs (Timing.slack t g -. (Timing.required t g -. Timing.arrival t g))
+          < 1e-12)
+        (Circuit.live_gates c))
+
+let suite =
+  [
+    ( "sta",
+      [
+        Alcotest.test_case "gate delay formula" `Quick test_gate_delay_formula;
+        Alcotest.test_case "arrival chain" `Quick test_arrival_chain;
+        Alcotest.test_case "required and slack" `Quick test_required_and_slack;
+        Alcotest.test_case "critical path is a path" `Quick test_critical_path_is_path;
+        Alcotest.test_case "arrival monotone" `Quick test_arrival_monotone_along_path;
+        QCheck_alcotest.to_alcotest prop_load_increases_delay;
+        QCheck_alcotest.to_alcotest prop_slack_consistency;
+      ] );
+  ]

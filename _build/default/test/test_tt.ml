@@ -1,0 +1,107 @@
+module Tt = Logic.Tt
+
+let tt = Alcotest.testable Tt.pp Tt.equal
+
+let test_vars_and_consts () =
+  Alcotest.(check bool) "const_false is false" true (Tt.is_const_false (Tt.const_false 3));
+  Alcotest.(check bool) "const_true is true" true (Tt.is_const_true (Tt.const_true 3));
+  for i = 0 to 2 do
+    for m = 0 to 7 do
+      Alcotest.(check bool)
+        (Printf.sprintf "var %d minterm %d" i m)
+        (m land (1 lsl i) <> 0)
+        (Tt.eval_int (Tt.var 3 i) m)
+    done
+  done
+
+let test_ops_pointwise () =
+  let a = Tt.var 3 0 and b = Tt.var 3 1 and c = Tt.var 3 2 in
+  let f = Tt.or_ (Tt.and_ a b) (Tt.xor b c) in
+  for m = 0 to 7 do
+    let va = m land 1 <> 0 and vb = m land 2 <> 0 and vc = m land 4 <> 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "minterm %d" m)
+      ((va && vb) || vb <> vc)
+      (Tt.eval_int f m)
+  done
+
+let test_eval_array () =
+  let f = Tt.nand (Tt.var 2 0) (Tt.var 2 1) in
+  Alcotest.(check bool) "nand 00" true (Tt.eval f [| false; false |]);
+  Alcotest.(check bool) "nand 11" false (Tt.eval f [| true; true |])
+
+let test_cofactor () =
+  let a = Tt.var 3 0 and b = Tt.var 3 1 in
+  let f = Tt.or_ (Tt.and_ a b) (Tt.not_ a) in
+  Alcotest.check tt "f|a=1 = b" (Tt.var 3 1) (Tt.cofactor 0 true f);
+  Alcotest.check tt "f|a=0 = 1" (Tt.const_true 3) (Tt.cofactor 0 false f)
+
+let test_support () =
+  let a = Tt.var 4 0 and c = Tt.var 4 2 in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Tt.support (Tt.xor a c));
+  Alcotest.(check (list int)) "const support" [] (Tt.support (Tt.const_true 4))
+
+let test_permute_roundtrip () =
+  let f = Tt.or_ (Tt.and_ (Tt.var 3 0) (Tt.var 3 1)) (Tt.var 3 2) in
+  let perm = [| 2; 0; 1 |] in
+  let inv = [| 1; 2; 0 |] in
+  Alcotest.check tt "permute then inverse" f (Tt.permute (Tt.permute f perm) inv)
+
+let test_permute_semantics () =
+  (* renaming var 0 -> 1 on (x0 & !x1) yields (x1 & !x0) *)
+  let f = Tt.and_ (Tt.var 2 0) (Tt.not_ (Tt.var 2 1)) in
+  let g = Tt.permute f [| 1; 0 |] in
+  Alcotest.check tt "swap" (Tt.and_ (Tt.var 2 1) (Tt.not_ (Tt.var 2 0))) g
+
+let test_minterms_roundtrip () =
+  let f = Tt.of_minterms 4 [ 0; 3; 7; 12 ] in
+  Alcotest.(check (list int)) "minterms" [ 0; 3; 7; 12 ] (Tt.minterms f);
+  Alcotest.(check int) "count" 4 (Tt.count_ones f)
+
+let qcheck_tt n =
+  QCheck.map
+    (fun w -> Tt.create n (Int64.of_int w))
+    QCheck.(int_bound 0xFFFF)
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"de morgan" ~count:200
+    (QCheck.pair (qcheck_tt 4) (qcheck_tt 4))
+    (fun (a, b) -> Tt.equal (Tt.not_ (Tt.and_ a b)) (Tt.or_ (Tt.not_ a) (Tt.not_ b)))
+
+let prop_xor_self =
+  QCheck.Test.make ~name:"xor self = 0" ~count:200 (qcheck_tt 4) (fun a ->
+      Tt.is_const_false (Tt.xor a a))
+
+let prop_cofactor_shannon =
+  QCheck.Test.make ~name:"shannon expansion" ~count:200 (qcheck_tt 4) (fun f ->
+      let x = Tt.var 4 1 in
+      let expanded =
+        Tt.or_
+          (Tt.and_ x (Tt.cofactor 1 true f))
+          (Tt.and_ (Tt.not_ x) (Tt.cofactor 1 false f))
+      in
+      Tt.equal f expanded)
+
+let prop_permute_preserves_count =
+  QCheck.Test.make ~name:"permute preserves minterm count" ~count:200
+    (qcheck_tt 4) (fun f ->
+      Tt.count_ones f = Tt.count_ones (Tt.permute f [| 3; 1; 0; 2 |]))
+
+let suite =
+  [
+    ( "tt",
+      [
+        Alcotest.test_case "vars and consts" `Quick test_vars_and_consts;
+        Alcotest.test_case "pointwise ops" `Quick test_ops_pointwise;
+        Alcotest.test_case "eval array" `Quick test_eval_array;
+        Alcotest.test_case "cofactor" `Quick test_cofactor;
+        Alcotest.test_case "support" `Quick test_support;
+        Alcotest.test_case "permute roundtrip" `Quick test_permute_roundtrip;
+        Alcotest.test_case "permute semantics" `Quick test_permute_semantics;
+        Alcotest.test_case "minterms roundtrip" `Quick test_minterms_roundtrip;
+        QCheck_alcotest.to_alcotest prop_demorgan;
+        QCheck_alcotest.to_alcotest prop_xor_self;
+        QCheck_alcotest.to_alcotest prop_cofactor_shannon;
+        QCheck_alcotest.to_alcotest prop_permute_preserves_count;
+      ] );
+  ]
