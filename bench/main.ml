@@ -22,6 +22,31 @@ let quick = ref false
 
 let base_config = { Optimizer.default_config with words }
 
+(* Every optimizer run executed by the harness lands here and is
+   written out as BENCH_powder.json at exit — per-phase timings
+   included, so successive PRs can diff where the wall-clock goes. *)
+let bench_runs : (string * Obs.Json.t) list ref = ref []
+
+let record_run label (r : Optimizer.report) =
+  bench_runs := (label, Optimizer.report_to_json r) :: !bench_runs
+
+let write_bench_json () =
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "powder");
+        ("quick", Obs.Json.Bool !quick);
+        ("words", Obs.Json.Int words);
+        ("runs", Obs.Json.Obj (List.rev !bench_runs));
+      ]
+  in
+  let oc = open_out "BENCH_powder.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote BENCH_powder.json (%d runs)\n%!"
+    (List.length !bench_runs)
+
 (* ------------------------------------------------------------------ *)
 (* Figure 2: the worked example.                                       *)
 (* ------------------------------------------------------------------ *)
@@ -86,11 +111,13 @@ let table1_rows () =
         let unconstrained =
           Optimizer.optimize ~config:base_config (Circuit.clone circ)
         in
+        record_run ("table1/" ^ spec.Suite.name ^ "/unconstrained") unconstrained;
         let constrained =
           Optimizer.optimize
             ~config:{ base_config with Optimizer.delay = Optimizer.Keep_initial }
             (Circuit.clone circ)
         in
+        record_run ("table1/" ^ spec.Suite.name ^ "/constrained") constrained;
         {
           spec;
           initial_power = unconstrained.Optimizer.initial_power;
@@ -352,7 +379,8 @@ let glitch () =
       | Some spec ->
         let circ = Suite.mapped spec in
         let before = Power.Glitch.estimate ~pairs:256 circ in
-        ignore (Optimizer.optimize ~config:base_config circ);
+        record_run ("glitch/" ^ name ^ "/powder")
+          (Optimizer.optimize ~config:base_config circ);
         let after = Power.Glitch.estimate ~pairs:256 circ in
         let row (r : Power.Glitch.report) =
           Printf.sprintf "%9.2f %9.2f %7.1f%%" r.Power.Glitch.zero_delay_switched_cap
@@ -469,4 +497,5 @@ let () =
   if want "fig6" then fig6 ();
   if want "ablation" then ablation ();
   if want "glitch" then glitch ();
-  if want "micro" then micro ()
+  if want "micro" then micro ();
+  write_bench_json ()

@@ -1,0 +1,43 @@
+(* Validate that a file is well-formed JSON (default) or JSONL
+   ([--jsonl]: one JSON object per non-empty line).  Exit 0 on success.
+   Used by ci.sh to smoke-check the telemetry outputs without external
+   tooling. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let jsonl, path =
+    match Array.to_list Sys.argv with
+    | [ _; "--jsonl"; p ] -> (true, p)
+    | [ _; p ] -> (false, p)
+    | _ ->
+      prerr_endline "usage: json_check [--jsonl] FILE";
+      exit 2
+  in
+  let content = read_file path in
+  if jsonl then begin
+    let lines =
+      String.split_on_char '\n' content
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    List.iteri
+      (fun i line ->
+        match Obs.Json.of_string line with
+        | Ok _ -> ()
+        | Error e ->
+          Printf.eprintf "%s:%d: %s\n" path (i + 1) e;
+          exit 1)
+      lines;
+    Printf.printf "%s: %d JSONL records OK\n" path (List.length lines)
+  end
+  else
+    match Obs.Json.of_string content with
+    | Ok _ -> Printf.printf "%s: JSON OK\n" path
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1

@@ -127,7 +127,8 @@ let engine_arg =
            ~doc:"Exact permissibility engine: sat (default), podem or bdd.")
 
 let optimize_cmd =
-  let run in_file circuit_name out_file words seed delay classes engine verify =
+  let run in_file circuit_name out_file words seed delay classes engine verify
+      trace_file json_file metrics =
     let circ = load_circuit in_file circuit_name in
     let original = Circuit.clone circ in
     let config =
@@ -139,8 +140,30 @@ let optimize_cmd =
         check_engine = engine;
       }
     in
+    (* Open both output files before the (possibly long) run so a bad
+       path fails immediately instead of after the work is done. *)
+    let fail_sys msg = prerr_endline ("powder_cli: " ^ msg); exit 1 in
+    let json_out =
+      match json_file with
+      | None -> None
+      | Some f -> (try Some (f, open_out f) with Sys_error m -> fail_sys m)
+    in
+    (match trace_file with
+    | Some f ->
+      (try Obs.Trace.set_sink (Obs.Trace.jsonl_sink f)
+       with Sys_error m -> fail_sys m)
+    | None -> ());
     let report = Optimizer.optimize ~config circ in
+    Obs.Trace.close_sink ();
     Format.printf "%a@." Optimizer.pp_report report;
+    (match json_out with
+    | Some (f, oc) ->
+      output_string oc (Obs.Json.to_string (Optimizer.report_to_json report));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" f
+    | None -> ());
+    if metrics then Format.printf "=== metrics ===@.%a@." Obs.Metrics.dump ();
     if verify then begin
       match Atpg.Equiv.check ~exhaustive_limit:16 original circ with
       | Atpg.Equiv.Equivalent -> print_endline "verification: equivalent"
@@ -155,10 +178,28 @@ let optimize_cmd =
     Arg.(value & flag & info [ "verify" ]
            ~doc:"Re-check input/output equivalence of the final netlist.")
   in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL event trace of the optimization loop (one JSON \
+                 object per line: rounds, per-candidate verdicts, accepted \
+                 substitutions with estimated vs. realized gain, timed spans).")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the final report as machine-readable JSON, including \
+                 the candidate funnel and per-phase timings.")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Dump the telemetry registry (counters and latency \
+                 histograms from the simulator, power estimator, STA and the \
+                 ATPG proof engines) after the run.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Reduce power by permissible substitutions (POWDER).")
     Term.(const run $ in_file $ circuit_name $ out_file $ words $ seed
-          $ delay_mode $ classes $ engine_arg $ verify)
+          $ delay_mode $ classes $ engine_arg $ verify $ trace_file
+          $ json_file $ metrics)
 
 let map_cmd =
   let run in_file out_file objective =

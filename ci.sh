@@ -1,0 +1,22 @@
+#!/bin/sh
+# Minimal CI: build, test, then smoke-run the optimizer and validate
+# that its machine-readable outputs actually parse.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== smoke: optimize rd84 with full telemetry =="
+tmp_json=$(mktemp /tmp/powder_ci_XXXXXX.json)
+tmp_trace=$(mktemp /tmp/powder_ci_XXXXXX.jsonl)
+dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+  --json "$tmp_json" --trace "$tmp_trace" --metrics
+dune exec bin/json_check.exe -- "$tmp_json"
+dune exec bin/json_check.exe -- --jsonl "$tmp_trace"
+rm -f "$tmp_json" "$tmp_trace"
+
+echo "CI OK"

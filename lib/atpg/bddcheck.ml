@@ -50,25 +50,38 @@ let build ?(node_limit = 500_000) circ target =
     (Circuit.topo_order circ);
   (m, Hashtbl.find node_bdd target, pi_vars)
 
+let m_justify_seconds = Obs.Metrics.histogram "atpg.bdd.justify_seconds"
+let m_justifies = Obs.Metrics.counter "atpg.bdd.justifies"
+let m_giveups = Obs.Metrics.counter "atpg.bdd.giveups"
+
 let justify_one ?node_limit circ target =
+  let t0 = Obs.Clock.now () in
+  let finish res =
+    Obs.Metrics.observe m_justify_seconds (Obs.Clock.now () -. t0);
+    Obs.Metrics.incr m_justifies;
+    (match res with
+    | Gave_up _ -> Obs.Metrics.incr m_giveups
+    | Justified _ | Impossible -> ());
+    res
+  in
   match build ?node_limit circ target with
-  | exception Bdd.Node_limit_exceeded -> Gave_up 0
+  | exception Bdd.Node_limit_exceeded -> finish (Gave_up 0)
   | m, b, pi_vars ->
-    if Bdd.is_false m b then Impossible
-    else begin
-      match Bdd.any_sat m b with
-      | None -> Impossible
-      | Some assignment ->
-        let by_var = Hashtbl.create 16 in
-        List.iter (fun (v, value) -> Hashtbl.replace by_var v value) assignment;
-        Justified
-          (Hashtbl.fold
-             (fun pi v acc ->
-               match Hashtbl.find_opt by_var v with
-               | Some value -> (pi, value) :: acc
-               | None -> acc)
-             pi_vars [])
-    end
+    finish
+      (if Bdd.is_false m b then Impossible
+       else
+         match Bdd.any_sat m b with
+         | None -> Impossible
+         | Some assignment ->
+           let by_var = Hashtbl.create 16 in
+           List.iter (fun (v, value) -> Hashtbl.replace by_var v value) assignment;
+           Justified
+             (Hashtbl.fold
+                (fun pi v acc ->
+                  match Hashtbl.find_opt by_var v with
+                  | Some value -> (pi, value) :: acc
+                  | None -> acc)
+                pi_vars []))
 
 let bdd_size_of_cone ?node_limit circ target =
   match build ?node_limit circ target with

@@ -282,12 +282,22 @@ let extract_test st =
       | VX -> None)
     st.pi_ids
 
+let m_search_seconds = Obs.Metrics.histogram "atpg.podem.search_seconds"
+let m_searches = Obs.Metrics.counter "atpg.podem.searches"
+let m_backtracks = Obs.Metrics.counter "atpg.podem.backtracks"
+let m_giveups = Obs.Metrics.counter "atpg.podem.giveups"
+
 let run st =
+  let t0 = Obs.Clock.now () in
   let res =
     try if search st then Test (extract_test st) else Untestable
     with Abort_search -> Aborted
   in
   last_backtracks := st.backtracks;
+  Obs.Metrics.observe m_search_seconds (Obs.Clock.now () -. t0);
+  Obs.Metrics.incr m_searches;
+  Obs.Metrics.add m_backtracks st.backtracks;
+  (match res with Aborted -> Obs.Metrics.incr m_giveups | Test _ | Untestable -> ());
   res
 
 let generate_test ?backtrack_limit circ fault =

@@ -198,7 +198,13 @@ let pick_branch s =
   done;
   !best
 
+let m_solve_seconds = Obs.Metrics.histogram "atpg.sat.solve_seconds"
+let m_conflicts = Obs.Metrics.counter "atpg.sat.conflicts"
+let m_solves = Obs.Metrics.counter "atpg.sat.solves"
+let m_giveups = Obs.Metrics.counter "atpg.sat.giveups"
+
 let solve ?(conflict_limit = 200_000) ~num_vars clauses =
+  let t0 = Obs.Clock.now () in
   let s =
     {
       nvars = num_vars;
@@ -233,8 +239,9 @@ let solve ?(conflict_limit = 200_000) ~num_vars clauses =
         | [ l ] -> units := l :: !units
         | _ -> ignore (add_clause s lits))
     clauses;
-  if !trivially_unsat then Unsat
-  else begin
+  let result =
+    if !trivially_unsat then Unsat
+    else begin
     (* assert unit clauses at level 0 *)
     let conflict0 =
       List.exists
@@ -319,3 +326,11 @@ let solve ?(conflict_limit = 200_000) ~num_vars clauses =
       loop ()
     end
   end
+  in
+  Obs.Metrics.observe m_solve_seconds (Obs.Clock.now () -. t0);
+  Obs.Metrics.incr m_solves;
+  Obs.Metrics.add m_conflicts s.conflicts;
+  (match result with
+  | Timeout -> Obs.Metrics.incr m_giveups
+  | Sat _ | Unsat -> ());
+  result

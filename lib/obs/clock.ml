@@ -1,0 +1,3 @@
+let now () = Unix.gettimeofday ()
+let start = now ()
+let since_start () = now () -. start

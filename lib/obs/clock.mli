@@ -1,0 +1,12 @@
+(** One clock source for every telemetry measurement, so that span
+    durations, proof latencies and the optimizer's [cpu_seconds] are
+    directly comparable (mixing [Sys.time] CPU seconds with wall-clock
+    timestamps makes phase breakdowns impossible to reconcile). *)
+
+val now : unit -> float
+(** Wall-clock seconds with microsecond resolution
+    ([Unix.gettimeofday]). *)
+
+val since_start : unit -> float
+(** Seconds elapsed since this module was initialized — used as the
+    timestamp of trace events so traces start near 0. *)

@@ -1,0 +1,36 @@
+(** A small self-contained JSON tree: enough to serialize telemetry
+    (JSONL traces, metric dumps, machine-readable reports) and to parse
+    them back in tests and CI smoke checks, without pulling an external
+    dependency into the build. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+(** Compact (single-line) serialization.  Non-finite floats are
+    emitted as [null], which is what every JSON consumer expects. *)
+
+val of_string : string -> (t, string) result
+(** Strict recursive-descent parser; the error string carries the
+    offending byte offset.  Numbers without [.], [e] or [E] parse as
+    [Int], everything else as [Float]. *)
+
+(** {2 Accessors} (for tests and report consumers) *)
+
+val member : string -> t -> t option
+(** First binding of a key in an [Obj]. *)
+
+val get_int : t -> int option
+(** [Int] directly, or a [Float] with integral value. *)
+
+val get_float : t -> float option
+val get_string : t -> string option
+val get_bool : t -> bool option
+val get_list : t -> t list option

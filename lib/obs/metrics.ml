@@ -1,0 +1,154 @@
+type counter = { mutable count : int }
+type gauge = { mutable gvalue : float }
+
+let num_buckets = 64
+let bucket_base = 1e-6 (* 1 microsecond *)
+
+type histogram = {
+  mutable obs_count : int;
+  mutable obs_sum : float;
+  bins : int array;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ ->
+    invalid_arg ("Obs.Metrics: " ^ name ^ " already registered, not a counter")
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.add registry name (Counter c);
+    c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ ->
+    invalid_arg ("Obs.Metrics: " ^ name ^ " already registered, not a gauge")
+  | None ->
+    let g = { gvalue = 0.0 } in
+    Hashtbl.add registry name (Gauge g);
+    g
+
+let set_gauge g v = g.gvalue <- v
+let gauge_value g = g.gvalue
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ ->
+    invalid_arg ("Obs.Metrics: " ^ name ^ " already registered, not a histogram")
+  | None ->
+    let h = { obs_count = 0; obs_sum = 0.0; bins = Array.make num_buckets 0 } in
+    Hashtbl.add registry name (Histogram h);
+    h
+
+let bucket_of v =
+  if v <= bucket_base then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log2 (v /. bucket_base))) in
+    if i >= num_buckets then num_buckets - 1 else if i < 0 then 0 else i
+
+let bucket_upper i = bucket_base *. Float.pow 2.0 (float_of_int i)
+
+let observe h v =
+  h.obs_count <- h.obs_count + 1;
+  h.obs_sum <- h.obs_sum +. v;
+  let i = bucket_of v in
+  h.bins.(i) <- h.bins.(i) + 1
+
+let histogram_count h = h.obs_count
+let histogram_sum h = h.obs_sum
+
+let histogram_buckets h =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if h.bins.(i) > 0 then acc := (bucket_upper i, h.bins.(i)) :: !acc
+  done;
+  !acc
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.gvalue <- 0.0
+      | Histogram h ->
+        h.obs_count <- 0;
+        h.obs_sum <- 0.0;
+        Array.fill h.bins 0 num_buckets 0)
+    registry
+
+let find name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some (`Counter c.count)
+  | Some (Gauge g) -> Some (`Gauge g.gvalue)
+  | Some (Histogram h) -> Some (`Histogram (h.obs_count, h.obs_sum))
+  | None -> None
+
+let names () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort compare
+
+let pp_duration fmt s =
+  if s < 1e-3 then Format.fprintf fmt "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf fmt "%.2fms" (s *. 1e3)
+  else Format.fprintf fmt "%.3fs" s
+
+let dump fmt () =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun name ->
+      match Hashtbl.find registry name with
+      | Counter c -> Format.fprintf fmt "%-40s %d@," name c.count
+      | Gauge g -> Format.fprintf fmt "%-40s %g@," name g.gvalue
+      | Histogram h ->
+        let mean =
+          if h.obs_count = 0 then 0.0
+          else h.obs_sum /. float_of_int h.obs_count
+        in
+        Format.fprintf fmt "%-40s count=%d sum=%a mean=%a@," name h.obs_count
+          pp_duration h.obs_sum pp_duration mean;
+        if h.obs_count > 0 then begin
+          Format.fprintf fmt "%-40s " "";
+          List.iter
+            (fun (ub, n) -> Format.fprintf fmt "le(%a)=%d " pp_duration ub n)
+            (histogram_buckets h);
+          Format.fprintf fmt "@,"
+        end)
+    (names ());
+  Format.fprintf fmt "@]"
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun name ->
+         let v =
+           match Hashtbl.find registry name with
+           | Counter c ->
+             Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c.count) ]
+           | Gauge g ->
+             Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float g.gvalue) ]
+           | Histogram h ->
+             Json.Obj
+               [
+                 ("type", Json.String "histogram");
+                 ("count", Json.Int h.obs_count);
+                 ("sum", Json.Float h.obs_sum);
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (ub, n) ->
+                          Json.Obj [ ("le", Json.Float ub); ("count", Json.Int n) ])
+                        (histogram_buckets h)) );
+               ]
+         in
+         (name, v))
+       (names ()))

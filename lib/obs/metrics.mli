@@ -1,0 +1,68 @@
+(** A process-global metrics registry: counters, gauges and
+    log-bucketed latency histograms.
+
+    Metrics are get-or-create by name, so instrumentation sites can
+    hoist the lookup ([let m = Metrics.counter "sim.resim.nodes"] at
+    module init) and pay only a field update on the hot path.  The
+    registry survives {!reset} — handles stay valid, values return to
+    zero — which lets the optimizer delta-measure a single run without
+    invalidating cached handles elsewhere.
+
+    Everything here is single-threaded, like the rest of the code
+    base. *)
+
+type counter
+type gauge
+type histogram
+
+(** {2 Counters} *)
+
+val counter : string -> counter
+(** Get or create.  @raise Invalid_argument if the name is already
+    registered as a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {2 Gauges} *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {2 Histograms}
+
+    Log-bucketed: bucket [i] holds observations in
+    [(1us * 2^(i-1), 1us * 2^i]], bucket 0 holds everything at or
+    below 1us.  64 buckets cover 1us .. ~585 years, so durations never
+    overflow. *)
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) list
+(** Non-empty buckets only, as [(upper_bound_seconds, count)] in
+    increasing bound order. *)
+
+(** {2 Registry} *)
+
+val reset : unit -> unit
+(** Zero every registered metric in place (handles stay valid). *)
+
+val find :
+  string ->
+  [ `Counter of int | `Gauge of float | `Histogram of int * float ] option
+(** Current value by name; histograms report [(count, sum)]. *)
+
+val names : unit -> string list
+(** All registered names, sorted. *)
+
+val dump : Format.formatter -> unit -> unit
+(** Human-readable dump of every registered metric, sorted by name.
+    Histograms print count / sum / mean and their non-empty buckets. *)
+
+val to_json : unit -> Json.t
+(** The whole registry as one JSON object keyed by metric name. *)

@@ -1,0 +1,92 @@
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type event = {
+  ts : float;
+  name : string;
+  path : string list;
+  fields : (string * value) list;
+}
+
+type sink = { emit : event -> unit; close : unit -> unit; is_null : bool }
+
+let make_sink ~emit ~close = { emit; close; is_null = false }
+let null_sink = { emit = (fun _ -> ()); close = (fun () -> ()); is_null = true }
+
+let json_of_value = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | String s -> Json.String s
+
+let json_of_event e =
+  Json.Obj
+    (("ts", Json.Float e.ts)
+     :: ("ev", Json.String e.name)
+     :: ("path", Json.String (String.concat "/" e.path))
+     :: List.map (fun (k, v) -> (k, json_of_value v)) e.fields)
+
+let console_sink fmt =
+  let pp_value ppf = function
+    | Bool b -> Format.pp_print_bool ppf b
+    | Int i -> Format.pp_print_int ppf i
+    | Float f -> Format.fprintf ppf "%.4g" f
+    | String s -> Format.pp_print_string ppf s
+  in
+  make_sink
+    ~emit:(fun e ->
+      Format.fprintf fmt "[%10.6f] %-12s %s" e.ts e.name
+        (String.concat "/" e.path);
+      List.iter (fun (k, v) -> Format.fprintf fmt " %s=%a" k pp_value v) e.fields;
+      Format.fprintf fmt "@.")
+    ~close:(fun () -> Format.pp_print_flush fmt ())
+
+let jsonl_sink file =
+  let oc = open_out file in
+  let buf = Buffer.create 256 in
+  make_sink
+    ~emit:(fun e ->
+      Buffer.clear buf;
+      Json.to_buffer buf (json_of_event e);
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf)
+    ~close:(fun () -> close_out oc)
+
+let current_sink = ref null_sink
+
+let set_sink s =
+  let old = !current_sink in
+  current_sink := s;
+  old.close ()
+
+let close_sink () = set_sink null_sink
+let active () = not !current_sink.is_null
+
+(* innermost-first; reversed when an event captures its path *)
+let span_stack : string list ref = ref []
+
+let current_path () = List.rev !span_stack
+
+let emit name fields =
+  !current_sink.emit
+    { ts = Clock.since_start (); name; path = current_path (); fields }
+
+let event name fields = if active () then emit name fields
+let event_f name mk_fields = if active () then emit name (mk_fields ())
+
+let span_histogram name = Metrics.histogram ("span." ^ name)
+
+let with_span ?(fields = []) name f =
+  let h = span_histogram name in
+  let t0 = Clock.now () in
+  span_stack := name :: !span_stack;
+  if active () then emit "span_begin" fields;
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Clock.now () -. t0 in
+      Metrics.observe h dt;
+      if active () then emit "span_end" (("dur_s", Float dt) :: fields);
+      span_stack := List.tl !span_stack)
+    f
+
+let span_seconds name = Metrics.histogram_sum (span_histogram name)
+let span_count name = Metrics.histogram_count (span_histogram name)

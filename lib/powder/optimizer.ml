@@ -41,6 +41,9 @@ let default_config =
     max_rounds = 200;
   }
 
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+
 type class_stats = { accepted : int; power_gain : float; area_gain : float }
 
 type report = {
@@ -57,12 +60,26 @@ type report = {
   checks_run : int;
   rejected_by_delay : int;
   rejected_by_atpg : int;
+  rejected_by_giveup : int;
   rejected_by_cex : int;
       (** screened out by accumulated counterexample patterns, without
           running an exact proof *)
   rounds : int;
+  phase_seconds : (string * float) list;
   cpu_seconds : float;
 }
+
+let phase_names = [ "generate"; "rank"; "refine-pgc"; "exact-check"; "apply"; "sta" ]
+
+(* registry mirrors of the funnel counters, for [--metrics] dumps *)
+let m_candidates = Metrics.counter "powder.candidates.generated"
+let m_checks = Metrics.counter "powder.checks"
+let m_accepted = Metrics.counter "powder.accepted"
+let m_rej_delay = Metrics.counter "powder.rejected.delay"
+let m_rej_atpg = Metrics.counter "powder.rejected.atpg"
+let m_rej_giveup = Metrics.counter "powder.rejected.giveup"
+let m_rej_cex = Metrics.counter "powder.rejected.cex"
+let m_rounds = Metrics.counter "powder.rounds"
 
 let power_reduction_percent r =
   if r.initial_power <= 0.0 then 0.0
@@ -94,7 +111,13 @@ let still_valid circ (s : Subst.t) =
   target_ok && source_ok
 
 let optimize ?(config = default_config) circ =
-  let t0 = Sys.time () in
+  let t0 = Obs.Clock.now () in
+  (* span histograms are process-global; remember their current sums so
+     this run's phase breakdown is a delta, not a lifetime total *)
+  let phase_base = List.map (fun n -> (n, Trace.span_seconds n)) phase_names in
+  let analyze_timed ?required_time c =
+    Trace.with_span "sta" (fun () -> Timing.analyze ?required_time c)
+  in
   let log = Logs.debug in
   let eng = Engine.create circ ~words:config.words in
   let prob_of pi = config.input_prob (Circuit.name circ pi) in
@@ -102,7 +125,7 @@ let optimize ?(config = default_config) circ =
   let est = Estimator.create eng in
   let initial_power = Estimator.total est in
   let initial_area = Circuit.area circ in
-  let initial_delay = Timing.circuit_delay (Timing.analyze circ) in
+  let initial_delay = Timing.circuit_delay (analyze_timed circ) in
   let constraint_ =
     match config.delay with
     | Unconstrained -> None
@@ -110,7 +133,7 @@ let optimize ?(config = default_config) circ =
     | Ratio r -> Some (initial_delay *. (1.0 +. r))
     | Absolute d -> Some d
   in
-  let sta = ref (Timing.analyze ?required_time:constraint_ circ) in
+  let sta = ref (analyze_timed ?required_time:constraint_ circ) in
   let stats = Hashtbl.create 4 in
   List.iter
     (fun k -> Hashtbl.add stats k { accepted = 0; power_gain = 0.0; area_gain = 0.0 })
@@ -119,6 +142,7 @@ let optimize ?(config = default_config) circ =
   let checks = ref 0 in
   let rej_delay = ref 0 in
   let rej_atpg = ref 0 in
+  let rej_giveup = ref 0 in
   let rej_cex = ref 0 in
   let substitutions = ref 0 in
   let rounds = ref 0 in
@@ -163,22 +187,23 @@ let optimize ?(config = default_config) circ =
   let try_pick pool used ranked_cache =
     let compute_ranked () =
       (* rank the still-valid unused candidates by fresh PG_A+PG_B *)
-      let ranked = ref [] in
-      Array.iteri
-        (fun i (s, _) ->
-          if (not used.(i)) && still_valid circ s
-             && not (Subst.creates_cycle circ s)
-          then begin
-            let g = Subst.gain_ab est s in
-            if Subst.total_gain g > 0.0 then ranked := (i, s, g) :: !ranked
-            else used.(i) <- true
-          end
-          else used.(i) <- true)
-        pool;
-      List.sort
-        (fun (_, _, g1) (_, _, g2) ->
-          Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
-        !ranked
+      Trace.with_span "rank" (fun () ->
+          let ranked = ref [] in
+          Array.iteri
+            (fun i (s, _) ->
+              if (not used.(i)) && still_valid circ s
+                 && not (Subst.creates_cycle circ s)
+              then begin
+                let g = Subst.gain_ab est s in
+                if Subst.total_gain g > 0.0 then ranked := (i, s, g) :: !ranked
+                else used.(i) <- true
+              end
+              else used.(i) <- true)
+            pool;
+          List.sort
+            (fun (_, _, g1) (_, _, g2) ->
+              Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
+            !ranked)
     in
     let ranked =
       match ranked_cache with
@@ -191,15 +216,16 @@ let optimize ?(config = default_config) circ =
       let top = List.filteri (fun k _ -> k < config.preselect) ranked in
       (* re-estimate PG_C for the pre-selected candidates (Section 3.5) *)
       let refined =
-        List.filter_map
-          (fun (i, s, _) ->
-            let g = Subst.gain_full est s in
-            if Subst.total_gain g > 0.0 then Some (i, s, g)
-            else begin
-              used.(i) <- true;
-              None
-            end)
-          top
+        Trace.with_span "refine-pgc" (fun () ->
+            List.filter_map
+              (fun (i, s, _) ->
+                let g = Subst.gain_full est s in
+                if Subst.total_gain g > 0.0 then Some (i, s, g)
+                else begin
+                  used.(i) <- true;
+                  None
+                end)
+              top)
       in
       let class_rank s =
         match Subst.klass s with
@@ -215,9 +241,21 @@ let optimize ?(config = default_config) circ =
             if c <> 0 then c else Int.compare (class_rank s1) (class_rank s2))
           refined
       in
+      (* rank = position in the refined best-first order, recorded on
+         every accept/reject event so the trace shows how deep into the
+         pre-selection each verdict happened *)
+      let refined = List.mapi (fun rank (i, s, g) -> (rank, i, s, g)) refined in
+      let reject rank s reason =
+        Trace.event_f "reject" (fun () ->
+            [
+              ("reason", Trace.String reason);
+              ("rank", Trace.Int rank);
+              ("cand", Trace.String (Subst.describe circ s));
+            ])
+      in
       let rec attempt = function
         | [] -> `Tried ranked
-        | (i, s, g) :: rest ->
+        | (rank, i, s, g) :: rest ->
           used.(i) <- true;
           let delay_fine =
             match constraint_ with
@@ -226,50 +264,68 @@ let optimize ?(config = default_config) circ =
           in
           if not delay_fine then begin
             incr rej_delay;
+            reject rank s "delay";
             attempt rest
           end
           else if Check.refuted_on_patterns cex_eng s then begin
             incr rej_cex;
+            reject rank s "cex";
             attempt rest
           end
           else begin
             incr checks;
             let verdict =
-              match
-                Check.permissible ~backtrack_limit:config.backtrack_limit
-                  ~exhaustive_limit:config.exhaustive_limit
-                  ~engine:config.check_engine circ s
-              with
-              | v -> v
-              | exception Invalid_argument _ -> Check.Gave_up
+              Trace.with_span "exact-check" (fun () ->
+                  match
+                    Check.permissible ~backtrack_limit:config.backtrack_limit
+                      ~exhaustive_limit:config.exhaustive_limit
+                      ~engine:config.check_engine circ s
+                  with
+                  | v -> v
+                  | exception Invalid_argument _ -> Check.Gave_up)
             in
             match verdict with
             | Check.Permissible ->
               let power_before = Estimator.total est in
               let area_before = Circuit.area circ in
-              let src = Subst.apply circ s in
-              Estimator.update_after_edit est src;
-              Engine.resim_tfo cex_eng src;
-              sta := Timing.analyze ?required_time:constraint_ circ;
+              let desc = if Trace.active () then Subst.describe circ s else "" in
+              Trace.with_span "apply" (fun () ->
+                  let src = Subst.apply circ s in
+                  Estimator.update_after_edit est src;
+                  Engine.resim_tfo cex_eng src);
+              sta := analyze_timed ?required_time:constraint_ circ;
               incr substitutions;
+              let realized = power_before -. Estimator.total est in
+              let area_delta = area_before -. Circuit.area circ in
               let k = Subst.klass s in
               let st = Hashtbl.find stats k in
               Hashtbl.replace stats k
                 {
                   accepted = st.accepted + 1;
-                  power_gain = st.power_gain +. (power_before -. Estimator.total est);
-                  area_gain = st.area_gain +. (area_before -. Circuit.area circ);
+                  power_gain = st.power_gain +. realized;
+                  area_gain = st.area_gain +. area_delta;
                 };
+              Trace.event_f "accept" (fun () ->
+                  [
+                    ("class", Trace.String (Subst.klass_name k));
+                    ("rank", Trace.Int rank);
+                    ("est_gain", Trace.Float (Subst.total_gain g));
+                    ("realized_gain", Trace.Float realized);
+                    ("area_delta", Trace.Float area_delta);
+                    ("cand", Trace.String desc);
+                  ]);
               log (fun m ->
                   m "accepted %s (gain %.4f)" (Subst.describe circ s)
                     (Subst.total_gain g));
               `Accepted
             | Check.Not_permissible cex ->
               incr rej_atpg;
+              reject rank s "atpg";
               inject_cex cex;
               attempt rest
             | Check.Gave_up ->
-              incr rej_atpg;
+              incr rej_giveup;
+              reject rank s "giveup";
               attempt rest
           end
       in
@@ -281,8 +337,13 @@ let optimize ?(config = default_config) circ =
     && !substitutions < config.max_substitutions
   do
     incr rounds;
-    let pool = Array.of_list (Candidates.generate ~config:cand_config est) in
+    let pool =
+      Trace.with_span "generate" (fun () ->
+          Array.of_list (Candidates.generate ~config:cand_config est))
+    in
     candidates_generated := !candidates_generated + Array.length pool;
+    Trace.event "round"
+      [ ("round", Trace.Int !rounds); ("pool", Trace.Int (Array.length pool)) ];
     if Array.length pool = 0 then continue_ := false
     else begin
       let used = Array.make (Array.length pool) false in
@@ -304,7 +365,18 @@ let optimize ?(config = default_config) circ =
       if !accepted_this_round = 0 then continue_ := false
     end
   done;
-  let final_sta = Timing.analyze circ in
+  let final_sta = analyze_timed circ in
+  Metrics.add m_candidates !candidates_generated;
+  Metrics.add m_checks !checks;
+  Metrics.add m_accepted !substitutions;
+  Metrics.add m_rej_delay !rej_delay;
+  Metrics.add m_rej_atpg !rej_atpg;
+  Metrics.add m_rej_giveup !rej_giveup;
+  Metrics.add m_rej_cex !rej_cex;
+  Metrics.add m_rounds !rounds;
+  let phase_seconds =
+    List.map (fun (n, base) -> (n, Trace.span_seconds n -. base)) phase_base
+  in
   {
     initial_power;
     final_power = Estimator.total est;
@@ -319,26 +391,78 @@ let optimize ?(config = default_config) circ =
     checks_run = !checks;
     rejected_by_delay = !rej_delay;
     rejected_by_atpg = !rej_atpg;
+    rejected_by_giveup = !rej_giveup;
     rejected_by_cex = !rej_cex;
     rounds = !rounds;
-    cpu_seconds = Sys.time () -. t0;
+    phase_seconds;
+    cpu_seconds = Obs.Clock.now () -. t0;
   }
 
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>power: %.4f -> %.4f (%.1f%%)@,area: %.0f -> %.0f (%.1f%%)@,\
-     delay: %.2f -> %.2f%s@,substitutions: %d (checks %d, rej delay %d, rej \
-     atpg %d, rej cex %d, rounds %d)@,"
+     delay: %.2f -> %.2f%s@,funnel: %d generated -> %d checked -> %d accepted@,\
+     substitutions: %d (checks %d, rej delay %d, rej atpg %d, rej giveup %d, \
+     rej cex %d, rounds %d)@,"
     r.initial_power r.final_power (power_reduction_percent r) r.initial_area
     r.final_area (area_reduction_percent r) r.initial_delay r.final_delay
     (match r.delay_constraint with
     | None -> ""
     | Some d -> Printf.sprintf " (constraint %.2f)" d)
-    r.substitutions r.checks_run r.rejected_by_delay r.rejected_by_atpg
+    r.candidates_generated r.checks_run r.substitutions r.substitutions
+    r.checks_run r.rejected_by_delay r.rejected_by_atpg r.rejected_by_giveup
     r.rejected_by_cex r.rounds;
   List.iter
     (fun (k, st) ->
       Format.fprintf fmt "  %s: %d accepted, power %.4f, area %.0f@,"
         (Subst.klass_name k) st.accepted st.power_gain st.area_gain)
     r.by_class;
-  Format.fprintf fmt "cpu: %.2fs@]" r.cpu_seconds
+  Format.fprintf fmt "phases:";
+  List.iter
+    (fun (n, s) -> Format.fprintf fmt " %s %.3fs" n s)
+    r.phase_seconds;
+  Format.fprintf fmt "@,cpu: %.2fs@]" r.cpu_seconds
+
+let report_to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("initial_power", Float r.initial_power);
+      ("final_power", Float r.final_power);
+      ("power_reduction_percent", Float (power_reduction_percent r));
+      ("initial_area", Float r.initial_area);
+      ("final_area", Float r.final_area);
+      ("area_reduction_percent", Float (area_reduction_percent r));
+      ("initial_delay", Float r.initial_delay);
+      ("final_delay", Float r.final_delay);
+      ( "delay_constraint",
+        match r.delay_constraint with None -> Null | Some d -> Float d );
+      ("substitutions", Int r.substitutions);
+      ( "by_class",
+        Obj
+          (List.map
+             (fun (k, st) ->
+               ( Subst.klass_name k,
+                 Obj
+                   [
+                     ("accepted", Int st.accepted);
+                     ("power_gain", Float st.power_gain);
+                     ("area_gain", Float st.area_gain);
+                   ] ))
+             r.by_class) );
+      ( "funnel",
+        Obj
+          [
+            ("candidates_generated", Int r.candidates_generated);
+            ("checks_run", Int r.checks_run);
+            ("accepted", Int r.substitutions);
+            ("rejected_by_delay", Int r.rejected_by_delay);
+            ("rejected_by_atpg", Int r.rejected_by_atpg);
+            ("rejected_by_giveup", Int r.rejected_by_giveup);
+            ("rejected_by_cex", Int r.rejected_by_cex);
+          ] );
+      ("rounds", Int r.rounds);
+      ( "phase_seconds",
+        Obj (List.map (fun (n, s) -> (n, Float s)) r.phase_seconds) );
+      ("cpu_seconds", Float r.cpu_seconds);
+    ]

@@ -60,17 +60,43 @@ type report = {
   checks_run : int;
   rejected_by_delay : int;
   rejected_by_atpg : int;
+      (** proven wrong: the exact check found a distinguishing vector *)
+  rejected_by_giveup : int;
+      (** inconclusive: the proof engine hit its budget; the candidate
+          may well have been permissible *)
   rejected_by_cex : int;
       (** screened out by accumulated counterexample patterns before
           any exact proof was attempted *)
   rounds : int;
+  phase_seconds : (string * float) list;
+      (** cumulative wall-clock per phase, keyed by {!phase_names} *)
   cpu_seconds : float;
+      (** wall-clock of the whole run, same clock as [phase_seconds] *)
 }
+
+val phase_names : string list
+(** The instrumented phases of the loop, in execution order:
+    [generate], [rank], [refine-pgc], [exact-check], [apply], [sta]. *)
 
 val power_reduction_percent : report -> float
 val area_reduction_percent : report -> float
 
 val optimize : ?config:config -> Netlist.Circuit.t -> report
-(** Optimizes the circuit in place. *)
+(** Optimizes the circuit in place.
+
+    Telemetry: the run is wrapped in {!Obs.Trace} spans (one per entry
+    of {!phase_names}); when a trace sink is installed it emits a
+    [round] event per candidate-pool generation (fields [round],
+    [pool]), a [reject] event per discarded candidate (fields [reason]
+    in [delay]/[cex]/[atpg]/[giveup], [rank], [cand]) and an [accept]
+    event per applied substitution (fields [class], [rank],
+    [est_gain], [realized_gain], [area_delta], [cand]).  Funnel
+    counters are also mirrored into the {!Obs.Metrics} registry under
+    [powder.*]. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> Obs.Json.t
+(** Machine-readable report: every field of {!report} plus the derived
+    reduction percentages, with [by_class] and [phase_seconds] as
+    nested objects. *)

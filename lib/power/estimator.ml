@@ -51,14 +51,23 @@ let refresh_all t =
   let circ = circuit t in
   Circuit.iter_live circ (fun id -> t.p.(id) <- signal_prob_of_node t.eng id)
 
+let m_update_calls = Obs.Metrics.counter "power.update.calls"
+let m_update_nodes = Obs.Metrics.counter "power.update.nodes"
+
 let update_after_edit t s =
   ensure_capacity t;
   let circ = circuit t in
   Engine.resim_tfo t.eng s;
   let tfo = Circuit.tfo circ s in
   t.p.(s) <- signal_prob_of_node t.eng s;
+  let refreshed = ref 1 in
   Circuit.iter_live circ (fun id ->
-      if tfo.(id) then t.p.(id) <- signal_prob_of_node t.eng id)
+      if tfo.(id) then begin
+        t.p.(id) <- signal_prob_of_node t.eng id;
+        incr refreshed
+      end);
+  Obs.Metrics.incr m_update_calls;
+  Obs.Metrics.add m_update_nodes !refreshed
 
 let transition_of_words words ~total_patterns =
   let ones =

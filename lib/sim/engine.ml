@@ -93,19 +93,43 @@ let eval_node t id =
     let ins = Array.map (fun f -> t.values.(f)) fs in
     eval_cell_words c.Cell.func ins t.values.(id) t.w
 
+(* telemetry: how much node re-evaluation each update costs, so the
+   TFO-resim share of the optimizer's budget is visible *)
+let m_resim_all_calls = Obs.Metrics.counter "sim.resim_all.calls"
+let m_resim_tfo_calls = Obs.Metrics.counter "sim.resim_tfo.calls"
+let m_resim_nodes = Obs.Metrics.counter "sim.resim.nodes"
+
 let resim_all t =
   ensure_capacity t;
   let order = Circuit.topo_order t.circ in
   Array.iter (fun id -> eval_node t id) order;
-  List.iter (fun po -> eval_node t po) (Circuit.pos t.circ)
+  List.iter (fun po -> eval_node t po) (Circuit.pos t.circ);
+  Obs.Metrics.incr m_resim_all_calls;
+  Obs.Metrics.add m_resim_nodes
+    (Array.length order + List.length (Circuit.pos t.circ))
 
 let resim_tfo t s =
   ensure_capacity t;
   let tfo = Circuit.tfo t.circ s in
   eval_node t s;
+  let evaluated = ref 1 in
   let order = Circuit.topo_order t.circ in
-  Array.iter (fun id -> if tfo.(id) then eval_node t id) order;
-  List.iter (fun po -> if tfo.(po) then eval_node t po) (Circuit.pos t.circ)
+  Array.iter
+    (fun id ->
+      if tfo.(id) then begin
+        eval_node t id;
+        incr evaluated
+      end)
+    order;
+  List.iter
+    (fun po ->
+      if tfo.(po) then begin
+        eval_node t po;
+        incr evaluated
+      end)
+    (Circuit.pos t.circ);
+  Obs.Metrics.incr m_resim_tfo_calls;
+  Obs.Metrics.add m_resim_nodes !evaluated
 
 let randomize t ?input_probs rng =
   ensure_capacity t;

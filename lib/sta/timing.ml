@@ -16,7 +16,10 @@ let delay_with_load circ id load =
 
 let gate_delay circ id = delay_with_load circ id (Circuit.load_of circ id)
 
+let m_analyses = Obs.Metrics.counter "sta.analyses"
+
 let analyze ?required_time circ =
+  Obs.Metrics.incr m_analyses;
   let n = Circuit.num_nodes circ in
   let arrival = Array.make n 0.0 in
   let order = Circuit.topo_order circ in
