@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- table1  -- Table 1 (both POWDER modes)
      dune exec bench/main.exe -- table2  -- Table 2 (class contributions)
      dune exec bench/main.exe -- fig6    -- Figure 6 (power-delay trade-off)
+     dune exec bench/main.exe -- guard   -- guard-on vs guard-off overhead
      dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks
      dune exec bench/main.exe -- quick   -- fast subset of everything
 
@@ -351,7 +352,7 @@ let ablation () =
                 with
                 | Powder.Check.Permissible -> (ok + 1, no, ab)
                 | Powder.Check.Not_permissible _ -> (ok, no + 1, ab)
-                | Powder.Check.Gave_up -> (ok, no, ab + 1))
+                | Powder.Check.Gave_up _ -> (ok, no, ab + 1))
             (0, 0, 0) cands
         in
         let sok, sno, sab = tally `Sat in
@@ -469,6 +470,43 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Guard overhead: transactional verification on vs. off.              *)
+(* ------------------------------------------------------------------ *)
+
+let guard () =
+  print_endline "=== Guard overhead: transactional applies on vs. off ===";
+  let names = if !quick then [ "alu2" ] else [ "alu2"; "rd84"; "Z5xp1" ] in
+  Printf.printf "%-10s %10s %10s %9s %12s %12s\n" "circuit" "on (s)" "off (s)"
+    "overhead" "power on" "power off";
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> ()
+      | Some spec ->
+        let run verify_applies =
+          let c = Suite.mapped spec in
+          let config = { base_config with verify_applies } in
+          Optimizer.optimize ~config c
+        in
+        let on = run true and off = run false in
+        record_run ("guard/" ^ name ^ "/on") on;
+        record_run ("guard/" ^ name ^ "/off") off;
+        let overhead =
+          if off.Optimizer.cpu_seconds > 0.0 then
+            100.0 *. (on.Optimizer.cpu_seconds /. off.Optimizer.cpu_seconds -. 1.0)
+          else 0.0
+        in
+        Printf.printf "%-10s %10.3f %10.3f %8.1f%% %12.4f %12.4f\n" name
+          on.Optimizer.cpu_seconds off.Optimizer.cpu_seconds overhead
+          on.Optimizer.final_power off.Optimizer.final_power;
+        if on.Optimizer.final_power <> off.Optimizer.final_power then
+          Printf.printf
+            "  note: guard-on diverges after a rollback; both runs remain \
+             verified\n")
+    names;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -497,5 +535,6 @@ let () =
   if want "fig6" then fig6 ();
   if want "ablation" then ablation ();
   if want "glitch" then glitch ();
+  if want "guard" then guard ();
   if want "micro" then micro ();
   write_bench_json ()

@@ -1,7 +1,8 @@
 (* Validate that a file is well-formed JSON (default) or JSONL
-   ([--jsonl]: one JSON object per non-empty line).  Exit 0 on success.
-   Used by ci.sh to smoke-check the telemetry outputs without external
-   tooling. *)
+   ([--jsonl]: one JSON object per non-empty line), or compare two
+   optimizer reports ([--compare-reports]: structural equality after
+   dropping wall-clock fields).  Exit 0 on success.  Used by ci.sh to
+   smoke-check the telemetry outputs without external tooling. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -10,13 +11,53 @@ let read_file path =
   close_in ic;
   s
 
+let parse_file path =
+  match Obs.Json.of_string (read_file path) with
+  | Ok j -> j
+  | Error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    exit 1
+
+(* Timings differ between any two runs; everything else in a report is
+   deterministic for a given seed and must match across kill/resume. *)
+let strip_volatile = function
+  | Obs.Json.Obj fields ->
+    Obs.Json.Obj
+      (List.filter
+         (fun (k, _) -> k <> "cpu_seconds" && k <> "phase_seconds")
+         fields)
+  | other -> other
+
+let compare_reports a b =
+  let ja = strip_volatile (parse_file a) and jb = strip_volatile (parse_file b) in
+  if ja = jb then Printf.printf "%s and %s: reports match\n" a b
+  else begin
+    (match (ja, jb) with
+    | Obs.Json.Obj fa, Obs.Json.Obj fb ->
+      List.iter
+        (fun (k, v) ->
+          match List.assoc_opt k fb with
+          | Some v' when v = v' -> ()
+          | Some v' ->
+            Printf.eprintf "  %s: %s vs %s\n" k (Obs.Json.to_string v)
+              (Obs.Json.to_string v')
+          | None -> Printf.eprintf "  %s: missing in %s\n" k b)
+        fa
+    | _ -> ());
+    Printf.eprintf "%s and %s: reports DIFFER\n" a b;
+    exit 1
+  end
+
 let () =
   let jsonl, path =
     match Array.to_list Sys.argv with
+    | [ _; "--compare-reports"; a; b ] ->
+      compare_reports a b;
+      exit 0
     | [ _; "--jsonl"; p ] -> (true, p)
     | [ _; p ] -> (false, p)
     | _ ->
-      prerr_endline "usage: json_check [--jsonl] FILE";
+      prerr_endline "usage: json_check [--jsonl] FILE | json_check --compare-reports A B";
       exit 2
   in
   let content = read_file path in

@@ -89,7 +89,7 @@ let load_circuit in_file circuit_name =
   | Some file, None -> (
     match Blif.Blif_io.circuit_of_file Gatelib.Library.lib2 file with
     | Ok c -> c
-    | Error e -> failwith ("cannot read " ^ file ^ ": " ^ e))
+    | Error e -> failwith ("cannot read " ^ file ^ ": " ^ Blif.Blif_io.error_to_string e))
   | None, Some name -> (
     match Circuits.Suite.find name with
     | Some spec -> Circuits.Suite.mapped spec
@@ -128,16 +128,52 @@ let engine_arg =
 
 let optimize_cmd =
   let run in_file circuit_name out_file words seed delay classes engine verify
-      trace_file json_file metrics =
+      trace_file json_file metrics time_budget check_seconds round_seconds
+      max_rounds checkpoint resume verify_applies checkpoint_every =
     let circ = load_circuit in_file circuit_name in
     let original = Circuit.clone circ in
+    (* Resume: pick the checkpoint up before building the config so the
+       run continues with the seed it was started with, not the CLI
+       default.  A missing checkpoint file with --resume just starts
+       fresh — that is what lets one command line be re-run after a
+       kill, whether or not a checkpoint had been written yet. *)
+    let resume_ck =
+      if not resume then None
+      else
+        match checkpoint with
+        | None -> failwith "--resume requires --checkpoint FILE"
+        | Some f ->
+          if not (Sys.file_exists f) then None
+          else (
+            match Powder.Checkpoint.load f with
+            | Ok ck -> Some ck
+            | Error e -> failwith e)
+    in
+    let seed =
+      match resume_ck with
+      | Some ck -> ck.Powder.Checkpoint.seed
+      | None -> Int64.of_int seed
+    in
     let config =
       { Optimizer.default_config with
         words;
-        seed = Int64.of_int seed;
+        seed;
         delay;
         classes;
         check_engine = engine;
+        run_seconds = time_budget;
+        check_seconds;
+        round_seconds;
+        max_rounds =
+          (match max_rounds with
+          | Some n -> n
+          | None -> Optimizer.default_config.Optimizer.max_rounds);
+        verify_applies;
+        checkpoint_file = checkpoint;
+        checkpoint_every =
+          (if checkpoint_every > 0 then checkpoint_every
+           else if checkpoint <> None then 1
+           else 0);
       }
     in
     (* Open both output files before the (possibly long) run so a bad
@@ -153,7 +189,7 @@ let optimize_cmd =
       (try Obs.Trace.set_sink (Obs.Trace.jsonl_sink f)
        with Sys_error m -> fail_sys m)
     | None -> ());
-    let report = Optimizer.optimize ~config circ in
+    let report = Optimizer.optimize ~config ?resume:resume_ck circ in
     Obs.Trace.close_sink ();
     Format.printf "%a@." Optimizer.pp_report report;
     (match json_out with
@@ -195,11 +231,54 @@ let optimize_cmd =
                  histograms from the simulator, power estimator, STA and the \
                  ATPG proof engines) after the run.")
   in
+  let time_budget =
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget for the whole run; on expiry the \
+                 optimizer stops cleanly with stopped_by=run_budget.")
+  in
+  let check_seconds =
+    Arg.(value & opt (some float) None & info [ "check-seconds" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget per exact permissibility check; an expired \
+                 check is rejected (counted as a timeout), never hung.")
+  in
+  let round_seconds =
+    Arg.(value & opt (some float) None & info [ "round-seconds" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget per optimization round; expiry escalates \
+                 the degradation ladder.")
+  in
+  let max_rounds =
+    Arg.(value & opt (some int) None & info [ "max-rounds" ] ~docv:"N"
+           ~doc:"Stop after N candidate-generation rounds.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Save a resumable checkpoint (atomically) every \
+                 $(b,--checkpoint-every) rounds.")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Continue from the $(b,--checkpoint) file if it exists \
+                 (start fresh otherwise); the seed is taken from the \
+                 checkpoint so the run continues bit-identically.")
+  in
+  let verify_applies =
+    Arg.(value & opt bool true & info [ "verify-applies" ] ~docv:"BOOL"
+           ~doc:"Guard every accepted substitution with a transactional \
+                 journal and independent re-simulation; mismatches are \
+                 rolled back (default true).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Checkpoint cadence in rounds (default 1 when \
+                 $(b,--checkpoint) is given).")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Reduce power by permissible substitutions (POWDER).")
     Term.(const run $ in_file $ circuit_name $ out_file $ words $ seed
           $ delay_mode $ classes $ engine_arg $ verify $ trace_file
-          $ json_file $ metrics)
+          $ json_file $ metrics $ time_budget $ check_seconds $ round_seconds
+          $ max_rounds $ checkpoint $ resume $ verify_applies
+          $ checkpoint_every)
 
 let map_cmd =
   let run in_file out_file objective =
@@ -207,7 +286,7 @@ let map_cmd =
     | None -> failwith "--in FILE (a .names BLIF network) is required"
     | Some file -> (
       match Blif.Blif_io.network_of_file file with
-      | Error e -> failwith e
+      | Error e -> failwith (Blif.Blif_io.error_to_string e)
       | Ok net ->
         let aig = Aig.Network.to_aig net in
         let obj =
@@ -275,7 +354,7 @@ let atpg_cmd =
         match Atpg.Podem.generate_test circ f with
         | Atpg.Podem.Test _ -> incr found
         | Atpg.Podem.Untestable -> incr redundant
-        | Atpg.Podem.Aborted -> incr aborted)
+        | Atpg.Podem.Aborted _ -> incr aborted)
       cov.Atpg.Faultsim.undetected;
     Printf.printf "PODEM: %d additional tests, %d redundant, %d aborted\n"
       !found !redundant !aborted

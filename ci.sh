@@ -1,22 +1,51 @@
 #!/bin/sh
 # Minimal CI: build, test, then smoke-run the optimizer and validate
-# that its machine-readable outputs actually parse.
+# that its machine-readable outputs actually parse.  Every stage runs
+# under a hard wall-clock cap so a hang fails the build instead of
+# wedging it.
 set -eu
 cd "$(dirname "$0")"
 
+# timeout(1) wrapper; degrade to bare execution where coreutils is absent
+if command -v timeout >/dev/null 2>&1; then
+  hard_timeout() { t="$1"; shift; timeout "$t" "$@"; }
+else
+  hard_timeout() { shift; "$@"; }
+fi
+
 echo "== build =="
-dune build
+hard_timeout 600 dune build
 
 echo "== tests =="
-dune runtest
+hard_timeout 900 dune runtest
+
+echo "== fault injection =="
+hard_timeout 300 dune exec test/main.exe -- test guard
 
 echo "== smoke: optimize rd84 with full telemetry =="
 tmp_json=$(mktemp /tmp/powder_ci_XXXXXX.json)
 tmp_trace=$(mktemp /tmp/powder_ci_XXXXXX.jsonl)
-dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
   --json "$tmp_json" --trace "$tmp_trace" --metrics
 dune exec bin/json_check.exe -- "$tmp_json"
 dune exec bin/json_check.exe -- --jsonl "$tmp_trace"
 rm -f "$tmp_json" "$tmp_trace"
+
+echo "== smoke: checkpoint round-trip (kill after 3 rounds, resume) =="
+ck=$(mktemp /tmp/powder_ci_ck_XXXXXX.json)
+full_json=$(mktemp /tmp/powder_ci_full_XXXXXX.json)
+resumed_json=$(mktemp /tmp/powder_ci_res_XXXXXX.json)
+# reference: uninterrupted 6-round run checkpointing every 3 rounds
+hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
+  --max-rounds 6 --checkpoint-every 3 --json "$full_json" >/dev/null
+# interrupted: stop after 3 rounds (the checkpoint survives), resume to 6
+rm -f "$ck"
+hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
+  --max-rounds 3 --checkpoint "$ck" --checkpoint-every 3 >/dev/null
+hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
+  --max-rounds 6 --checkpoint "$ck" --checkpoint-every 3 --resume \
+  --json "$resumed_json" >/dev/null
+dune exec bin/json_check.exe -- --compare-reports "$full_json" "$resumed_json"
+rm -f "$ck" "$full_json" "$resumed_json"
 
 echo "CI OK"

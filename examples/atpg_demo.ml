@@ -26,7 +26,7 @@ let () =
       match Podem.generate_test circ f with
       | Podem.Test _ -> incr tests
       | Podem.Untestable -> redundant := f :: !redundant
-      | Podem.Aborted -> incr aborted)
+      | Podem.Aborted _ -> incr aborted)
     cov.Faultsim.undetected;
   Format.printf
     "PODEM on the %d undetected faults: %d new tests, %d proved redundant, %d aborted@."

@@ -40,7 +40,7 @@ let () =
   let net =
     match Blif.Blif_io.network_of_string source_blif with
     | Ok net -> net
-    | Error e -> failwith ("BLIF parse error: " ^ e)
+    | Error e -> failwith ("BLIF parse error: " ^ Blif.Blif_io.error_to_string e)
   in
   Format.printf "Network: %d nodes, %d SOP literals@."
     (Network.node_count net) (Network.literal_count net);

@@ -5,7 +5,7 @@ module Tt = Logic.Tt
 type outcome =
   | Justified of (Circuit.node_id * bool) list
   | Impossible
-  | Gave_up
+  | Gave_up of Sat.give_up
 
 let clauses_of_circuit circ =
   let var = Array.make (Circuit.num_nodes circ) (-1) in
@@ -71,12 +71,13 @@ let clauses_of_cone circ target =
           done);
   (!clauses, (fun id -> var.(id)), !next)
 
-let justify_one ?(conflict_limit = 200_000) circ target =
+let justify_one ?(conflict_limit = 200_000) ?(deadline = Obs.Deadline.never)
+    circ target =
   let clauses, var_of, num_vars = clauses_of_cone circ target in
   let clauses = [| Sat.lit_of (var_of target) true |] :: clauses in
-  match Sat.solve ~conflict_limit ~num_vars clauses with
+  match Sat.solve ~conflict_limit ~deadline ~num_vars clauses with
   | Sat.Unsat -> Impossible
-  | Sat.Timeout -> Gave_up
+  | Sat.Timeout why -> Gave_up why
   | Sat.Sat model ->
     Justified
       (List.filter_map

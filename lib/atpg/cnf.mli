@@ -6,10 +6,14 @@ type outcome =
   | Justified of (Netlist.Circuit.node_id * bool) list
       (** PI assignment setting the target to 1 *)
   | Impossible  (** the target is constant 0 *)
-  | Gave_up
+  | Gave_up of Sat.give_up  (** which SAT limit fired *)
 
 val justify_one :
-  ?conflict_limit:int -> Netlist.Circuit.t -> Netlist.Circuit.node_id -> outcome
+  ?conflict_limit:int ->
+  ?deadline:Obs.Deadline.t ->
+  Netlist.Circuit.t ->
+  Netlist.Circuit.node_id ->
+  outcome
 
 val clauses_of_circuit :
   Netlist.Circuit.t -> int array list * (Netlist.Circuit.node_id -> int) * int

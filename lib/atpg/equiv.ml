@@ -127,14 +127,14 @@ let check ?(backtrack_limit = 20_000) ?(exhaustive_limit = 14)
     | `Podem -> (
       match Podem.justify_one ~backtrack_limit m out with
       | Podem.Untestable -> Equivalent
-      | Podem.Aborted -> Unknown
+      | Podem.Aborted _ -> Unknown
       | Podem.Test assignment ->
         Different
           (List.map (fun (pi, v) -> (Circuit.name m pi, v)) assignment))
     | `Sat -> (
       match Cnf.justify_one ~conflict_limit:(10 * backtrack_limit) m out with
       | Cnf.Impossible -> Equivalent
-      | Cnf.Gave_up -> Unknown
+      | Cnf.Gave_up _ -> Unknown
       | Cnf.Justified assignment ->
         Different
           (List.map (fun (pi, v) -> (Circuit.name m pi, v)) assignment))

@@ -2,7 +2,16 @@ module Circuit = Netlist.Circuit
 module Cell = Gatelib.Cell
 open Tval
 
-type result = Test of (Circuit.node_id * bool) list | Untestable | Aborted
+type give_up = Backtracks | Deadline
+
+type result =
+  | Test of (Circuit.node_id * bool) list
+  | Untestable
+  | Aborted of give_up
+
+let pp_give_up fmt = function
+  | Backtracks -> Format.pp_print_string fmt "backtracks"
+  | Deadline -> Format.pp_print_string fmt "deadline"
 
 type mode = Fault_mode of Fault.t | Justify of Circuit.node_id
 
@@ -14,10 +23,12 @@ type state = {
   values : Tval.t array;
   mode : mode;
   limit : int;
+  deadline : Obs.Deadline.t;
   mutable backtracks : int;
+  mutable steps : int;
 }
 
-exception Abort_search
+exception Abort_search of give_up
 
 let last_backtracks = ref 0
 let backtracks_of_last_call () = !last_backtracks
@@ -234,6 +245,12 @@ let objective st =
 (* ------------------------------------------------------------------ *)
 
 let rec search st =
+  (* Each search step runs a whole-circuit implication, so polling the
+     deadline every few hundred steps keeps overhead invisible while
+     bounding the reaction latency. *)
+  st.steps <- st.steps + 1;
+  if st.steps land 255 = 0 && Obs.Deadline.expired st.deadline then
+    raise (Abort_search Deadline);
   imply st;
   match status st with
   | Success -> true
@@ -252,7 +269,7 @@ let rec search st =
         if try_value first_guess then true
         else begin
           st.backtracks <- st.backtracks + 1;
-          if st.backtracks > st.limit then raise Abort_search;
+          if st.backtracks > st.limit then raise (Abort_search Backtracks);
           if try_value (not first_guess) then true
           else begin
             st.assign.(pi) <- VX;
@@ -260,7 +277,8 @@ let rec search st =
           end
         end))
 
-let make_state ?(backtrack_limit = 20_000) circ mode =
+let make_state ?(backtrack_limit = 20_000) ?(deadline = Obs.Deadline.never)
+    circ mode =
   let n = Circuit.num_nodes circ in
   {
     circ;
@@ -270,7 +288,9 @@ let make_state ?(backtrack_limit = 20_000) circ mode =
     values = Array.make n Tval.x;
     mode;
     limit = backtrack_limit;
+    deadline;
     backtracks = 0;
+    steps = 0;
   }
 
 let extract_test st =
@@ -291,19 +311,21 @@ let run st =
   let t0 = Obs.Clock.now () in
   let res =
     try if search st then Test (extract_test st) else Untestable
-    with Abort_search -> Aborted
+    with Abort_search why -> Aborted why
   in
   last_backtracks := st.backtracks;
   Obs.Metrics.observe m_search_seconds (Obs.Clock.now () -. t0);
   Obs.Metrics.incr m_searches;
   Obs.Metrics.add m_backtracks st.backtracks;
-  (match res with Aborted -> Obs.Metrics.incr m_giveups | Test _ | Untestable -> ());
+  (match res with
+  | Aborted _ -> Obs.Metrics.incr m_giveups
+  | Test _ | Untestable -> ());
   res
 
-let generate_test ?backtrack_limit circ fault =
-  let st = make_state ?backtrack_limit circ (Fault_mode fault) in
+let generate_test ?backtrack_limit ?deadline circ fault =
+  let st = make_state ?backtrack_limit ?deadline circ (Fault_mode fault) in
   run st
 
-let justify_one ?backtrack_limit circ target =
-  let st = make_state ?backtrack_limit circ (Justify target) in
+let justify_one ?backtrack_limit ?deadline circ target =
+  let st = make_state ?backtrack_limit ?deadline circ (Justify target) in
   run st

@@ -17,7 +17,7 @@ let try_connection ~backtrack_limit ~aborted circ ~sink ~pin =
       let konst = Circuit.add_const circ v in
       Circuit.set_fanin circ sink pin konst;
       true
-    | Podem.Aborted ->
+    | Podem.Aborted _ ->
       incr aborted;
       false
     | Podem.Test _ -> false

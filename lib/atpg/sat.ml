@@ -1,4 +1,10 @@
-type result = Sat of bool array | Unsat | Timeout
+type give_up = Conflicts | Deadline
+
+type result = Sat of bool array | Unsat | Timeout of give_up
+
+let pp_give_up fmt = function
+  | Conflicts -> Format.pp_print_string fmt "conflicts"
+  | Deadline -> Format.pp_print_string fmt "deadline"
 
 let lit_of v sign = (2 * v) lor (if sign then 0 else 1)
 let var_of l = l lsr 1
@@ -203,7 +209,12 @@ let m_conflicts = Obs.Metrics.counter "atpg.sat.conflicts"
 let m_solves = Obs.Metrics.counter "atpg.sat.solves"
 let m_giveups = Obs.Metrics.counter "atpg.sat.giveups"
 
-let solve ?(conflict_limit = 200_000) ~num_vars clauses =
+(* Poll the wall-clock deadline only every [deadline_stride] conflicts:
+   a gettimeofday per conflict would dominate easy instances. *)
+let deadline_stride = 64
+
+let solve ?(conflict_limit = 200_000) ?(deadline = Obs.Deadline.never)
+    ~num_vars clauses =
   let t0 = Obs.Clock.now () in
   let s =
     {
@@ -292,7 +303,10 @@ let solve ?(conflict_limit = 200_000) ~num_vars clauses =
         | exception Conflict_found c ->
           s.conflicts <- s.conflicts + 1;
           incr conflicts_since_restart;
-          if s.conflicts > conflict_limit then Timeout
+          if s.conflicts > conflict_limit then Timeout Conflicts
+          else if
+            s.conflicts mod deadline_stride = 0 && Obs.Deadline.expired deadline
+          then Timeout Deadline
           else if s.decision_level = 0 then Unsat
           else begin
             let learnt, back_lvl = analyze s c in
@@ -331,6 +345,6 @@ let solve ?(conflict_limit = 200_000) ~num_vars clauses =
   Obs.Metrics.incr m_solves;
   Obs.Metrics.add m_conflicts s.conflicts;
   (match result with
-  | Timeout -> Obs.Metrics.incr m_giveups
+  | Timeout _ -> Obs.Metrics.incr m_giveups
   | Sat _ | Unsat -> ());
   result

@@ -10,12 +10,26 @@
     Literal encoding: variable [v >= 0], literal [2*v] (positive) or
     [2*v + 1] (negated). *)
 
+type give_up =
+  | Conflicts  (** the conflict budget ran out *)
+  | Deadline   (** the wall-clock deadline expired *)
+
 type result =
   | Sat of bool array  (** model indexed by variable *)
   | Unsat
-  | Timeout
+  | Timeout of give_up
+      (** gave up without an answer; the payload says which limit fired *)
+
+val pp_give_up : Format.formatter -> give_up -> unit
 
 val lit_of : int -> bool -> int
-val solve : ?conflict_limit:int -> num_vars:int -> int array list -> result
+
+val solve :
+  ?conflict_limit:int ->
+  ?deadline:Obs.Deadline.t ->
+  num_vars:int ->
+  int array list ->
+  result
 (** Clauses are arrays of literals.  An empty clause makes the problem
-    trivially UNSAT. *)
+    trivially UNSAT.  [deadline] is polled every few dozen conflicts, so
+    expiry is detected within one propagation burst, not instantly. *)

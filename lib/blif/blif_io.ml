@@ -9,10 +9,26 @@ let pin_name i =
   if i < 26 then String.make 1 (Char.chr (Char.code 'a' + i))
   else Printf.sprintf "p%d" i
 
+type parse_error = { line : int; context : string; message : string }
+
+let error_to_string e =
+  if e.line = 0 then
+    if e.context = "" then e.message
+    else Printf.sprintf "%s (in %S)" e.message e.context
+  else if e.context = "" then Printf.sprintf "line %d: %s" e.line e.message
+  else Printf.sprintf "line %d: %s (in %S)" e.line e.message e.context
+
+let pp_parse_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let clip s = if String.length s <= 60 then s else String.sub s 0 57 ^ "..."
+
 (* ------------------------------------------------------------------ *)
 (* Tokenizing: strip comments, join continuations, split lines.        *)
 (* ------------------------------------------------------------------ *)
 
+(* Each logical line carries the 1-based physical line number where it
+   started, so parse errors point at the source even across [\]
+   continuations. *)
 let logical_lines text =
   let raw = String.split_on_char '\n' text in
   let strip_comment line =
@@ -20,18 +36,22 @@ let logical_lines text =
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  let rec join acc pending = function
-    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+  let rec join acc pending pending_start no = function
+    | [] -> List.rev (if pending = "" then acc else (pending_start, pending) :: acc)
     | line :: rest ->
       let line = strip_comment line in
       let line = String.trim line in
-      if line = "" then join acc pending rest
-      else if String.length line > 0 && line.[String.length line - 1] = '\\'
-      then
-        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
-      else join ((pending ^ line) :: acc) "" rest
+      if line = "" then join acc pending pending_start (no + 1) rest
+      else begin
+        let start = if pending = "" then no else pending_start in
+        if String.length line > 0 && line.[String.length line - 1] = '\\' then
+          join acc
+            (pending ^ String.sub line 0 (String.length line - 1) ^ " ")
+            start (no + 1) rest
+        else join ((start, pending ^ line) :: acc) "" 0 (no + 1) rest
+      end
   in
-  join [] "" raw
+  join [] "" 0 1 raw
 
 let words line =
   String.split_on_char ' ' line
@@ -43,25 +63,30 @@ let words line =
 (* ------------------------------------------------------------------ *)
 
 type parse_state = {
-  mutable model : string;
+  mutable model : string option;
   mutable inputs : string list;
   mutable outputs : string list;
   mutable nodes : Network.node list;
-  mutable current : (string * string list * (string * char) list) option;
-      (* output name, fanins, rows (pattern, output char) *)
+  mutable current : (string * string list * (string * char) list * int) option;
+      (* output name, fanins, rows (pattern, output char), start line *)
 }
 
 let finish_node st =
   match st.current with
   | None -> Ok ()
-  | Some (name, fanins, rows_rev) ->
+  | Some (name, fanins, rows_rev, start_line) ->
     st.current <- None;
     let n = List.length fanins in
     let rows = List.rev rows_rev in
     let on_rows = List.filter (fun (_, o) -> o = '1') rows in
     let off_rows = List.filter (fun (_, o) -> o = '0') rows in
     if on_rows <> [] && off_rows <> [] then
-      Error (Printf.sprintf "node %s mixes on-set and off-set rows" name)
+      Error
+        {
+          line = start_line;
+          context = name;
+          message = "node mixes on-set and off-set rows";
+        }
     else begin
       let to_cubes rows = List.map (fun (p, _) -> Cube.of_string p) rows in
       let sop =
@@ -75,25 +100,29 @@ let finish_node st =
     end
 
 let network_of_string text =
-  let st = { model = "top"; inputs = []; outputs = []; nodes = []; current = None } in
+  let st = { model = None; inputs = []; outputs = []; nodes = []; current = None } in
   let ( let* ) = Result.bind in
   let rec process = function
     | [] ->
       let* () = finish_node st in
       Ok
         {
-          Network.model = st.model;
+          Network.model = Option.value st.model ~default:"top";
           inputs = List.rev st.inputs;
           outputs = List.rev st.outputs;
           nodes = List.rev st.nodes;
         }
-    | line :: rest -> (
+    | (no, line) :: rest -> (
+      let err message = Error { line = no; context = clip line; message } in
       match words line with
       | [] -> process rest
       | ".model" :: name ->
         let* () = finish_node st in
-        st.model <- (match name with n :: _ -> n | [] -> "top");
-        process rest
+        if st.model <> None then err "duplicate .model directive"
+        else begin
+          st.model <- Some (match name with n :: _ -> n | [] -> "top");
+          process rest
+        end
       | ".inputs" :: ins ->
         let* () = finish_node st in
         st.inputs <- List.rev_append ins st.inputs;
@@ -107,37 +136,39 @@ let network_of_string text =
         let* () = finish_node st in
         match List.rev signals with
         | out :: fanins_rev ->
-          st.current <- Some (out, List.rev fanins_rev, []);
+          st.current <- Some (out, List.rev fanins_rev, [], no);
           process rest
-        | [] -> Error ".names without signals")
-      | ".gate" :: _ -> Error "mapped .gate found; use circuit_of_string"
+        | [] -> err ".names without signals")
+      | ".gate" :: _ -> err "mapped .gate found; use circuit_of_string"
       | [ pattern; out ]
         when st.current <> None
              && String.for_all (fun c -> c = '0' || c = '1' || c = '-') pattern
              && (out = "0" || out = "1") -> (
         match st.current with
-        | Some (name, fanins, rows) ->
+        | Some (name, fanins, rows, start) ->
           if String.length pattern <> List.length fanins then
-            Error (Printf.sprintf "node %s: row width mismatch" name)
+            err (Printf.sprintf "node %s: row width mismatch" name)
           else begin
-            st.current <- Some (name, fanins, (pattern, out.[0]) :: rows);
+            st.current <- Some (name, fanins, (pattern, out.[0]) :: rows, start);
             process rest
           end
         | None -> assert false)
       | [ out ] when st.current <> None && (out = "0" || out = "1") -> (
         (* constant node: row with no inputs *)
         match st.current with
-        | Some (name, fanins, rows) ->
-          st.current <- Some (name, fanins, ("", out.[0]) :: rows);
+        | Some (name, fanins, rows, start) ->
+          st.current <- Some (name, fanins, ("", out.[0]) :: rows, start);
           process rest
         | None -> assert false)
       | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
-        Error ("unsupported BLIF directive " ^ directive)
-      | w :: _ -> Error ("unexpected token " ^ w))
+        err ("unsupported BLIF directive " ^ directive)
+      | w :: _ -> err ("unexpected token " ^ w))
   in
   match process (logical_lines text) with
   | Ok net -> (
-    match Network.validate net with Ok () -> Ok net | Error e -> Error e)
+    match Network.validate net with
+    | Ok () -> Ok net
+    | Error e -> Error { line = 0; context = ""; message = e })
   | Error e -> Error e
 
 let read_file path =
@@ -228,12 +259,20 @@ let circuit_of_string lib text =
   let aliases = ref [] (* (src, dst) from 2-signal identity .names *) in
   let consts = ref [] (* (net, value) *) in
   let pending_names = ref None in
+  let seen_model = ref false in
+  let err0 message = Error { line = 0; context = ""; message } in
   let rec process = function
     | [] -> Ok ()
-    | line :: rest -> (
+    | (no, line) :: rest -> (
+      let err message = Error { line = no; context = clip line; message } in
       match words line with
       | [] -> process rest
-      | ".model" :: _ -> process rest
+      | ".model" :: _ ->
+        if !seen_model then err "duplicate .model directive"
+        else begin
+          seen_model := true;
+          process rest
+        end
       | ".inputs" :: ins ->
         inputs := !inputs @ ins;
         process rest
@@ -241,16 +280,17 @@ let circuit_of_string lib text =
         outputs := !outputs @ outs;
         process rest
       | [ ".end" ] -> Ok ()
+      | [ ".gate" ] | [ ".gate"; _ ] -> err "truncated .gate line"
       | ".gate" :: cell_name :: conns -> (
         match Library.find_opt lib cell_name with
-        | None -> Error ("unknown cell " ^ cell_name)
+        | None -> err ("unknown cell " ^ cell_name)
         | Some cell ->
           let* pins, out =
             List.fold_left
               (fun acc conn ->
                 let* pins, out = acc in
                 match String.index_opt conn '=' with
-                | None -> Error ("bad connection " ^ conn)
+                | None -> err ("bad connection " ^ conn)
                 | Some i ->
                   let formal = String.sub conn 0 i in
                   let actual =
@@ -265,15 +305,15 @@ let circuit_of_string lib text =
                     in
                     (match find_pin 0 with
                     | Some j -> Ok ((j, actual) :: pins, out)
-                    | None -> Error ("unknown pin " ^ formal)))
+                    | None -> err ("unknown pin " ^ formal)))
               (Ok ([], None))
               conns
           in
           (match out with
-          | None -> Error ("gate without output: " ^ cell_name)
+          | None -> err ("gate without output: " ^ cell_name)
           | Some out ->
             if List.length pins <> Cell.arity cell then
-              Error ("gate pin count mismatch: " ^ cell_name)
+              err ("gate pin count mismatch: " ^ cell_name)
             else begin
               gates := (cell, pins, out) :: !gates;
               process rest
@@ -291,15 +331,15 @@ let circuit_of_string lib text =
           aliases := (src, dst) :: !aliases;
           pending_names := None;
           process rest
-        | Some (`Const _) | None -> Error "unexpected 1 1 row")
+        | Some (`Const _) | None -> err "unexpected 1 1 row")
       | [ "1" ] -> (
         match !pending_names with
         | Some (`Const net) ->
           consts := (net, true) :: List.remove_assoc net !consts;
           pending_names := None;
           process rest
-        | Some (`Alias _) | None -> Error "unexpected 1 row")
-      | w :: _ -> Error ("unexpected token in mapped blif: " ^ w))
+        | Some (`Alias _) | None -> err "unexpected 1 row")
+      | w :: _ -> err ("unexpected token in mapped blif: " ^ w))
   in
   let* () = process (logical_lines text) in
   (* elaborate *)
@@ -333,7 +373,7 @@ let circuit_of_string lib text =
       !remaining;
     remaining := List.rev !still
   done;
-  if !remaining <> [] then Error "could not order gates (cycle or missing net)"
+  if !remaining <> [] then err0 "could not order gates (cycle or missing net)"
   else begin
     let resolve net =
       match Hashtbl.find_opt ids net with
@@ -343,8 +383,8 @@ let circuit_of_string lib text =
         | Some (src, _) -> (
           match Hashtbl.find_opt ids src with
           | Some id -> Ok id
-          | None -> Error ("undefined net " ^ net))
-        | None -> Error ("undefined net " ^ net))
+          | None -> err0 ("undefined net " ^ net))
+        | None -> err0 ("undefined net " ^ net))
     in
     let rec attach = function
       | [] -> Ok circ

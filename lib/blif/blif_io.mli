@@ -8,15 +8,28 @@
     pin is [O].  Line continuations with [\ ] are handled; [#] starts a
     comment. *)
 
-val network_of_string : string -> (Aig.Network.t, string) result
-val network_of_file : string -> (Aig.Network.t, string) result
+type parse_error = {
+  line : int;      (** 1-based physical line where the logical line began;
+                       0 when the error has no single source line (e.g.
+                       network validation, gate ordering) *)
+  context : string;  (** the offending logical line (clipped) or signal *)
+  message : string;
+}
+
+val error_to_string : parse_error -> string
+(** ["line N: <message> (in <context>)"], omitting absent parts. *)
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val network_of_string : string -> (Aig.Network.t, parse_error) result
+val network_of_file : string -> (Aig.Network.t, parse_error) result
 val network_to_string : Aig.Network.t -> string
 val network_to_file : string -> Aig.Network.t -> unit
 
 val circuit_of_string :
-  Gatelib.Library.t -> string -> (Netlist.Circuit.t, string) result
+  Gatelib.Library.t -> string -> (Netlist.Circuit.t, parse_error) result
 val circuit_of_file :
-  Gatelib.Library.t -> string -> (Netlist.Circuit.t, string) result
+  Gatelib.Library.t -> string -> (Netlist.Circuit.t, parse_error) result
 val circuit_to_string : Netlist.Circuit.t -> string
 val circuit_to_file : string -> Netlist.Circuit.t -> unit
 

@@ -19,6 +19,17 @@ type node = {
   mutable live : bool;
 }
 
+(* Inverse edits recorded while a journal is open.  Replayed in reverse
+   (most recent first) by [journal_rollback]. *)
+type journal_op =
+  | U_set_fanin of { sink : node_id; pin : int; old_driver : node_id }
+  | U_replace_stem of { a : node_id; moved : pin list }
+  | U_set_cell of { id : node_id; old_cell : Cell.t }
+  | U_alloc of node_id
+  | U_kill of node_id
+
+type journal = { mutable ops : journal_op list; saved_fresh : int }
+
 type t = {
   lib : Library.t;
   mutable nodes : node array;
@@ -29,6 +40,7 @@ type t = {
   mutable fresh : int;
   mutable version : int;
   mutable topo_cache : (int * node_id array) option;
+  mutable journal : journal option;
 }
 
 let dummy_node = { id = -1; name = ""; kind = Pi; fanouts = []; live = false }
@@ -44,7 +56,11 @@ let create lib =
     fresh = 0;
     version = 0;
     topo_cache = None;
+    journal = None;
   }
+
+let record t op =
+  match t.journal with None -> () | Some j -> j.ops <- op :: j.ops
 
 let library t = t.lib
 let num_nodes t = t.count
@@ -84,6 +100,7 @@ let alloc t ~name kind =
   register_name t name id;
   t.nodes.(id) <- { id; name; kind; fanouts = []; live = true };
   t.count <- t.count + 1;
+  record t (U_alloc id);
   id
 
 let add_pi t ~name =
@@ -184,6 +201,7 @@ let clone t =
     t with
     nodes;
     names = Hashtbl.copy t.names;
+    journal = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -330,6 +348,7 @@ let set_fanin t sink pin b =
     else begin
       if would_cycle_pin t sink pin b then
         invalid_arg "Circuit.set_fanin: would create a cycle";
+      record t (U_set_fanin { sink; pin; old_driver = fs.(pin) });
       remove_fanout t fs.(pin) { sink; pin_index = pin };
       fs.(pin) <- b;
       n.kind <- Cell (c, fs);
@@ -339,6 +358,7 @@ let set_fanin t sink pin b =
     if pin <> 0 then invalid_arg "Circuit.set_fanin: bad PO pin";
     if d = b then ()
     else begin
+      record t (U_set_fanin { sink; pin = 0; old_driver = d });
       remove_fanout t d { sink; pin_index = 0 };
       n.kind <- Po b;
       add_fanout t b { sink; pin_index = 0 }
@@ -352,6 +372,7 @@ let replace_stem t a b =
   if would_cycle_stem t a b then
     invalid_arg "Circuit.replace_stem: would create a cycle";
   let moved = (node t a).fanouts in
+  record t (U_replace_stem { a; moved });
   (node t a).fanouts <- [];
   List.iter
     (fun p ->
@@ -372,6 +393,7 @@ let set_cell t id cell =
   | Cell (old_cell, fs) ->
     if Cell.arity cell <> Cell.arity old_cell then
       invalid_arg "Circuit.set_cell: arity mismatch";
+    record t (U_set_cell { id; old_cell });
     n.kind <- Cell (cell, fs)
   | Pi | Const _ | Po _ -> invalid_arg "Circuit.set_cell: not a cell"
 
@@ -385,6 +407,7 @@ let sweep t =
       | Cell (_, fs) ->
         n.live <- false;
         Hashtbl.remove t.names n.name;
+        record t (U_kill id);
         killed := id :: !killed;
         Array.iteri
           (fun i f ->
@@ -394,6 +417,7 @@ let sweep t =
       | Const _ ->
         n.live <- false;
         Hashtbl.remove t.names n.name;
+        record t (U_kill id);
         killed := id :: !killed
       | Pi | Po _ -> ()
   in
@@ -401,6 +425,103 @@ let sweep t =
     kill id
   done;
   !killed
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let journal_active t = t.journal <> None
+
+let journal_begin t =
+  if journal_active t then invalid_arg "Circuit.journal_begin: journal already open";
+  t.journal <- Some { ops = []; saved_fresh = t.fresh }
+
+let journal_commit t =
+  match t.journal with
+  | None -> invalid_arg "Circuit.journal_commit: no open journal"
+  | Some _ -> t.journal <- None
+
+(* Undo one alloc.  Allocations are undone strictly LIFO (every alloc in
+   a transaction is journaled), so the node being removed is always the
+   topmost slot and the id space shrinks back exactly. *)
+let undo_alloc t id =
+  if id <> t.count - 1 then
+    invalid_arg "Circuit journal: alloc undo out of order";
+  let n = t.nodes.(id) in
+  (match n.kind with
+  | Cell (_, fs) ->
+    Array.iteri (fun i f -> remove_fanout t f { sink = id; pin_index = i }) fs
+  | Const _ -> ()
+  | Pi -> t.pis_rev <- List.tl t.pis_rev
+  | Po d ->
+    remove_fanout t d { sink = id; pin_index = 0 };
+    t.pos_rev <- List.tl t.pos_rev);
+  Hashtbl.remove t.names n.name;
+  t.nodes.(id) <- dummy_node;
+  t.count <- t.count - 1
+
+(* Resurrect a node removed by [sweep].  Its fanins are already live
+   (kill records sinks before their fanins, so reverse replay restores
+   fanins first).  Fanout-list positions within each fanin are not
+   byte-identical to the pre-kill order — only membership is — which is
+   fine for every consumer (validate, simulation, traversals). *)
+let resurrect t id =
+  let n = t.nodes.(id) in
+  n.live <- true;
+  register_name t n.name id;
+  match n.kind with
+  | Cell (_, fs) ->
+    Array.iteri (fun i f -> add_fanout t f { sink = id; pin_index = i }) fs
+  | Const _ -> ()
+  | Pi | Po _ -> assert false
+
+let unreplace_stem t a moved =
+  List.iter
+    (fun p ->
+      let s = node t p.sink in
+      (match s.kind with
+      | Cell (c, fs) ->
+        remove_fanout t fs.(p.pin_index) p;
+        fs.(p.pin_index) <- a;
+        s.kind <- Cell (c, fs)
+      | Po d ->
+        remove_fanout t d p;
+        s.kind <- Po a
+      | Pi | Const _ -> assert false);
+      add_fanout t a p)
+    (List.rev moved)
+
+let undo_op t = function
+  | U_set_fanin { sink; pin; old_driver } -> set_fanin t sink pin old_driver
+  | U_replace_stem { a; moved } -> unreplace_stem t a moved
+  | U_set_cell { id; old_cell } -> set_cell t id old_cell
+  | U_alloc id -> undo_alloc t id
+  | U_kill id -> resurrect t id
+
+let journal_rollback t =
+  match t.journal with
+  | None -> invalid_arg "Circuit.journal_rollback: no open journal"
+  | Some j ->
+    (* Disable recording before replay so inverse edits are not
+       themselves journaled. *)
+    t.journal <- None;
+    List.iter (undo_op t) j.ops;
+    t.fresh <- j.saved_fresh;
+    touch t
+
+let overwrite dst src =
+  if journal_active dst then
+    invalid_arg "Circuit.overwrite: destination has an open journal";
+  if dst.lib != src.lib then
+    invalid_arg "Circuit.overwrite: library mismatch";
+  dst.nodes <- src.nodes;
+  dst.count <- src.count;
+  dst.pis_rev <- src.pis_rev;
+  dst.pos_rev <- src.pos_rev;
+  Hashtbl.reset dst.names;
+  Hashtbl.iter (fun k v -> Hashtbl.add dst.names k v) src.names;
+  dst.fresh <- src.fresh;
+  touch dst
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)

@@ -109,6 +109,41 @@ val sweep : t -> node_id list
 (** Kill every non-PO-driving node with no fanouts, transitively;
     returns the list of killed node ids. *)
 
+(** {1 Transactions}
+
+    An undo journal turns a group of edits into a transaction: open it
+    with {!journal_begin}, apply any sequence of [set_fanin] /
+    [replace_stem] / [set_cell] / [add_cell] / [sweep] edits, then
+    either {!journal_commit} (keep them, drop the journal) or
+    {!journal_rollback} (replay inverse edits in reverse order).
+    Rollback also restores the fresh-name counter, so a rolled-back
+    transaction leaves no trace in future generated names.  One caveat:
+    positions inside fanout pin lists are restored up to membership, not
+    byte-identical order (order there is not semantically meaningful).
+    Journals do not nest. *)
+
+val journal_begin : t -> unit
+(** @raise Invalid_argument if a journal is already open. *)
+
+val journal_active : t -> bool
+
+val journal_commit : t -> unit
+(** Accept all edits since {!journal_begin} and close the journal.
+    @raise Invalid_argument if no journal is open. *)
+
+val journal_rollback : t -> unit
+(** Undo all edits since {!journal_begin} and close the journal.
+    @raise Invalid_argument if no journal is open. *)
+
+val overwrite : t -> t -> unit
+(** [overwrite dst src] makes [dst] structurally identical to [src] by
+    blitting [src]'s state into [dst] in place, so existing handles on
+    [dst] observe the new contents.  [src] must not be used afterwards
+    (the two would share mutable state).  Both circuits must share the
+    same library value.
+    @raise Invalid_argument if [dst] has an open journal or the
+    libraries differ. *)
+
 val would_cycle_stem : t -> node_id -> node_id -> bool
 (** Would [replace_stem a b] create a cycle? *)
 

@@ -1,0 +1,9 @@
+type t = float
+
+let never = infinity
+let after ~seconds = Clock.now () +. seconds
+let of_option = function None -> never | Some s -> after ~seconds:s
+let is_finite t = t <> infinity
+let expired t = is_finite t && Clock.now () >= t
+let remaining t = if is_finite t then t -. Clock.now () else infinity
+let earliest a b = if a <= b then a else b

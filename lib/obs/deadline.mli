@@ -1,0 +1,30 @@
+(** Cooperative wall-clock deadlines.
+
+    A deadline is an absolute expiry instant.  Long-running engines
+    (SAT, PODEM, the exact permissibility check) accept one and poll
+    {!expired} at coarse intervals — every few hundred conflicts or
+    backtracks — so a stuck instance gives up cleanly instead of
+    stalling the whole run.  [never] is free to poll and never fires. *)
+
+type t
+
+val never : t
+(** A deadline that never expires. *)
+
+val after : seconds:float -> t
+(** Expires [seconds] from now.  Wall-clock, not CPU time. *)
+
+val of_option : float option -> t
+(** [of_option None] is {!never}; [of_option (Some s)] is [after ~seconds:s]. *)
+
+val is_finite : t -> bool
+(** [false] exactly for {!never}. *)
+
+val expired : t -> bool
+(** Has the instant passed?  Always [false] for {!never}. *)
+
+val remaining : t -> float
+(** Seconds until expiry (negative once expired; [infinity] for {!never}). *)
+
+val earliest : t -> t -> t
+(** The tighter of two deadlines. *)

@@ -32,7 +32,10 @@ let escape_to buf s =
 let float_repr f =
   if not (Float.is_finite f) then "null"
   else
+    (* shortest representation that round-trips exactly — checkpoints
+       must restore floats bit-identically *)
     let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
     (* guarantee the token reparses as a JSON number, not an int *)
     if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
 

@@ -5,7 +5,15 @@ module Equiv = Atpg.Equiv
 type verdict =
   | Permissible
   | Not_permissible of (string * bool) list
-  | Gave_up
+  | Gave_up of { engine : string; limit : string }
+
+let gave_up_sat = function
+  | Atpg.Sat.Conflicts -> Gave_up { engine = "sat"; limit = "conflicts" }
+  | Atpg.Sat.Deadline -> Gave_up { engine = "sat"; limit = "deadline" }
+
+let gave_up_podem = function
+  | Atpg.Podem.Backtracks -> Gave_up { engine = "podem"; limit = "backtracks" }
+  | Atpg.Podem.Deadline -> Gave_up { engine = "podem"; limit = "deadline" }
 
 (* Build the incremental miter inside a clone: duplicate the changed
    cone with the substitution applied, XOR affected PO drivers with
@@ -126,33 +134,41 @@ let check_exhaustive m out =
          pis)
 
 let permissible ?(backtrack_limit = 20_000) ?(exhaustive_limit = 12)
-    ?(engine = `Sat) circ s =
-  match build circ s with
-  | None -> Permissible
-  | Some (m, out) ->
-    if List.length (Circuit.pis m) <= exhaustive_limit then
-      check_exhaustive m out
-    else begin
-      let assignment_names pairs =
-        List.map (fun (pi, v) -> (Circuit.name m pi, v)) pairs
-      in
-      match engine with
-      | `Sat -> (
-        match Atpg.Cnf.justify_one ~conflict_limit:(10 * backtrack_limit) m out with
-        | Atpg.Cnf.Impossible -> Permissible
-        | Atpg.Cnf.Justified a -> Not_permissible (assignment_names a)
-        | Atpg.Cnf.Gave_up -> Gave_up)
-      | `Podem -> (
-        match Atpg.Podem.justify_one ~backtrack_limit m out with
-        | Atpg.Podem.Untestable -> Permissible
-        | Atpg.Podem.Test a -> Not_permissible (assignment_names a)
-        | Atpg.Podem.Aborted -> Gave_up)
-      | `Bdd -> (
-        match Atpg.Bddcheck.justify_one m out with
-        | Atpg.Bddcheck.Impossible -> Permissible
-        | Atpg.Bddcheck.Justified a -> Not_permissible (assignment_names a)
-        | Atpg.Bddcheck.Gave_up _ -> Gave_up)
-    end
+    ?(engine = `Sat) ?(deadline = Obs.Deadline.never) circ s =
+  if Obs.Deadline.expired deadline then
+    (* Refuse before paying for the miter: an expired budget must reject
+       cleanly, never hang inside an engine. *)
+    Gave_up { engine = "check"; limit = "deadline" }
+  else
+    match build circ s with
+    | None -> Permissible
+    | Some (m, out) ->
+      if List.length (Circuit.pis m) <= exhaustive_limit then
+        check_exhaustive m out
+      else begin
+        let assignment_names pairs =
+          List.map (fun (pi, v) -> (Circuit.name m pi, v)) pairs
+        in
+        match engine with
+        | `Sat -> (
+          match
+            Atpg.Cnf.justify_one ~conflict_limit:(10 * backtrack_limit)
+              ~deadline m out
+          with
+          | Atpg.Cnf.Impossible -> Permissible
+          | Atpg.Cnf.Justified a -> Not_permissible (assignment_names a)
+          | Atpg.Cnf.Gave_up why -> gave_up_sat why)
+        | `Podem -> (
+          match Atpg.Podem.justify_one ~backtrack_limit ~deadline m out with
+          | Atpg.Podem.Untestable -> Permissible
+          | Atpg.Podem.Test a -> Not_permissible (assignment_names a)
+          | Atpg.Podem.Aborted why -> gave_up_podem why)
+        | `Bdd -> (
+          match Atpg.Bddcheck.justify_one m out with
+          | Atpg.Bddcheck.Impossible -> Permissible
+          | Atpg.Bddcheck.Justified a -> Not_permissible (assignment_names a)
+          | Atpg.Bddcheck.Gave_up _ -> Gave_up { engine = "bdd"; limit = "nodes" })
+      end
 
 (* Exact refutation on the engine's pattern set: perturb the target to
    carry the source's values, re-simulate the fanout, and look for any

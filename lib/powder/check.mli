@@ -15,16 +15,23 @@ type verdict =
       (** a distinguishing input vector, as PI-name/value pairs
           (missing PIs are don't-care) — fed back into the optimizer's
           counterexample pattern set *)
-  | Gave_up
+  | Gave_up of { engine : string; limit : string }
+      (** no answer: [engine] ("sat", "podem", "bdd", or "check" when
+          the deadline was already expired on entry) and [limit]
+          ("conflicts", "backtracks", "nodes", "deadline") say exactly
+          which budget fired *)
 
 val permissible :
   ?backtrack_limit:int ->
   ?exhaustive_limit:int ->
   ?engine:[ `Sat | `Podem | `Bdd ] ->
+  ?deadline:Obs.Deadline.t ->
   Netlist.Circuit.t ->
   Subst.t ->
   verdict
-(** Engine state and circuit are left untouched. *)
+(** Engine state and circuit are left untouched.  An already-expired
+    [deadline] rejects immediately with [Gave_up] before building the
+    miter; otherwise it is threaded into the SAT/PODEM search. *)
 
 val refuted_on_patterns : Sim.Engine.t -> Subst.t -> bool
 (** Cheap exact refutation on an engine's current pattern set: true iff

@@ -1,0 +1,219 @@
+module J = Obs.Json
+
+(* Bump when the schema changes; load refuses other versions. *)
+let version = 1
+
+let magic = "powder-checkpoint"
+
+type t = {
+  round : int;
+  status : string;
+      (** ["running"] while the loop was still live at save time;
+          otherwise the final [stopped_by] label — resume returns the
+          finished report instead of re-running an empty round *)
+  substitutions : int;
+  seed : int64;
+  blif : string;
+  cex : (string * bool) list list;  (** oldest first, for in-order replay *)
+  cex_cursor : int;
+  candidates_generated : int;
+  checks_run : int;
+  rejected_by_delay : int;
+  rejected_by_atpg : int;
+  rejected_by_giveup : int;
+  rejected_by_timeout : int;
+  rejected_by_cex : int;
+  rolled_back : int;
+  verified_applies : int;
+  giveup_breakdown : (string * int) list;
+  by_class : (string * (int * float * float)) list;
+      (** class name -> (accepted, power_gain, area_gain) *)
+  initial_power : float;
+  initial_area : float;
+  initial_delay : float;
+  degradation_level : int;
+}
+
+let to_json c =
+  J.Obj
+    [
+      ("magic", J.String magic);
+      ("version", J.Int version);
+      ("round", J.Int c.round);
+      ("status", J.String c.status);
+      ("substitutions", J.Int c.substitutions);
+      ("seed", J.String (Int64.to_string c.seed));
+      ("blif", J.String c.blif);
+      ( "cex",
+        J.List
+          (List.map
+             (fun assignment ->
+               J.Obj
+                 (List.map (fun (name, v) -> (name, J.Bool v)) assignment))
+             c.cex) );
+      ("cex_cursor", J.Int c.cex_cursor);
+      ("candidates_generated", J.Int c.candidates_generated);
+      ("checks_run", J.Int c.checks_run);
+      ("rejected_by_delay", J.Int c.rejected_by_delay);
+      ("rejected_by_atpg", J.Int c.rejected_by_atpg);
+      ("rejected_by_giveup", J.Int c.rejected_by_giveup);
+      ("rejected_by_timeout", J.Int c.rejected_by_timeout);
+      ("rejected_by_cex", J.Int c.rejected_by_cex);
+      ("rolled_back", J.Int c.rolled_back);
+      ("verified_applies", J.Int c.verified_applies);
+      ( "giveup_breakdown",
+        J.Obj (List.map (fun (k, n) -> (k, J.Int n)) c.giveup_breakdown) );
+      ( "by_class",
+        J.Obj
+          (List.map
+             (fun (k, (acc, pg, ag)) ->
+               ( k,
+                 J.Obj
+                   [
+                     ("accepted", J.Int acc);
+                     ("power_gain", J.Float pg);
+                     ("area_gain", J.Float ag);
+                   ] ))
+             c.by_class) );
+      ("initial_power", J.Float c.initial_power);
+      ("initial_area", J.Float c.initial_area);
+      ("initial_delay", J.Float c.initial_delay);
+      ("degradation_level", J.Int c.degradation_level);
+    ]
+
+let save file c =
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (J.to_string (to_json c));
+  output_char oc '\n';
+  close_out oc;
+  (* Atomic on POSIX: a reader sees either the old file or the new one,
+     never a torn write — a kill mid-checkpoint cannot lose the run. *)
+  Sys.rename tmp file
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: missing or invalid field %S" name)
+
+let of_json j =
+  let* m = field "magic" J.get_string j in
+  if m <> magic then Error "checkpoint: bad magic"
+  else
+    let* v = field "version" J.get_int j in
+    if v <> version then
+      Error (Printf.sprintf "checkpoint: version %d, expected %d" v version)
+    else
+      let* round = field "round" J.get_int j in
+      let* status = field "status" J.get_string j in
+      let* substitutions = field "substitutions" J.get_int j in
+      let* seed_s = field "seed" J.get_string j in
+      let* seed =
+        match Int64.of_string_opt seed_s with
+        | Some s -> Ok s
+        | None -> Error "checkpoint: bad seed"
+      in
+      let* blif = field "blif" J.get_string j in
+      let* cex_json = field "cex" J.get_list j in
+      let* cex =
+        List.fold_left
+          (fun acc entry ->
+            let* acc = acc in
+            match entry with
+            | J.Obj fields ->
+              let* assignment =
+                List.fold_left
+                  (fun acc (name, v) ->
+                    let* acc = acc in
+                    match J.get_bool v with
+                    | Some b -> Ok ((name, b) :: acc)
+                    | None -> Error "checkpoint: non-bool cex value")
+                  (Ok []) fields
+              in
+              Ok (List.rev assignment :: acc)
+            | _ -> Error "checkpoint: cex entry is not an object")
+          (Ok []) cex_json
+      in
+      let cex = List.rev cex in
+      let* cex_cursor = field "cex_cursor" J.get_int j in
+      let* candidates_generated = field "candidates_generated" J.get_int j in
+      let* checks_run = field "checks_run" J.get_int j in
+      let* rejected_by_delay = field "rejected_by_delay" J.get_int j in
+      let* rejected_by_atpg = field "rejected_by_atpg" J.get_int j in
+      let* rejected_by_giveup = field "rejected_by_giveup" J.get_int j in
+      let* rejected_by_timeout = field "rejected_by_timeout" J.get_int j in
+      let* rejected_by_cex = field "rejected_by_cex" J.get_int j in
+      let* rolled_back = field "rolled_back" J.get_int j in
+      let* verified_applies = field "verified_applies" J.get_int j in
+      let* giveup_breakdown =
+        match J.member "giveup_breakdown" j with
+        | Some (J.Obj fields) ->
+          List.fold_left
+            (fun acc (k, v) ->
+              let* acc = acc in
+              match J.get_int v with
+              | Some n -> Ok ((k, n) :: acc)
+              | None -> Error "checkpoint: bad giveup_breakdown")
+            (Ok []) fields
+          |> Result.map List.rev
+        | _ -> Error "checkpoint: missing giveup_breakdown"
+      in
+      let* by_class =
+        match J.member "by_class" j with
+        | Some (J.Obj fields) ->
+          List.fold_left
+            (fun acc (k, v) ->
+              let* acc = acc in
+              let* accepted = field "accepted" J.get_int v in
+              let* pg = field "power_gain" J.get_float v in
+              let* ag = field "area_gain" J.get_float v in
+              Ok ((k, (accepted, pg, ag)) :: acc))
+            (Ok []) fields
+          |> Result.map List.rev
+        | _ -> Error "checkpoint: missing by_class"
+      in
+      let* initial_power = field "initial_power" J.get_float j in
+      let* initial_area = field "initial_area" J.get_float j in
+      let* initial_delay = field "initial_delay" J.get_float j in
+      let* degradation_level = field "degradation_level" J.get_int j in
+      Ok
+        {
+          round;
+          status;
+          substitutions;
+          seed;
+          blif;
+          cex;
+          cex_cursor;
+          candidates_generated;
+          checks_run;
+          rejected_by_delay;
+          rejected_by_atpg;
+          rejected_by_giveup;
+          rejected_by_timeout;
+          rejected_by_cex;
+          rolled_back;
+          verified_applies;
+          giveup_breakdown;
+          by_class;
+          initial_power;
+          initial_area;
+          initial_delay;
+          degradation_level;
+        }
+
+let load file =
+  match
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error (Printf.sprintf "checkpoint: %s" e)
+  | text -> (
+    match J.of_string (String.trim text) with
+    | Error e -> Error (Printf.sprintf "checkpoint: invalid JSON: %s" e)
+    | Ok j -> of_json j)

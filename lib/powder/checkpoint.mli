@@ -1,0 +1,52 @@
+(** Optimizer checkpoints: everything needed to continue an interrupted
+    run, serialized as a single JSON object (the netlist rides along as
+    an embedded BLIF string).
+
+    Determinism contract: the optimizer re-canonicalizes its own state
+    (serialize -> reparse -> rebuild engines -> replay counterexamples)
+    at every checkpoint boundary, because a BLIF round-trip renumbers
+    nodes and candidate generation iterates in node-id order.  A run
+    resumed from a checkpoint therefore continues exactly like an
+    uninterrupted run that checkpoints at the same cadence. *)
+
+type t = {
+  round : int;
+  status : string;
+      (** ["running"] while the loop was still live at save time;
+          otherwise the final [stopped_by] label ([converged],
+          [max_substitutions], [degradation], ...) — resuming such a
+          checkpoint returns the finished report without extra rounds *)
+  substitutions : int;
+  seed : int64;
+  blif : string;
+  cex : (string * bool) list list;  (** oldest first, for in-order replay *)
+  cex_cursor : int;
+  candidates_generated : int;
+  checks_run : int;
+  rejected_by_delay : int;
+  rejected_by_atpg : int;
+  rejected_by_giveup : int;
+  rejected_by_timeout : int;
+  rejected_by_cex : int;
+  rolled_back : int;
+  verified_applies : int;
+  giveup_breakdown : (string * int) list;
+  by_class : (string * (int * float * float)) list;
+      (** class name -> (accepted, power_gain, area_gain) *)
+  initial_power : float;
+  initial_area : float;
+  initial_delay : float;
+  degradation_level : int;
+}
+
+val version : int
+
+val to_json : t -> Obs.Json.t
+
+val save : string -> t -> unit
+(** Atomic: writes to [file ^ ".tmp"], then renames — a kill mid-write
+    leaves the previous checkpoint intact. *)
+
+val load : string -> (t, string) result
+(** Rejects wrong magic, wrong version, and malformed fields with a
+    descriptive message. *)

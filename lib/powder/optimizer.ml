@@ -3,6 +3,7 @@ module Engine = Sim.Engine
 module Estimator = Power.Estimator
 module Timing = Sta.Timing
 module Equiv = Atpg.Equiv
+module Deadline = Obs.Deadline
 
 type delay_mode = Unconstrained | Keep_initial | Ratio of float | Absolute of float
 
@@ -21,6 +22,13 @@ type config = {
   check_engine : [ `Sat | `Podem | `Bdd ];
   max_substitutions : int;
   max_rounds : int;
+  check_seconds : float option;
+  round_seconds : float option;
+  run_seconds : float option;
+  verify_applies : bool;
+  verify_words : int;
+  checkpoint_every : int;
+  checkpoint_file : string option;
 }
 
 let default_config =
@@ -39,6 +47,13 @@ let default_config =
     check_engine = `Sat;
     max_substitutions = 10_000;
     max_rounds = 200;
+    check_seconds = None;
+    round_seconds = None;
+    run_seconds = None;
+    verify_applies = true;
+    verify_words = 8;
+    checkpoint_every = 0;
+    checkpoint_file = None;
   }
 
 module Trace = Obs.Trace
@@ -61,9 +76,15 @@ type report = {
   rejected_by_delay : int;
   rejected_by_atpg : int;
   rejected_by_giveup : int;
+  rejected_by_timeout : int;
   rejected_by_cex : int;
       (** screened out by accumulated counterexample patterns, without
           running an exact proof *)
+  rolled_back : int;
+  verified_applies : int;
+  giveup_breakdown : (string * int) list;
+  degradation_level : int;
+  stopped_by : string;
   rounds : int;
   phase_seconds : (string * float) list;
   cpu_seconds : float;
@@ -78,7 +99,9 @@ let m_accepted = Metrics.counter "powder.accepted"
 let m_rej_delay = Metrics.counter "powder.rejected.delay"
 let m_rej_atpg = Metrics.counter "powder.rejected.atpg"
 let m_rej_giveup = Metrics.counter "powder.rejected.giveup"
+let m_rej_timeout = Metrics.counter "powder.rejected.timeout"
 let m_rej_cex = Metrics.counter "powder.rejected.cex"
+let m_rolled_back = Metrics.counter "powder.rolled_back"
 let m_rounds = Metrics.counter "powder.rounds"
 
 let power_reduction_percent r =
@@ -110,7 +133,14 @@ let still_valid circ (s : Subst.t) =
   in
   target_ok && source_ok
 
-let optimize ?(config = default_config) circ =
+let klass_of_name name =
+  List.find_opt (fun k -> String.equal (Subst.klass_name k) name) Subst.all_klasses
+
+(* Consecutive per-check deadline expiries before the degradation
+   ladder escalates one level. *)
+let escalate_after_timeouts = 3
+
+let optimize ?(config = default_config) ?resume circ =
   let t0 = Obs.Clock.now () in
   (* span histograms are process-global; remember their current sums so
      this run's phase breakdown is a delta, not a lifetime total *)
@@ -119,13 +149,35 @@ let optimize ?(config = default_config) circ =
     Trace.with_span "sta" (fun () -> Timing.analyze ?required_time c)
   in
   let log = Logs.debug in
-  let eng = Engine.create circ ~words:config.words in
+  (* Resume: swap in the checkpointed netlist before any engine sees the
+     circuit.  [overwrite] keeps the caller's handle valid. *)
+  (match resume with
+  | None -> ()
+  | Some (ck : Checkpoint.t) -> (
+    match Blif.Blif_io.circuit_of_string (Circuit.library circ) ck.blif with
+    | Ok c2 -> Circuit.overwrite circ c2
+    | Error e ->
+      invalid_arg
+        ("Optimizer.optimize: cannot resume: " ^ Blif.Blif_io.error_to_string e)));
   let prob_of pi = config.input_prob (Circuit.name circ pi) in
-  Engine.randomize eng ~input_probs:prob_of (Sim.Rng.create config.seed);
-  let est = Estimator.create eng in
-  let initial_power = Estimator.total est in
-  let initial_area = Circuit.area circ in
-  let initial_delay = Timing.circuit_delay (analyze_timed circ) in
+  let eng = ref (Engine.create circ ~words:config.words) in
+  Engine.randomize !eng ~input_probs:prob_of (Sim.Rng.create config.seed);
+  let est = ref (Estimator.create !eng) in
+  let initial_power =
+    match resume with
+    | Some ck -> ck.Checkpoint.initial_power
+    | None -> Estimator.total !est
+  in
+  let initial_area =
+    match resume with
+    | Some ck -> ck.Checkpoint.initial_area
+    | None -> Circuit.area circ
+  in
+  let initial_delay =
+    match resume with
+    | Some ck -> ck.Checkpoint.initial_delay
+    | None -> Timing.circuit_delay (analyze_timed circ)
+  in
   let constraint_ =
     match config.delay with
     | Unconstrained -> None
@@ -143,18 +195,28 @@ let optimize ?(config = default_config) circ =
   let rej_delay = ref 0 in
   let rej_atpg = ref 0 in
   let rej_giveup = ref 0 in
+  let rej_timeout = ref 0 in
   let rej_cex = ref 0 in
+  let rolled_back = ref 0 in
+  let verified_applies = ref 0 in
   let substitutions = ref 0 in
   let rounds = ref 0 in
+  let giveups : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump_giveup key =
+    Hashtbl.replace giveups key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt giveups key))
+  in
   (* Counterexample pattern set: every refuted candidate contributes its
      distinguishing vector, which then screens future candidates for
-     free (classic simulation/SAT refinement). *)
+     free (classic simulation/SAT refinement).  The full history is kept
+     (newest first) so checkpoints can replay it. *)
   let cex_words = 4 in
-  let cex_eng = Engine.create circ ~words:cex_words in
-  Engine.randomize cex_eng ~input_probs:prob_of
+  let cex_eng = ref (Engine.create circ ~words:cex_words) in
+  Engine.randomize !cex_eng ~input_probs:prob_of
     (Sim.Rng.create (Int64.add config.seed 77L));
   let cex_cursor = ref 0 in
-  let inject_cex assignment =
+  let cex_log = ref [] in
+  let write_cex_bits assignment =
     let k = !cex_cursor mod (64 * cex_words) in
     incr cex_cursor;
     let word = k / 64 and bit = k mod 64 in
@@ -163,27 +225,151 @@ let optimize ?(config = default_config) circ =
         match List.assoc_opt (Circuit.name circ pi) assignment with
         | None -> ()
         | Some v ->
-          let values = Array.copy (Engine.value cex_eng pi) in
+          let values = Array.copy (Engine.value !cex_eng pi) in
           let mask = Int64.shift_left 1L bit in
           values.(word) <-
             (if v then Int64.logor values.(word) mask
              else Int64.logand values.(word) (Int64.lognot mask));
-          Engine.set_value cex_eng pi values)
-      (Circuit.pis circ);
-    Engine.resim_all cex_eng
+          Engine.set_value !cex_eng pi values)
+      (Circuit.pis circ)
   in
-  let cand_config =
-    {
-      Candidates.classes = config.classes;
-      per_target = config.per_target;
-      pool_limit = config.pool_limit;
-      require_positive = true;
-    }
+  let inject_cex assignment =
+    cex_log := assignment :: !cex_log;
+    write_cex_bits assignment;
+    Engine.resim_all !cex_eng
+  in
+  let verify_seed = Int64.add config.seed 1313L in
+  let guard =
+    ref
+      (if config.verify_applies then
+         Some
+           (Guard.make_verifier ~words:config.verify_words ~seed:verify_seed
+              ~input_probs:prob_of circ)
+       else None)
+  in
+  (* Rebuild every engine from the (canonicalized or resumed) circuit,
+     re-deriving all simulation state from seeds and the counterexample
+     log.  This is what makes resume deterministic: both an
+     uninterrupted checkpointing run and a resumed one pass through the
+     identical rebuild at every barrier. *)
+  let rebuild_engines () =
+    eng := Engine.create circ ~words:config.words;
+    Engine.randomize !eng ~input_probs:prob_of (Sim.Rng.create config.seed);
+    est := Estimator.create !eng;
+    cex_eng := Engine.create circ ~words:cex_words;
+    Engine.randomize !cex_eng ~input_probs:prob_of
+      (Sim.Rng.create (Int64.add config.seed 77L));
+    cex_cursor := 0;
+    List.iter write_cex_bits (List.rev !cex_log);
+    Engine.resim_all !cex_eng;
+    (match !guard with
+    | None -> ()
+    | Some _ ->
+      guard :=
+        Some
+          (Guard.make_verifier ~words:config.verify_words ~seed:verify_seed
+             ~input_probs:prob_of circ));
+    sta := analyze_timed ?required_time:constraint_ circ
+  in
+  (* Canonicalization barrier: serialize, reparse, and continue on the
+     reparsed circuit.  A BLIF round trip renumbers nodes, and candidate
+     generation iterates in node-id order — so the checkpointed BLIF
+     must BE the state the run continues from, or resume would diverge. *)
+  let canonicalize () =
+    let blif = Blif.Blif_io.circuit_to_string circ in
+    (match Blif.Blif_io.circuit_of_string (Circuit.library circ) blif with
+    | Ok c2 -> Circuit.overwrite circ c2
+    | Error e ->
+      failwith
+        ("Optimizer: checkpoint canonicalization failed: "
+        ^ Blif.Blif_io.error_to_string e));
+    rebuild_engines ();
+    blif
+  in
+  (* Restore counters and accumulated state from the checkpoint. *)
+  (match resume with
+  | None -> ()
+  | Some ck ->
+    rounds := ck.Checkpoint.round;
+    substitutions := ck.Checkpoint.substitutions;
+    candidates_generated := ck.Checkpoint.candidates_generated;
+    checks := ck.Checkpoint.checks_run;
+    rej_delay := ck.Checkpoint.rejected_by_delay;
+    rej_atpg := ck.Checkpoint.rejected_by_atpg;
+    rej_giveup := ck.Checkpoint.rejected_by_giveup;
+    rej_timeout := ck.Checkpoint.rejected_by_timeout;
+    rej_cex := ck.Checkpoint.rejected_by_cex;
+    rolled_back := ck.Checkpoint.rolled_back;
+    verified_applies := ck.Checkpoint.verified_applies;
+    List.iter (fun (k, n) -> Hashtbl.replace giveups k n)
+      ck.Checkpoint.giveup_breakdown;
+    List.iter
+      (fun (name, (accepted, power_gain, area_gain)) ->
+        match klass_of_name name with
+        | Some k -> Hashtbl.replace stats k { accepted; power_gain; area_gain }
+        | None -> ())
+      ck.Checkpoint.by_class;
+    cex_log := List.rev ck.Checkpoint.cex;
+    cex_cursor := 0;
+    List.iter write_cex_bits ck.Checkpoint.cex;
+    Engine.resim_all !cex_eng;
+    (match !guard with
+    | None -> ()
+    | Some v -> Guard.refresh v));
+  let degradation =
+    ref (match resume with Some ck -> ck.Checkpoint.degradation_level | None -> 0)
+  in
+  let consecutive_timeouts = ref 0 in
+  let continue_ = ref true in
+  let stopped_by = ref "converged" in
+  (* A checkpoint taken after the loop decided to stop marks the run
+     finished; resuming it must reproduce the finished report, not run
+     one more (empty) round that the uninterrupted run never saw. *)
+  let finished_on_resume =
+    match resume with
+    | Some ck when not (String.equal ck.Checkpoint.status "running") ->
+      continue_ := false;
+      stopped_by := ck.Checkpoint.status;
+      true
+    | _ -> false
+  in
+  let escalate reason =
+    if !degradation < 3 then begin
+      incr degradation;
+      Trace.event "degrade"
+        [ ("level", Trace.Int !degradation); ("reason", Trace.String reason) ];
+      log (fun m -> m "degradation level %d (%s)" !degradation reason)
+    end;
+    if !degradation >= 3 then begin
+      stopped_by := "degradation";
+      continue_ := false
+    end
+  in
+  let effective_backtrack_limit () =
+    if !degradation >= 1 then max 100 (config.backtrack_limit / 8)
+    else config.backtrack_limit
+  in
+  let effective_classes () =
+    if !degradation >= 2 then
+      List.filter
+        (fun k -> match k with Subst.Os3 | Subst.Is3 -> false | _ -> true)
+        config.classes
+    else config.classes
+  in
+  let run_deadline = Deadline.of_option config.run_seconds in
+  let round_deadline = ref Deadline.never in
+  let check_deadline () =
+    let d =
+      if Guard.take_fault Guard.Expire_deadline then Deadline.after ~seconds:(-1.0)
+      else Deadline.of_option config.check_seconds
+    in
+    Deadline.earliest d (Deadline.earliest !round_deadline run_deadline)
   in
   (* Attempt the best pre-selected candidate from the pool.  All tried
      or discarded candidates are marked used, so progress is guaranteed.
      Returns [`Accepted], [`Tried] (pool consumed but nothing accepted
-     yet) or [`Exhausted]. *)
+     yet), [`Exhausted], [`Round_over] (round budget expired) or
+     [`Stop] (run budget expired or the ladder topped out). *)
   let try_pick pool used ranked_cache =
     let compute_ranked () =
       (* rank the still-valid unused candidates by fresh PG_A+PG_B *)
@@ -194,7 +380,7 @@ let optimize ?(config = default_config) circ =
               if (not used.(i)) && still_valid circ s
                  && not (Subst.creates_cycle circ s)
               then begin
-                let g = Subst.gain_ab est s in
+                let g = Subst.gain_ab !est s in
                 if Subst.total_gain g > 0.0 then ranked := (i, s, g) :: !ranked
                 else used.(i) <- true
               end
@@ -219,7 +405,7 @@ let optimize ?(config = default_config) circ =
         Trace.with_span "refine-pgc" (fun () ->
             List.filter_map
               (fun (i, s, _) ->
-                let g = Subst.gain_full est s in
+                let g = Subst.gain_full !est s in
                 if Subst.total_gain g > 0.0 then Some (i, s, g)
                 else begin
                   used.(i) <- true;
@@ -255,7 +441,15 @@ let optimize ?(config = default_config) circ =
       in
       let rec attempt = function
         | [] -> `Tried ranked
-        | (rank, i, s, g) :: rest ->
+        | _ when Deadline.expired run_deadline ->
+          Guard.count_error Guard.Budget_exhausted;
+          stopped_by := "run_budget";
+          `Stop
+        | _ when Deadline.expired !round_deadline ->
+          Guard.count_error Guard.Budget_exhausted;
+          `Round_over
+        | _ when not !continue_ -> `Stop
+        | (rank, i, s, g) :: rest -> (
           used.(i) <- true;
           let delay_fine =
             match constraint_ with
@@ -267,7 +461,7 @@ let optimize ?(config = default_config) circ =
             reject rank s "delay";
             attempt rest
           end
-          else if Check.refuted_on_patterns cex_eng s then begin
+          else if Check.refuted_on_patterns !cex_eng s then begin
             incr rej_cex;
             reject rank s "cex";
             attempt rest
@@ -277,94 +471,234 @@ let optimize ?(config = default_config) circ =
             let verdict =
               Trace.with_span "exact-check" (fun () ->
                   match
-                    Check.permissible ~backtrack_limit:config.backtrack_limit
+                    Check.permissible
+                      ~backtrack_limit:(effective_backtrack_limit ())
                       ~exhaustive_limit:config.exhaustive_limit
-                      ~engine:config.check_engine circ s
+                      ~engine:config.check_engine ~deadline:(check_deadline ())
+                      circ s
                   with
                   | v -> v
-                  | exception Invalid_argument _ -> Check.Gave_up)
+                  | exception Invalid_argument _ ->
+                    Check.Gave_up { engine = "check"; limit = "invalid" })
+            in
+            (* test-only fault: report a refuted candidate as permissible
+               so the transactional apply must catch it downstream *)
+            let verdict =
+              match verdict with
+              | Check.Not_permissible _
+                when Guard.take_fault Guard.Forge_verdict ->
+                Check.Permissible
+              | v -> v
             in
             match verdict with
-            | Check.Permissible ->
-              let power_before = Estimator.total est in
+            | Check.Permissible -> (
+              consecutive_timeouts := 0;
+              let power_before = Estimator.total !est in
               let area_before = Circuit.area circ in
               let desc = if Trace.active () then Subst.describe circ s else "" in
-              Trace.with_span "apply" (fun () ->
-                  let src = Subst.apply circ s in
-                  Estimator.update_after_edit est src;
-                  Engine.resim_tfo cex_eng src);
-              sta := analyze_timed ?required_time:constraint_ circ;
-              incr substitutions;
-              let realized = power_before -. Estimator.total est in
-              let area_delta = area_before -. Circuit.area circ in
-              let k = Subst.klass s in
-              let st = Hashtbl.find stats k in
-              Hashtbl.replace stats k
-                {
-                  accepted = st.accepted + 1;
-                  power_gain = st.power_gain +. realized;
-                  area_gain = st.area_gain +. area_delta;
-                };
-              Trace.event_f "accept" (fun () ->
-                  [
-                    ("class", Trace.String (Subst.klass_name k));
-                    ("rank", Trace.Int rank);
-                    ("est_gain", Trace.Float (Subst.total_gain g));
-                    ("realized_gain", Trace.Float realized);
-                    ("area_delta", Trace.Float area_delta);
-                    ("cand", Trace.String desc);
-                  ]);
-              log (fun m ->
-                  m "accepted %s (gain %.4f)" (Subst.describe circ s)
-                    (Subst.total_gain g));
-              `Accepted
+              let outcome =
+                Trace.with_span "apply" (fun () ->
+                    match !guard with
+                    | Some v -> (
+                      match Guard.transactional_apply v circ s with
+                      | Guard.Applied src ->
+                        incr verified_applies;
+                        Estimator.update_after_edit !est src;
+                        Engine.resim_tfo !cex_eng src;
+                        `Ok src
+                      | Guard.Rolled_back err -> `Rolled_back err)
+                    | None ->
+                      let src = Subst.apply circ s in
+                      Estimator.update_after_edit !est src;
+                      Engine.resim_tfo !cex_eng src;
+                      `Ok src)
+              in
+              match outcome with
+              | `Rolled_back err ->
+                incr rolled_back;
+                Trace.event_f "rollback" (fun () ->
+                    [
+                      ("error", Trace.String (Guard.error_name err));
+                      ("rank", Trace.Int rank);
+                      ("cand", Trace.String (Subst.describe circ s));
+                    ]);
+                log (fun m ->
+                    m "rolled back %s (%s)" (Subst.describe circ s)
+                      (Guard.error_name err));
+                attempt rest
+              | `Ok _src ->
+                sta := analyze_timed ?required_time:constraint_ circ;
+                incr substitutions;
+                let realized = power_before -. Estimator.total !est in
+                let area_delta = area_before -. Circuit.area circ in
+                let k = Subst.klass s in
+                let st = Hashtbl.find stats k in
+                Hashtbl.replace stats k
+                  {
+                    accepted = st.accepted + 1;
+                    power_gain = st.power_gain +. realized;
+                    area_gain = st.area_gain +. area_delta;
+                  };
+                Trace.event_f "accept" (fun () ->
+                    [
+                      ("class", Trace.String (Subst.klass_name k));
+                      ("rank", Trace.Int rank);
+                      ("est_gain", Trace.Float (Subst.total_gain g));
+                      ("realized_gain", Trace.Float realized);
+                      ("area_delta", Trace.Float area_delta);
+                      ("cand", Trace.String desc);
+                    ]);
+                log (fun m ->
+                    m "accepted %s (gain %.4f)" (Subst.describe circ s)
+                      (Subst.total_gain g));
+                `Accepted)
             | Check.Not_permissible cex ->
+              consecutive_timeouts := 0;
               incr rej_atpg;
               reject rank s "atpg";
               inject_cex cex;
               attempt rest
-            | Check.Gave_up ->
-              incr rej_giveup;
-              reject rank s "giveup";
-              attempt rest
-          end
+            | Check.Gave_up { engine; limit } ->
+              bump_giveup (engine ^ "/" ^ limit);
+              if String.equal limit "deadline" then begin
+                incr rej_timeout;
+                Guard.count_error Guard.Check_timeout;
+                reject rank s "timeout";
+                incr consecutive_timeouts;
+                if !consecutive_timeouts >= escalate_after_timeouts then begin
+                  consecutive_timeouts := 0;
+                  escalate "check-deadline"
+                end;
+                attempt rest
+              end
+              else begin
+                consecutive_timeouts := 0;
+                incr rej_giveup;
+                reject rank s "giveup";
+                attempt rest
+              end
+          end)
       in
       attempt refined
   in
-  let continue_ = ref true in
   while
     !continue_ && !rounds < config.max_rounds
     && !substitutions < config.max_substitutions
   do
-    incr rounds;
-    let pool =
-      Trace.with_span "generate" (fun () ->
-          Array.of_list (Candidates.generate ~config:cand_config est))
-    in
-    candidates_generated := !candidates_generated + Array.length pool;
-    Trace.event "round"
-      [ ("round", Trace.Int !rounds); ("pool", Trace.Int (Array.length pool)) ];
-    if Array.length pool = 0 then continue_ := false
+    if Deadline.expired run_deadline then begin
+      Guard.count_error Guard.Budget_exhausted;
+      stopped_by := "run_budget";
+      continue_ := false
+    end
     else begin
-      let used = Array.make (Array.length pool) false in
-      let accepted_this_round = ref 0 in
-      let batch_active = ref true in
-      let ranked_cache = ref None in
-      while
-        !batch_active
-        && !accepted_this_round < config.repeat
-        && !substitutions < config.max_substitutions
-      do
-        match try_pick pool used !ranked_cache with
-        | `Accepted ->
-          incr accepted_this_round;
-          ranked_cache := None (* circuit changed; re-rank *)
-        | `Tried ranked -> ranked_cache := Some ranked
-        | `Exhausted -> batch_active := false
-      done;
-      if !accepted_this_round = 0 then continue_ := false
+      incr rounds;
+      round_deadline := Deadline.of_option config.round_seconds;
+      let cand_config =
+        {
+          Candidates.classes = effective_classes ();
+          per_target = config.per_target;
+          pool_limit = config.pool_limit;
+          require_positive = true;
+        }
+      in
+      let pool =
+        Trace.with_span "generate" (fun () ->
+            Array.of_list (Candidates.generate ~config:cand_config !est))
+      in
+      candidates_generated := !candidates_generated + Array.length pool;
+      Trace.event "round"
+        [ ("round", Trace.Int !rounds); ("pool", Trace.Int (Array.length pool)) ];
+      if Array.length pool = 0 then continue_ := false
+      else begin
+        let used = Array.make (Array.length pool) false in
+        let accepted_this_round = ref 0 in
+        let batch_active = ref true in
+        let round_expired = ref false in
+        let ranked_cache = ref None in
+        while
+          !batch_active
+          && !accepted_this_round < config.repeat
+          && !substitutions < config.max_substitutions
+        do
+          match try_pick pool used !ranked_cache with
+          | `Accepted ->
+            incr accepted_this_round;
+            ranked_cache := None (* circuit changed; re-rank *)
+          | `Tried ranked -> ranked_cache := Some ranked
+          | `Exhausted -> batch_active := false
+          | `Round_over ->
+            batch_active := false;
+            round_expired := true;
+            escalate "round-budget"
+          | `Stop ->
+            batch_active := false;
+            continue_ := false
+        done;
+        (* An expired round budget is not convergence: the next round
+           runs with the escalated ladder instead of giving up. *)
+        if !accepted_this_round = 0 && not !round_expired then
+          continue_ := false
+      end;
+      (* Checkpoint barrier (also taken with no file configured, so a
+         checkpointing run and a resumed one share identical state). *)
+      if config.checkpoint_every > 0 && !rounds mod config.checkpoint_every = 0
+      then begin
+        let blif = canonicalize () in
+        match config.checkpoint_file with
+        | None -> ()
+        | Some file ->
+          let status =
+            if not !continue_ then
+              if
+                String.equal !stopped_by "converged"
+                && !substitutions >= config.max_substitutions
+              then "max_substitutions"
+              else !stopped_by
+            else if !substitutions >= config.max_substitutions then
+              "max_substitutions"
+            else "running"
+          in
+          Checkpoint.save file
+            {
+              Checkpoint.round = !rounds;
+              status;
+              substitutions = !substitutions;
+              seed = config.seed;
+              blif;
+              cex = List.rev !cex_log;
+              cex_cursor = !cex_cursor;
+              candidates_generated = !candidates_generated;
+              checks_run = !checks;
+              rejected_by_delay = !rej_delay;
+              rejected_by_atpg = !rej_atpg;
+              rejected_by_giveup = !rej_giveup;
+              rejected_by_timeout = !rej_timeout;
+              rejected_by_cex = !rej_cex;
+              rolled_back = !rolled_back;
+              verified_applies = !verified_applies;
+              giveup_breakdown =
+                List.sort compare
+                  (Hashtbl.fold (fun k v acc -> (k, v) :: acc) giveups []);
+              by_class =
+                List.map
+                  (fun k ->
+                    let st = Hashtbl.find stats k in
+                    ( Subst.klass_name k,
+                      (st.accepted, st.power_gain, st.area_gain) ))
+                  Subst.all_klasses;
+              initial_power;
+              initial_area;
+              initial_delay;
+              degradation_level = !degradation;
+            }
+      end
     end
   done;
+  if (not finished_on_resume) && String.equal !stopped_by "converged" then begin
+    if !substitutions >= config.max_substitutions then
+      stopped_by := "max_substitutions"
+    else if !rounds >= config.max_rounds then stopped_by := "max_rounds"
+  end;
   let final_sta = analyze_timed circ in
   Metrics.add m_candidates !candidates_generated;
   Metrics.add m_checks !checks;
@@ -372,14 +706,16 @@ let optimize ?(config = default_config) circ =
   Metrics.add m_rej_delay !rej_delay;
   Metrics.add m_rej_atpg !rej_atpg;
   Metrics.add m_rej_giveup !rej_giveup;
+  Metrics.add m_rej_timeout !rej_timeout;
   Metrics.add m_rej_cex !rej_cex;
+  Metrics.add m_rolled_back !rolled_back;
   Metrics.add m_rounds !rounds;
   let phase_seconds =
     List.map (fun (n, base) -> (n, Trace.span_seconds n -. base)) phase_base
   in
   {
     initial_power;
-    final_power = Estimator.total est;
+    final_power = Estimator.total !est;
     initial_area;
     final_area = Circuit.area circ;
     initial_delay;
@@ -392,7 +728,14 @@ let optimize ?(config = default_config) circ =
     rejected_by_delay = !rej_delay;
     rejected_by_atpg = !rej_atpg;
     rejected_by_giveup = !rej_giveup;
+    rejected_by_timeout = !rej_timeout;
     rejected_by_cex = !rej_cex;
+    rolled_back = !rolled_back;
+    verified_applies = !verified_applies;
+    giveup_breakdown =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) giveups []);
+    degradation_level = !degradation;
+    stopped_by = !stopped_by;
     rounds = !rounds;
     phase_seconds;
     cpu_seconds = Obs.Clock.now () -. t0;
@@ -403,7 +746,8 @@ let pp_report fmt r =
     "@[<v>power: %.4f -> %.4f (%.1f%%)@,area: %.0f -> %.0f (%.1f%%)@,\
      delay: %.2f -> %.2f%s@,funnel: %d generated -> %d checked -> %d accepted@,\
      substitutions: %d (checks %d, rej delay %d, rej atpg %d, rej giveup %d, \
-     rej cex %d, rounds %d)@,"
+     rej timeout %d, rej cex %d, rolled back %d, rounds %d)@,\
+     guard: %d verified applies, degradation level %d, stopped by %s@,"
     r.initial_power r.final_power (power_reduction_percent r) r.initial_area
     r.final_area (area_reduction_percent r) r.initial_delay r.final_delay
     (match r.delay_constraint with
@@ -411,7 +755,14 @@ let pp_report fmt r =
     | Some d -> Printf.sprintf " (constraint %.2f)" d)
     r.candidates_generated r.checks_run r.substitutions r.substitutions
     r.checks_run r.rejected_by_delay r.rejected_by_atpg r.rejected_by_giveup
-    r.rejected_by_cex r.rounds;
+    r.rejected_by_timeout r.rejected_by_cex r.rolled_back r.rounds
+    r.verified_applies r.degradation_level r.stopped_by;
+  (match r.giveup_breakdown with
+  | [] -> ()
+  | breakdown ->
+    Format.fprintf fmt "giveups:";
+    List.iter (fun (k, n) -> Format.fprintf fmt " %s=%d" k n) breakdown;
+    Format.fprintf fmt "@,");
   List.iter
     (fun (k, st) ->
       Format.fprintf fmt "  %s: %d accepted, power %.4f, area %.0f@,"
@@ -459,7 +810,19 @@ let report_to_json r =
             ("rejected_by_delay", Int r.rejected_by_delay);
             ("rejected_by_atpg", Int r.rejected_by_atpg);
             ("rejected_by_giveup", Int r.rejected_by_giveup);
+            ("rejected_by_timeout", Int r.rejected_by_timeout);
             ("rejected_by_cex", Int r.rejected_by_cex);
+            ("rolled_back", Int r.rolled_back);
+          ] );
+      ( "guard",
+        Obj
+          [
+            ("verified_applies", Int r.verified_applies);
+            ("rolled_back", Int r.rolled_back);
+            ("degradation_level", Int r.degradation_level);
+            ("stopped_by", String r.stopped_by);
+            ( "giveup_breakdown",
+              Obj (List.map (fun (k, n) -> (k, Int n)) r.giveup_breakdown) );
           ] );
       ("rounds", Int r.rounds);
       ( "phase_seconds",

@@ -36,6 +36,21 @@ type config = {
       (** exact-check engine above the exhaustive cutoff *)
   max_substitutions : int;
   max_rounds : int;             (** outer-loop safety bound *)
+  check_seconds : float option;
+      (** wall-clock budget per exact permissibility check *)
+  round_seconds : float option;
+      (** wall-clock budget per outer-loop round; expiry escalates the
+          degradation ladder *)
+  run_seconds : float option;
+      (** wall-clock budget for the whole run; expiry stops cleanly *)
+  verify_applies : bool;
+      (** wrap every apply in a {!Guard} transaction (journal +
+          independent re-simulation + [Circuit.validate]) *)
+  verify_words : int;           (** guard verifier pattern words *)
+  checkpoint_every : int;
+      (** canonicalize and (if a file is set) checkpoint every N
+          rounds; 0 disables both *)
+  checkpoint_file : string option;
 }
 
 val default_config : config
@@ -62,11 +77,28 @@ type report = {
   rejected_by_atpg : int;
       (** proven wrong: the exact check found a distinguishing vector *)
   rejected_by_giveup : int;
-      (** inconclusive: the proof engine hit its budget; the candidate
-          may well have been permissible *)
+      (** inconclusive: the proof engine hit its conflict/backtrack/node
+          budget; the candidate may well have been permissible *)
+  rejected_by_timeout : int;
+      (** inconclusive: the per-check wall-clock deadline expired
+          (disjoint from [rejected_by_giveup]) *)
   rejected_by_cex : int;
       (** screened out by accumulated counterexample patterns before
           any exact proof was attempted *)
+  rolled_back : int;
+      (** applies reverted by the {!Guard} transaction (verification
+          mismatch or validation failure) *)
+  verified_applies : int;
+      (** applies that passed independent re-verification *)
+  giveup_breakdown : (string * int) list;
+      (** give-up counts keyed ["engine/limit"], e.g. ["sat/conflicts"],
+          ["podem/deadline"]; covers both giveup and timeout buckets *)
+  degradation_level : int;
+      (** final ladder level: 0 full effort, 1 shrunk proof budgets,
+          2 also OS3/IS3 skipped, 3 stopped *)
+  stopped_by : string;
+      (** ["converged"], ["max_rounds"], ["max_substitutions"],
+          ["run_budget"] or ["degradation"] *)
   rounds : int;
   phase_seconds : (string * float) list;
       (** cumulative wall-clock per phase, keyed by {!phase_names} *)
@@ -81,8 +113,28 @@ val phase_names : string list
 val power_reduction_percent : report -> float
 val area_reduction_percent : report -> float
 
-val optimize : ?config:config -> Netlist.Circuit.t -> report
+val optimize : ?config:config -> ?resume:Checkpoint.t -> Netlist.Circuit.t -> report
 (** Optimizes the circuit in place.
+
+    Guard semantics: with [verify_applies] on, every accepted
+    substitution runs inside a {!Netlist.Circuit} journal and is
+    re-verified by a guard-private simulation engine; mismatches are
+    rolled back and counted in [rolled_back] instead of corrupting the
+    run.  Wall-clock budgets ([check_seconds] / [round_seconds] /
+    [run_seconds]) are threaded as cooperative deadlines into the
+    SAT/PODEM engines; repeated per-check expiry or a blown round
+    budget escalates the degradation ladder (shrink proof budgets →
+    skip OS3/IS3 → stop), and a blown run budget stops cleanly with
+    [stopped_by = "run_budget"].
+
+    Checkpointing: with [checkpoint_every = n > 0] the optimizer
+    canonicalizes its state every [n] rounds (BLIF round-trip +
+    engine rebuild + counterexample replay) and, when
+    [checkpoint_file] is set, saves a {!Checkpoint.t}.  Passing
+    [?resume] continues such a run: the caller's circuit is
+    overwritten in place from the checkpointed BLIF, counters and
+    counterexamples are restored, and the run proceeds exactly as the
+    uninterrupted checkpointing run would have.
 
     Telemetry: the run is wrapped in {!Obs.Trace} spans (one per entry
     of {!phase_names}); when a trace sink is installed it emits a

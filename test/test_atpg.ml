@@ -52,7 +52,7 @@ let test_podem_finds_test () =
   | Podem.Test assignment ->
     Alcotest.(check bool) "test detects" true (verify_test c f assignment)
   | Podem.Untestable -> Alcotest.fail "should be testable"
-  | Podem.Aborted -> Alcotest.fail "aborted"
+  | Podem.Aborted _ -> Alcotest.fail "aborted"
 
 let test_podem_redundant () =
   (* In redundant_and, out = ab | (ab & c'); the branch ab->abc is not
@@ -65,7 +65,7 @@ let test_podem_redundant () =
   | Podem.Test a ->
     Alcotest.failf "expected redundant, got test (detects=%b)"
       (verify_test c f a)
-  | Podem.Aborted -> Alcotest.fail "aborted"
+  | Podem.Aborted _ -> Alcotest.fail "aborted"
 
 let test_podem_all_faults_parity () =
   (* every stuck-at fault in a parity tree is testable *)
@@ -76,7 +76,7 @@ let test_podem_all_faults_parity () =
       | Podem.Test assignment ->
         Alcotest.(check bool)
           (Fault.to_string c f) true (verify_test c f assignment)
-      | Podem.Untestable | Podem.Aborted ->
+      | Podem.Untestable | Podem.Aborted _ ->
         Alcotest.fail ("no test for " ^ Fault.to_string c f))
     (Fault.all_faults c)
 
@@ -92,7 +92,7 @@ let test_justify () =
     in
     let outs = Sim.Engine.eval_single c vector in
     Alcotest.(check bool) "f = 1" true (List.assoc "out_f" outs)
-  | Podem.Untestable | Podem.Aborted -> Alcotest.fail "justification failed");
+  | Podem.Untestable | Podem.Aborted _ -> Alcotest.fail "justification failed");
   (* a constant-0 target: x & !x *)
   let lib = Build.lib in
   let c2 = Circuit.create lib in
@@ -102,7 +102,7 @@ let test_justify () =
   let _ = Circuit.add_po c2 ~name:"z" z in
   match Podem.justify_one c2 z with
   | Podem.Untestable -> ()
-  | Podem.Test _ | Podem.Aborted -> Alcotest.fail "x & !x is never 1"
+  | Podem.Test _ | Podem.Aborted _ -> Alcotest.fail "x & !x is never 1"
 
 let test_equiv_identical () =
   let c1 = Build.parity_chain 4 in
@@ -182,7 +182,7 @@ let prop_podem_agrees_with_exhaustive =
           match Podem.generate_test c f with
           | Podem.Test assignment -> verify_test c f assignment
           | Podem.Untestable -> not simulated
-          | Podem.Aborted -> true (* inconclusive is acceptable *))
+          | Podem.Aborted _ -> true (* inconclusive is acceptable *))
         (Fault.all_faults c))
 
 let suite =

@@ -136,7 +136,7 @@ let test_bdd_engine_in_check () =
           let tag = function
             | Powder.Check.Permissible -> `P
             | Powder.Check.Not_permissible _ -> `N
-            | Powder.Check.Gave_up -> `G
+            | Powder.Check.Gave_up _ -> `G
           in
           if tag bdd <> `G then
             Alcotest.(check bool) "verdicts agree" true (tag reference = tag bdd)

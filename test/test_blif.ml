@@ -23,7 +23,7 @@ let sample_blif =
 
 let test_parse_network () =
   match Blif.network_of_string sample_blif with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Blif.error_to_string e)
   | Ok net ->
     Alcotest.(check string) "model" "demo" net.Network.model;
     Alcotest.(check (list string)) "inputs" [ "a"; "b"; "c" ] net.Network.inputs;
@@ -41,7 +41,7 @@ let test_parse_network () =
 let test_offset_rows () =
   let text = ".model x\n.inputs a b\n.outputs f\n.names a b f\n10 0\n01 0\n.end\n" in
   match Blif.network_of_string text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Blif.error_to_string e)
   | Ok net ->
     (* f is the complement of (a xor b) *)
     let g = Network.to_aig net in
@@ -52,11 +52,11 @@ let test_offset_rows () =
 
 let test_network_roundtrip () =
   match Blif.network_of_string sample_blif with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Blif.error_to_string e)
   | Ok net ->
     let text = Blif.network_to_string net in
     (match Blif.network_of_string text with
-    | Error e -> Alcotest.fail ("reparse: " ^ e)
+    | Error e -> Alcotest.fail ("reparse: " ^ Blif.error_to_string e)
     | Ok net2 ->
       let g1 = Network.to_aig net and g2 = Network.to_aig net2 in
       for m = 0 to 7 do
@@ -72,6 +72,8 @@ let test_parse_errors () =
       (".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n.baddir\n.end\n", "directive");
       (".model x\n.inputs a\n.outputs zz\n.end\n", "undefined output");
       (".model x\n.inputs a\n.outputs f\n.names a f\n111 1\n.end\n", "row width");
+      (".model x\n.model y\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n",
+       "duplicate .model");
     ]
   in
   List.iter
@@ -81,11 +83,54 @@ let test_parse_errors () =
       | Error _ -> ())
     cases
 
+let test_parse_error_lines () =
+  (* the typed error points at the physical line of the offense, even
+     when the logical line started earlier via a [\] continuation *)
+  (match Blif.network_of_string ".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n.baddir\n.end\n" with
+  | Error e -> Alcotest.(check int) "directive line" 6 e.Blif.line
+  | Ok _ -> Alcotest.fail "expected failure");
+  (match Blif.network_of_string ".model x\n.inputs \\\na\n.outputs f\n.names a f\n111 1\n.end\n" with
+  | Error e ->
+    Alcotest.(check int) "row after continuation" 6 e.Blif.line;
+    Alcotest.(check bool) "message names the node" true
+      (String.length e.Blif.message > 0)
+  | Ok _ -> Alcotest.fail "expected failure");
+  (* a .names body error is reported at the line the node started *)
+  match Blif.network_of_string ".model x\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n" with
+  | Error e -> Alcotest.(check int) "mixed rows at .names line" 4 e.Blif.line
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_truncated_gate_rejected () =
+  List.iter
+    (fun (text, what) ->
+      match Blif.circuit_of_string Build.lib text with
+      | Ok _ -> Alcotest.fail ("expected failure: " ^ what)
+      | Error e ->
+        Alcotest.(check int) ("line of " ^ what) 4 e.Blif.line)
+    [
+      (".model m\n.inputs a\n.outputs f\n.gate\n.end\n", "bare .gate");
+      (".model m\n.inputs a\n.outputs f\n.gate inv1\n.end\n", "gate without pins");
+      (".model m\n.inputs a\n.outputs f\n.gate inv1 a=a\n.end\n",
+       "gate without output");
+      (".model m\n.inputs a\n.outputs f\n.gate inv1 a O=f\n.end\n",
+       "connection without =");
+      (".model m\n.inputs a\n.outputs f\n.gate inv1 q=a O=f\n.end\n",
+       "unknown pin");
+      (".model m\n.inputs a b\n.outputs f\n.gate and2 a=a O=f\n.end\n",
+       "missing pin");
+    ]
+
+let test_duplicate_model_rejected_mapped () =
+  let text = ".model m\n.model m2\n.inputs a\n.outputs f\n.gate inv1 a=a O=f\n.end\n" in
+  match Blif.circuit_of_string Build.lib text with
+  | Ok _ -> Alcotest.fail "expected duplicate .model error"
+  | Error e -> Alcotest.(check int) "line" 2 e.Blif.line
+
 let test_circuit_roundtrip () =
   let circ, _, _, _, _, _, _ = Build.fig2_a () in
   let text = Blif.circuit_to_string circ in
   match Blif.circuit_of_string Build.lib text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Blif.error_to_string e)
   | Ok circ2 ->
     (match Circuit.validate circ2 with Ok () -> () | Error e -> Alcotest.fail e);
     Alcotest.(check int) "gates" (Circuit.gate_count circ) (Circuit.gate_count circ2);
@@ -106,7 +151,7 @@ let test_circuit_roundtrip_mapped_suite () =
     let circ = Circuits.Suite.mapped spec in
     let text = Blif.circuit_to_string circ in
     (match Blif.circuit_of_string Gatelib.Library.lib2 text with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Blif.error_to_string e)
     | Ok circ2 ->
       Alcotest.(check bool) "equivalent" true
         (Atpg.Equiv.check circ circ2 = Atpg.Equiv.Equivalent))
@@ -115,8 +160,10 @@ let test_unknown_cell_rejected () =
   let text = ".model m\n.inputs a\n.outputs f\n.gate nosuchcell a=a O=f\n.end\n" in
   match Blif.circuit_of_string Build.lib text with
   | Ok _ -> Alcotest.fail "expected unknown cell error"
-  | Error e -> Alcotest.(check bool) "mentions cell" true
-                 (String.length e > 0)
+  | Error e ->
+    Alcotest.(check int) "error line" 4 e.Blif.line;
+    Alcotest.(check bool) "mentions cell" true
+      (String.length e.Blif.message > 0)
 
 let blif_tests =
   [
@@ -127,6 +174,10 @@ let blif_tests =
         Alcotest.test_case "circuit roundtrip" `Quick test_circuit_roundtrip;
         Alcotest.test_case "mapped suite roundtrip" `Quick test_circuit_roundtrip_mapped_suite;
         Alcotest.test_case "unknown cell" `Quick test_unknown_cell_rejected;
+        Alcotest.test_case "parse error lines" `Quick test_parse_error_lines;
+        Alcotest.test_case "truncated .gate" `Quick test_truncated_gate_rejected;
+        Alcotest.test_case "duplicate .model (mapped)" `Quick
+          test_duplicate_model_rejected_mapped;
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -13,7 +13,7 @@ type tag = Perm | Not_perm
 let tag_of = function
   | Check.Permissible -> Some Perm
   | Check.Not_permissible _ -> Some Not_perm
-  | Check.Gave_up -> None
+  | Check.Gave_up _ -> None
 
 let reference_verdict circ s =
   match Powder.Subst.apply_to_clone circ s with

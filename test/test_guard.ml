@@ -1,0 +1,352 @@
+(* Guard layer: transactional applies, fault injection, deadlines,
+   degradation and checkpoint/resume. *)
+
+module Circuit = Netlist.Circuit
+module Engine = Sim.Engine
+module Subst = Powder.Subst
+module Check = Powder.Check
+module Guard = Powder.Guard
+module Checkpoint = Powder.Checkpoint
+module Optimizer = Powder.Optimizer
+module Equiv = Atpg.Equiv
+
+let check_valid what c =
+  match Circuit.validate c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (what ^ ": validate failed: " ^ e)
+
+let check_equiv what a b =
+  Alcotest.(check bool) what true (Equiv.check a b = Equiv.Equivalent)
+
+let fig2_is2 c =
+  match (Circuit.find_by_name c "d", Circuit.find_by_name c "e") with
+  | Some d, Some e ->
+    { Subst.target = Subst.Branch { sink = d; pin = 0 }; source = Subst.Signal e }
+  | _ -> Alcotest.fail "fig2 nodes missing"
+
+let mapped name =
+  match Circuits.Suite.find name with
+  | Some spec -> Circuits.Suite.mapped spec
+  | None -> Alcotest.fail (name ^ " missing from suite")
+
+(* ------------------------------------------------------------------ *)
+(* Journal.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_rollback () =
+  let c, _, _, _, _, _, _ = Build.fig2_a () in
+  let before = Blif.Blif_io.circuit_to_string c in
+  Circuit.journal_begin c;
+  Alcotest.(check bool) "journal open" true (Circuit.journal_active c);
+  (* a branch reconnection, a stem replacement through a fresh inverter
+     (alloc + replace_stem), and a gate retype — every op kind *)
+  ignore (Subst.apply c (fig2_is2 c));
+  let f = Option.get (Circuit.find_by_name c "f") in
+  let e = Option.get (Circuit.find_by_name c "e") in
+  ignore (Subst.apply c { Subst.target = Subst.Stem f; source = Subst.Inverted e });
+  Circuit.set_cell c e (Gatelib.Library.find Build.lib "or2");
+  Circuit.journal_rollback c;
+  Alcotest.(check bool) "journal closed" false (Circuit.journal_active c);
+  check_valid "after rollback" c;
+  Alcotest.(check string) "structure restored" before
+    (Blif.Blif_io.circuit_to_string c)
+
+let test_journal_commit () =
+  let c, _, _, _, _, _, _ = Build.fig2_a () in
+  let original = Circuit.clone c in
+  Circuit.journal_begin c;
+  ignore (Subst.apply c (fig2_is2 c));
+  Circuit.journal_commit c;
+  Alcotest.(check bool) "journal closed" false (Circuit.journal_active c);
+  check_valid "after commit" c;
+  check_equiv "IS2 kept and equivalent" original c
+
+(* ------------------------------------------------------------------ *)
+(* Transactional apply.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_verifier c =
+  Guard.make_verifier ~seed:42L ~input_probs:(fun _ -> 0.5) c
+
+let test_transactional_apply_commits () =
+  let c, _, _, _, _, _, _ = Build.fig2_a () in
+  let original = Circuit.clone c in
+  let v = make_verifier c in
+  (match Guard.transactional_apply v c (fig2_is2 c) with
+  | Guard.Applied _ -> ()
+  | Guard.Rolled_back e ->
+    Alcotest.fail ("unexpected rollback: " ^ Guard.error_name e));
+  check_valid "after apply" c;
+  check_equiv "permissible apply equivalent" original c;
+  Alcotest.(check bool) "journal closed" false (Circuit.journal_active c)
+
+let test_corrupt_apply_rolls_back () =
+  let c, _, _, _, _, _, _ = Build.fig2_a () in
+  let before = Blif.Blif_io.circuit_to_string c in
+  let v = make_verifier c in
+  Guard.inject Guard.Corrupt_apply;
+  (match Guard.transactional_apply v c (fig2_is2 c) with
+  | Guard.Rolled_back Guard.Apply_mismatch -> ()
+  | Guard.Rolled_back e -> Alcotest.fail ("wrong error: " ^ Guard.error_name e)
+  | Guard.Applied _ -> Alcotest.fail "corrupted apply was committed");
+  Guard.clear_injection ();
+  check_valid "after rollback" c;
+  Alcotest.(check string) "pre-apply structure restored" before
+    (Blif.Blif_io.circuit_to_string c);
+  (* the verifier resynchronized: the same (uncorrupted) apply passes *)
+  match Guard.transactional_apply v c (fig2_is2 c) with
+  | Guard.Applied _ -> ()
+  | Guard.Rolled_back e ->
+    Alcotest.fail ("verifier out of sync: " ^ Guard.error_name e)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection through the whole optimizer.                        *)
+(* ------------------------------------------------------------------ *)
+
+let small_config =
+  { Optimizer.default_config with words = 4; max_rounds = 3 }
+
+let test_optimizer_survives_corrupt_apply () =
+  let c = mapped "rd84" in
+  let original = Circuit.clone c in
+  Guard.inject Guard.Corrupt_apply;
+  let report = Optimizer.optimize ~config:small_config c in
+  Guard.clear_injection ();
+  Alcotest.(check int) "one rollback" 1 report.Optimizer.rolled_back;
+  check_valid "after run" c;
+  check_equiv "final netlist equivalent" original c
+
+let test_optimizer_catches_forged_verdict () =
+  (* words = 1 leaves enough signature aliasing that at least one
+     candidate is refuted by the exact check; the injection flips that
+     refutation to Permissible and the guard must catch the bad apply. *)
+  let c = mapped "rd84" in
+  let original = Circuit.clone c in
+  let config = { Optimizer.default_config with words = 1; max_rounds = 4 } in
+  Guard.inject Guard.Forge_verdict;
+  let report = Optimizer.optimize ~config c in
+  Guard.clear_injection ();
+  Alcotest.(check bool) "forged apply rolled back" true
+    (report.Optimizer.rolled_back >= 1);
+  check_valid "after run" c;
+  check_equiv "final netlist equivalent" original c
+
+let test_optimizer_survives_expired_deadline () =
+  let c = mapped "rd84" in
+  let original = Circuit.clone c in
+  Guard.inject Guard.Expire_deadline;
+  let report = Optimizer.optimize ~config:small_config c in
+  Guard.clear_injection ();
+  Alcotest.(check bool) "timeout counted" true
+    (report.Optimizer.rejected_by_timeout >= 1);
+  check_valid "after run" c;
+  check_equiv "final netlist equivalent" original c
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and budgets.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_deadline_rejects_cleanly () =
+  let c, _, _, _, _, _, _ = Build.fig2_a () in
+  let expired = Obs.Deadline.after ~seconds:(-1.0) in
+  match Check.permissible ~deadline:expired c (fig2_is2 c) with
+  | Check.Gave_up { engine = "check"; limit = "deadline" } -> ()
+  | Check.Gave_up { engine; limit } ->
+    Alcotest.fail (Printf.sprintf "wrong give-up: %s/%s" engine limit)
+  | Check.Permissible | Check.Not_permissible _ ->
+    Alcotest.fail "expired deadline produced a verdict"
+
+let test_zero_check_budget_degrades () =
+  let c = mapped "rd84" in
+  let original = Circuit.clone c in
+  let config =
+    { Optimizer.default_config with
+      words = 4;
+      max_rounds = 50;
+      check_seconds = Some 0.0;
+    }
+  in
+  let report = Optimizer.optimize ~config c in
+  Alcotest.(check string) "stopped by ladder" "degradation"
+    report.Optimizer.stopped_by;
+  Alcotest.(check int) "ladder exhausted" 3 report.Optimizer.degradation_level;
+  Alcotest.(check int) "nothing applied" 0 report.Optimizer.substitutions;
+  Alcotest.(check bool) "timeouts counted" true
+    (report.Optimizer.rejected_by_timeout >= 3);
+  check_valid "after run" c;
+  check_equiv "netlist untouched" original c
+
+let test_zero_run_budget_stops () =
+  let c = mapped "alu2" in
+  let original = Circuit.clone c in
+  let config =
+    { Optimizer.default_config with words = 4; run_seconds = Some 0.0 }
+  in
+  let report = Optimizer.optimize ~config c in
+  Alcotest.(check string) "stopped by run budget" "run_budget"
+    report.Optimizer.stopped_by;
+  Alcotest.(check int) "nothing applied" 0 report.Optimizer.substitutions;
+  check_valid "after run" c;
+  check_equiv "netlist untouched" original c
+
+let test_tiny_proof_budget_gives_up () =
+  (* conflict/backtrack budgets so small that exact checks cannot
+     conclude: the optimizer must degrade gracefully — give-ups counted
+     per engine/limit, netlist valid and equivalent, run terminates. *)
+  let c = mapped "rd84" in
+  let original = Circuit.clone c in
+  let config =
+    { Optimizer.default_config with
+      words = 1;
+      max_rounds = 3;
+      backtrack_limit = 1;
+      exhaustive_limit = 0;
+    }
+  in
+  let report = Optimizer.optimize ~config c in
+  Alcotest.(check bool) "give-ups counted" true
+    (report.Optimizer.rejected_by_giveup >= 1);
+  List.iter
+    (fun (key, n) ->
+      Alcotest.(check bool) ("breakdown key " ^ key) true
+        (String.contains key '/' && n > 0))
+    report.Optimizer.giveup_breakdown;
+  let breakdown_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 report.Optimizer.giveup_breakdown
+  in
+  Alcotest.(check int) "breakdown covers giveups and timeouts"
+    (report.Optimizer.rejected_by_giveup + report.Optimizer.rejected_by_timeout)
+    breakdown_total;
+  check_valid "after run" c;
+  check_equiv "final netlist equivalent" original c
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_roundtrip () =
+  let ck =
+    {
+      Checkpoint.round = 4;
+      status = "running";
+      substitutions = 7;
+      seed = 0xC0FFEEL;
+      blif = ".model mapped\n.inputs a\n.outputs f\n.end\n";
+      cex = [ [ ("a", true) ]; [ ("a", false) ] ];
+      cex_cursor = 2;
+      candidates_generated = 93;
+      checks_run = 14;
+      rejected_by_delay = 1;
+      rejected_by_atpg = 2;
+      rejected_by_giveup = 3;
+      rejected_by_timeout = 4;
+      rejected_by_cex = 5;
+      rolled_back = 1;
+      verified_applies = 6;
+      giveup_breakdown = [ ("sat/conflicts", 2); ("check/deadline", 4) ];
+      by_class = [ ("OS2", (1, 1.5, 32.0)); ("IS2", (6, 0.25, -3.0)) ];
+      initial_power = 61.15178050994873;
+      initial_area = 91408.0;
+      initial_delay = 13.325999999999999;
+      degradation_level = 1;
+    }
+  in
+  let file = Filename.temp_file "powder_ck" ".json" in
+  Checkpoint.save file ck;
+  (match Checkpoint.load file with
+  | Ok ck' -> Alcotest.(check bool) "round-trips exactly" true (ck = ck')
+  | Error e -> Alcotest.fail e);
+  Sys.remove file
+
+let test_checkpoint_load_rejects_garbage () =
+  let file = Filename.temp_file "powder_ck" ".json" in
+  let oc = open_out file in
+  output_string oc "{\"magic\": \"something-else\", \"version\": 1}\n";
+  close_out oc;
+  (match Checkpoint.load file with
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+  | Error _ -> ());
+  Sys.remove file
+
+let resume_matches name =
+  let config =
+    { Optimizer.default_config with
+      words = 4;
+      max_rounds = 4;
+      checkpoint_every = 2;
+    }
+  in
+  (* reference: one uninterrupted run that checkpoints (no file needed
+     — the canonicalization barrier alone defines the trajectory) *)
+  let c_ref = mapped name in
+  let r_ref = Optimizer.optimize ~config c_ref in
+  (* interrupted: stop at round 2 with a checkpoint file, then resume *)
+  let file = Filename.temp_file "powder_ck" ".json" in
+  let c_half = mapped name in
+  let _ =
+    Optimizer.optimize
+      ~config:{ config with max_rounds = 2; checkpoint_file = Some file }
+      c_half
+  in
+  let ck =
+    match Checkpoint.load file with
+    | Ok ck -> ck
+    | Error e -> Alcotest.fail e
+  in
+  Sys.remove file;
+  let c_res = mapped name in
+  let r_res = Optimizer.optimize ~config ~resume:ck c_res in
+  Alcotest.(check int) "substitutions" r_ref.Optimizer.substitutions
+    r_res.Optimizer.substitutions;
+  Alcotest.(check int) "rounds" r_ref.Optimizer.rounds r_res.Optimizer.rounds;
+  Alcotest.(check int) "candidates" r_ref.Optimizer.candidates_generated
+    r_res.Optimizer.candidates_generated;
+  Alcotest.(check int) "checks" r_ref.Optimizer.checks_run
+    r_res.Optimizer.checks_run;
+  Alcotest.(check string) "stopped_by" r_ref.Optimizer.stopped_by
+    r_res.Optimizer.stopped_by;
+  Alcotest.(check (float 0.0)) "final power" r_ref.Optimizer.final_power
+    r_res.Optimizer.final_power;
+  Alcotest.(check (float 0.0)) "final area" r_ref.Optimizer.final_area
+    r_res.Optimizer.final_area;
+  Alcotest.(check string) "identical netlist"
+    (Blif.Blif_io.circuit_to_string c_ref)
+    (Blif.Blif_io.circuit_to_string c_res)
+
+let test_resume_rd84 () = resume_matches "rd84"
+let test_resume_alu2 () = resume_matches "alu2"
+let test_resume_z5xp1 () = resume_matches "Z5xp1"
+
+let suite =
+  [
+    ( "guard",
+      [
+        Alcotest.test_case "journal rollback" `Quick test_journal_rollback;
+        Alcotest.test_case "journal commit" `Quick test_journal_commit;
+        Alcotest.test_case "transactional apply" `Quick
+          test_transactional_apply_commits;
+        Alcotest.test_case "corrupt apply rolled back" `Quick
+          test_corrupt_apply_rolls_back;
+        Alcotest.test_case "optimizer survives corrupt apply" `Quick
+          test_optimizer_survives_corrupt_apply;
+        Alcotest.test_case "optimizer catches forged verdict" `Quick
+          test_optimizer_catches_forged_verdict;
+        Alcotest.test_case "optimizer survives expired deadline" `Quick
+          test_optimizer_survives_expired_deadline;
+        Alcotest.test_case "check deadline rejects cleanly" `Quick
+          test_check_deadline_rejects_cleanly;
+        Alcotest.test_case "zero check budget degrades" `Quick
+          test_zero_check_budget_degrades;
+        Alcotest.test_case "zero run budget stops" `Quick
+          test_zero_run_budget_stops;
+        Alcotest.test_case "tiny proof budget gives up" `Quick
+          test_tiny_proof_budget_gives_up;
+        Alcotest.test_case "checkpoint roundtrip" `Quick
+          test_checkpoint_roundtrip;
+        Alcotest.test_case "checkpoint rejects garbage" `Quick
+          test_checkpoint_load_rejects_garbage;
+        Alcotest.test_case "resume matches rd84" `Quick test_resume_rd84;
+        Alcotest.test_case "resume matches alu2" `Quick test_resume_alu2;
+        Alcotest.test_case "resume matches Z5xp1" `Quick test_resume_z5xp1;
+      ] );
+  ]

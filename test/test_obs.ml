@@ -323,8 +323,10 @@ let test_report_json () =
     let accepted = get "accepted" in
     Alcotest.(check bool) "funnel narrows" true
       (generated >= checked && checked >= accepted);
-    Alcotest.(check int) "checks = accepted + refuted + gaveup" checked
-      (accepted + get "rejected_by_atpg" + get "rejected_by_giveup");
+    Alcotest.(check int) "checks = accepted + refuted + gaveup + timeout + rolled back"
+      checked
+      (accepted + get "rejected_by_atpg" + get "rejected_by_giveup"
+      + get "rejected_by_timeout" + get "rolled_back");
     Alcotest.(check (option int)) "substitutions" (Some report.Powder.Optimizer.substitutions)
       (Option.bind (Json.member "substitutions" j') Json.get_int))
 

@@ -20,13 +20,13 @@ let brute_force ~num_vars clauses =
 let test_trivial () =
   (match Sat.solve ~num_vars:1 [] with
   | Sat.Sat _ -> ()
-  | Sat.Unsat | Sat.Timeout -> Alcotest.fail "empty problem is sat");
+  | Sat.Unsat | Sat.Timeout _ -> Alcotest.fail "empty problem is sat");
   (match Sat.solve ~num_vars:1 [ [||] ] with
   | Sat.Unsat -> ()
-  | Sat.Sat _ | Sat.Timeout -> Alcotest.fail "empty clause is unsat");
+  | Sat.Sat _ | Sat.Timeout _ -> Alcotest.fail "empty clause is unsat");
   match Sat.solve ~num_vars:1 [ [| Sat.lit_of 0 true |]; [| Sat.lit_of 0 false |] ] with
   | Sat.Unsat -> ()
-  | Sat.Sat _ | Sat.Timeout -> Alcotest.fail "x and !x is unsat"
+  | Sat.Sat _ | Sat.Timeout _ -> Alcotest.fail "x and !x is unsat"
 
 let test_simple_sat () =
   let clauses =
@@ -40,7 +40,7 @@ let test_simple_sat () =
   | Sat.Sat model ->
     Alcotest.(check bool) "x1" true model.(1);
     Alcotest.(check bool) "x2" true model.(2)
-  | Sat.Unsat | Sat.Timeout -> Alcotest.fail "expected sat"
+  | Sat.Unsat | Sat.Timeout _ -> Alcotest.fail "expected sat"
 
 let test_pigeonhole_unsat () =
   (* 3 pigeons, 2 holes: var p*2+h means pigeon p in hole h *)
@@ -59,7 +59,7 @@ let test_pigeonhole_unsat () =
   done;
   match Sat.solve ~num_vars:6 !clauses with
   | Sat.Unsat -> ()
-  | Sat.Sat _ | Sat.Timeout -> Alcotest.fail "php(3,2) is unsat"
+  | Sat.Sat _ | Sat.Timeout _ -> Alcotest.fail "php(3,2) is unsat"
 
 let random_cnf rand ~num_vars ~num_clauses =
   List.init num_clauses (fun _ ->
@@ -88,7 +88,7 @@ let prop_agrees_with_brute_force =
                  clause)
              clauses
       | Sat.Unsat -> reference = None
-      | Sat.Timeout -> false)
+      | Sat.Timeout _ -> false)
 
 let test_cnf_justify_constant () =
   let lib = Build.lib in
@@ -99,11 +99,11 @@ let test_cnf_justify_constant () =
   let _ = Circuit.add_po c ~name:"z" z in
   (match Cnf.justify_one c z with
   | Cnf.Impossible -> ()
-  | Cnf.Justified _ | Cnf.Gave_up -> Alcotest.fail "x & !x is constant 0");
+  | Cnf.Justified _ | Cnf.Gave_up _ -> Alcotest.fail "x & !x is constant 0");
   let w = Circuit.add_cell c (Gatelib.Library.find lib "or2") [| x; nx |] in
   match Cnf.justify_one c w with
   | Cnf.Justified _ -> ()
-  | Cnf.Impossible | Cnf.Gave_up -> Alcotest.fail "x | !x is constant 1"
+  | Cnf.Impossible | Cnf.Gave_up _ -> Alcotest.fail "x | !x is constant 1"
 
 let prop_cnf_vs_exhaustive =
   (* justify_one agrees with exhaustive simulation on random circuits *)
@@ -140,7 +140,7 @@ let prop_cnf_vs_exhaustive =
             Sim.Engine.randomize eng2 ~input_probs:probs (Sim.Rng.create 1L);
             Sim.Engine.count_ones eng2 g = 64
           | Cnf.Impossible -> not can_be_one
-          | Cnf.Gave_up -> false)
+          | Cnf.Gave_up _ -> false)
         (Circuit.live_gates c))
 
 let suite =
@@ -177,7 +177,7 @@ let prop_phase_transition =
       match Sat.solve ~num_vars clauses with
       | Sat.Sat _ -> reference <> None
       | Sat.Unsat -> reference = None
-      | Sat.Timeout -> false)
+      | Sat.Timeout _ -> false)
 
 let suite =
   match suite with
