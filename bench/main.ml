@@ -21,6 +21,12 @@ module Subst = Powder.Subst
 let words = 16
 let quick = ref false
 
+(* One base seed for the whole harness; every section derives its own
+   pattern stream by label, the same way the optimizer, guard and
+   fuzzer do. *)
+let base_seed = 0xC0FFEEL
+let section_rng section = Sim.Rng.stream base_seed ("bench/" ^ section)
+
 let base_config = { Optimizer.default_config with words }
 
 (* Every optimizer run executed by the harness lands here and is
@@ -69,7 +75,7 @@ let fig2 () =
      with a quiet input c the rewiring pays off *)
   let eng = Sim.Engine.create c ~words:64 in
   let probs pi = if Circuit.name c pi = "c" then 0.15 else 0.5 in
-  Sim.Engine.randomize eng ~input_probs:probs (Sim.Rng.create 11L);
+  Sim.Engine.randomize eng ~input_probs:probs (section_rng "fig2");
   let est = Power.Estimator.create eng in
   let before = Power.Estimator.total est in
   let s = { Subst.target = Subst.Branch { sink = d; pin = 0 }; source = Subst.Signal e } in
@@ -271,7 +277,7 @@ let ablation () =
     "area%" "delay%" "power%" "area%" "delay%";
   let measure_power circ =
     let eng = Sim.Engine.create circ ~words in
-    Sim.Engine.randomize eng (Sim.Rng.create 0xC0FFEEL);
+    Sim.Engine.randomize eng (section_rng "table1");
     Power.Estimator.total (Power.Estimator.create eng)
   in
   List.iter
@@ -337,7 +343,7 @@ let ablation () =
       | Some spec ->
         let circ = Suite.mapped spec in
         let eng = Sim.Engine.create circ ~words in
-        Sim.Engine.randomize eng (Sim.Rng.create 1L);
+        Sim.Engine.randomize eng (section_rng "engines");
         let est = Power.Estimator.create eng in
         let cands =
           Powder.Candidates.generate est |> List.filteri (fun i _ -> i < 50)
@@ -405,7 +411,7 @@ let micro () =
   let spec = Option.get (Suite.find "rd84") in
   let circ = Suite.mapped spec in
   let eng = Sim.Engine.create circ ~words in
-  Sim.Engine.randomize eng (Sim.Rng.create 1L);
+  Sim.Engine.randomize eng (section_rng "micro");
   let est = Power.Estimator.create eng in
   let some_gate = List.hd (Circuit.live_gates circ) in
   let candidate =

@@ -433,6 +433,105 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Power-delay trade-off sweep (Figure 6 experiment).")
     Term.(const run $ names $ words)
 
+let fuzz_cmd =
+  let run seed budget cases max_ins candidates out_dir inject replay =
+    match replay with
+    | Some path -> (
+      match Fuzz.Harness.replay path with
+      | Ok msg ->
+        Printf.printf "FUZZ REPLAY ok: %s\n" msg
+      | Error msg ->
+        Printf.printf "FUZZ REPLAY failed: %s\n" msg;
+        exit 2)
+    | None ->
+      let inject =
+        match inject with
+        | None -> None
+        | Some name -> (
+          match Fuzz.Bundle.fault_of_name name with
+          | Some f -> Some f
+          | None ->
+            failwith
+              ("unknown fault " ^ name
+             ^ " (expected forge_verdict, corrupt_apply or expire_deadline)"))
+      in
+      let config =
+        {
+          Fuzz.Harness.default_config with
+          seed = Int64.of_int seed;
+          budget_seconds = (if budget <= 0.0 then None else Some budget);
+          cases;
+          max_ins;
+          candidates_per_case = candidates;
+          out_dir;
+          inject;
+        }
+      in
+      let report = Fuzz.Harness.run config in
+      Format.printf "%a@." Fuzz.Harness.pp_report report;
+      List.iter
+        (fun (f : Fuzz.Harness.failure) ->
+          Printf.printf "FUZZ FAIL case=%d kind=%s gates=%d bundle=%s\n" f.case
+            f.kind f.gates
+            (Option.value f.bundle_path ~default:"-"))
+        report.Fuzz.Harness.failures;
+      (* an injected fault is *supposed* to surface as a caught
+         injected_corruption failure; anything else is a defect *)
+      let expected f = f.Fuzz.Harness.kind = "injected_corruption" in
+      let clean =
+        match inject with
+        | None -> report.Fuzz.Harness.failures = []
+        | Some _ ->
+          report.Fuzz.Harness.injected_caught
+          && List.for_all expected report.Fuzz.Harness.failures
+      in
+      if inject <> None then
+        Printf.printf "FUZZ INJECT caught=%b\n"
+          report.Fuzz.Harness.injected_caught;
+      if not clean then exit 2
+  in
+  let budget =
+    Arg.(value & opt float 20.0 & info [ "budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock campaign budget; 0 disables the time bound.")
+  in
+  let cases =
+    Arg.(value & opt int 0 & info [ "cases" ] ~docv:"N"
+           ~doc:"Maximum cases to run (0 = until the budget expires).")
+  in
+  let max_ins =
+    Arg.(value & opt int 10 & info [ "max-ins" ] ~docv:"N"
+           ~doc:"Upper bound on generated primary-input counts.")
+  in
+  let candidates =
+    Arg.(value & opt int 6 & info [ "candidates" ] ~docv:"N"
+           ~doc:"Substitution verdicts cross-checked per case.")
+  in
+  let out_dir =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory for shrunk failure bundles (JSON + embedded BLIF).")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT"
+           ~doc:"Arm a one-shot Guard fault (forge_verdict, corrupt_apply or \
+                 expire_deadline) with the transactional guard disabled; the \
+                 harness must catch, shrink and bundle the corruption.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"BUNDLE"
+           ~doc:"Replay a saved failure bundle instead of running a campaign.")
+  in
+  let fuzz_seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Campaign seed; every case derives from it deterministically.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing of the substitution engine: random mapped \
+             netlists, cross-checked equivalence backends, metamorphic \
+             optimizer properties, auto-shrunk replayable failures.")
+    Term.(const run $ fuzz_seed $ budget $ cases $ max_ins $ candidates
+          $ out_dir $ inject $ replay)
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -445,4 +544,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ optimize_cmd; map_cmd; stats_cmd; suite_cmd; atpg_cmd; sweep_cmd;
-            redundancy_cmd; resize_cmd; glitch_cmd ]))
+            redundancy_cmd; resize_cmd; glitch_cmd; fuzz_cmd ]))

@@ -48,4 +48,28 @@ hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
 dune exec bin/json_check.exe -- --compare-reports "$full_json" "$resumed_json"
 rm -f "$ck" "$full_json" "$resumed_json"
 
+echo "== smoke: differential fuzz campaign (fixed seed) =="
+# Clean campaign: any oracle split or unshrunk crash exits non-zero.
+fuzz_dir=$(mktemp -d /tmp/powder_ci_fuzz_XXXXXX)
+if ! hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --seed 1 \
+  --budget 20 --out "$fuzz_dir"; then
+  echo "fuzz smoke failed; shrunk repro bundles (replay with" \
+    "powder_cli fuzz --replay <bundle>):" >&2
+  ls -l "$fuzz_dir" >&2 || true
+  exit 1
+fi
+
+echo "== smoke: injected guard fault is caught, shrunk, replayable =="
+# The harness must catch a forged permissibility verdict, shrink the
+# witness, and the dumped bundle must reproduce the failure.
+if ! hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --seed 1 \
+  --budget 20 --inject forge_verdict --out "$fuzz_dir"; then
+  echo "injected-fault fuzz leg failed; bundles:" >&2
+  ls -l "$fuzz_dir" >&2 || true
+  exit 1
+fi
+bundle=$(ls "$fuzz_dir"/fuzz-*-injected_corruption.json | head -n 1)
+hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --replay "$bundle"
+rm -rf "$fuzz_dir"
+
 echo "CI OK"

@@ -206,6 +206,53 @@ let network_to_file path net =
 (* Mapped circuits.                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Gates in a canonical order: Kahn's topological sort that always
+   draws the ready node with the smallest name.  The order depends only
+   on the named structure, never on internal node ids, so a parse/emit
+   round trip reproduces the file byte for byte. *)
+let emit_order circ =
+  let emittable id =
+    match Circuit.kind circ id with
+    | Circuit.Const _ | Circuit.Cell _ -> true
+    | _ -> false
+  in
+  let module S = Set.Make (struct
+    type t = string * Circuit.node_id
+
+    let compare = Stdlib.compare
+  end) in
+  let deps = Hashtbl.create 64 in
+  let ready = ref S.empty in
+  Circuit.iter_live circ (fun id ->
+      if emittable id then begin
+        let n =
+          match Circuit.kind circ id with
+          | Circuit.Cell (_, fs) ->
+            Array.fold_left (fun a f -> if emittable f then a + 1 else a) 0 fs
+          | _ -> 0
+        in
+        Hashtbl.replace deps id n;
+        if n = 0 then ready := S.add (Circuit.name circ id, id) !ready
+      end);
+  let out = ref [] in
+  while not (S.is_empty !ready) do
+    let ((_, id) as elt) = S.min_elt !ready in
+    ready := S.remove elt !ready;
+    Hashtbl.remove deps id;
+    out := id :: !out;
+    List.iter
+      (fun (p : Circuit.pin) ->
+        match Hashtbl.find_opt deps p.sink with
+        | Some n ->
+          let n = n - 1 in
+          Hashtbl.replace deps p.sink n;
+          if n = 0 then
+            ready := S.add (Circuit.name circ p.sink, p.sink) !ready
+        | None -> ())
+      (Circuit.fanouts circ id)
+  done;
+  List.rev !out
+
 let circuit_to_string circ =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf ".model mapped\n";
@@ -217,15 +264,14 @@ let circuit_to_string circ =
     (".outputs "
     ^ String.concat " " (List.map (Circuit.name circ) (Circuit.pos circ))
     ^ "\n");
-  Array.iter
+  List.iter
     (fun id ->
       match Circuit.kind circ id with
-      | Circuit.Pi -> ()
+      | Circuit.Pi | Circuit.Po _ -> ()
       | Circuit.Const b ->
         Buffer.add_string buf
           (Printf.sprintf ".names %s\n%s" (Circuit.name circ id)
              (if b then "1\n" else ""))
-      | Circuit.Po _ -> ()
       | Circuit.Cell (c, fs) ->
         Buffer.add_string buf (".gate " ^ c.Cell.name);
         Array.iteri
@@ -234,7 +280,7 @@ let circuit_to_string circ =
               (Printf.sprintf " %s=%s" (pin_name i) (Circuit.name circ f)))
           fs;
         Buffer.add_string buf (Printf.sprintf " O=%s\n" (Circuit.name circ id)))
-    (Circuit.topo_order circ);
+    (emit_order circ);
   (* PO connections: emit a buffer-free alias only when names differ *)
   List.iter
     (fun po ->
@@ -335,7 +381,10 @@ let circuit_of_string lib text =
       | [ "1" ] -> (
         match !pending_names with
         | Some (`Const net) ->
-          consts := (net, true) :: List.remove_assoc net !consts;
+          (* flip the value in place: constants must keep their file
+             order, or a round trip would renumber them *)
+          consts :=
+            List.map (fun (n, v) -> if n = net then (n, true) else (n, v)) !consts;
           pending_names := None;
           process rest
         | Some (`Alias _) | None -> err "unexpected 1 row")
@@ -348,9 +397,9 @@ let circuit_of_string lib text =
   List.iter (fun i -> Hashtbl.add ids i (Circuit.add_pi circ ~name:i)) !inputs;
   List.iter
     (fun (net, v) ->
-      let id = Circuit.add_const circ v in
+      let id = Circuit.add_const circ ~name:net v in
       Hashtbl.add ids net id)
-    !consts;
+    (List.rev !consts);
   let gates = List.rev !gates in
   (* iterate to fixpoint: create gates whose fanins are ready *)
   let remaining = ref gates in

@@ -1,0 +1,122 @@
+module Json = Obs.Json
+
+type t = {
+  campaign_seed : int64;
+  case_seed : int64;
+  case : int;
+  kind : string;
+  detail : string;
+  injected : string option;
+  blif : string;
+  original_gates : int;
+  shrunk_gates : int;
+  shrink_steps : int;
+}
+
+let fault_name = function
+  | Powder.Guard.Forge_verdict -> "forge_verdict"
+  | Powder.Guard.Corrupt_apply -> "corrupt_apply"
+  | Powder.Guard.Expire_deadline -> "expire_deadline"
+
+let fault_of_name = function
+  | "forge_verdict" -> Some Powder.Guard.Forge_verdict
+  | "corrupt_apply" -> Some Powder.Guard.Corrupt_apply
+  | "expire_deadline" -> Some Powder.Guard.Expire_deadline
+  | _ -> None
+
+let to_json b =
+  Json.Obj
+    [
+      ("campaign_seed", Json.String (Int64.to_string b.campaign_seed));
+      ("case_seed", Json.String (Int64.to_string b.case_seed));
+      ("case", Json.Int b.case);
+      ("kind", Json.String b.kind);
+      ("detail", Json.String b.detail);
+      ( "injected",
+        match b.injected with None -> Json.Null | Some f -> Json.String f );
+      ("blif", Json.String b.blif);
+      ("original_gates", Json.Int b.original_gates);
+      ("shrunk_gates", Json.Int b.shrunk_gates);
+      ("shrink_steps", Json.Int b.shrink_steps);
+    ]
+
+let of_json j =
+  let str key =
+    match Option.bind (Json.member key j) Json.get_string with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "bundle: missing string field %S" key)
+  in
+  let int key =
+    match Option.bind (Json.member key j) Json.get_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "bundle: missing int field %S" key)
+  in
+  let i64 key =
+    match str key with
+    | Error _ as e -> e |> Result.map (fun _ -> 0L)
+    | Ok s -> (
+      match Int64.of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "bundle: field %S is not an int64" key))
+  in
+  let ( let* ) = Result.bind in
+  let* campaign_seed = i64 "campaign_seed" in
+  let* case_seed = i64 "case_seed" in
+  let* case = int "case" in
+  let* kind = str "kind" in
+  let* detail = str "detail" in
+  let injected =
+    match Json.member "injected" j with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let* blif = str "blif" in
+  let* original_gates = int "original_gates" in
+  let* shrunk_gates = int "shrunk_gates" in
+  let* shrink_steps = int "shrink_steps" in
+  Ok
+    {
+      campaign_seed;
+      case_seed;
+      case;
+      kind;
+      detail;
+      injected;
+      blif;
+      original_gates;
+      shrunk_gates;
+      shrink_steps;
+    }
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let save ~dir b =
+  ensure_dir dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "fuzz-seed%Ld-case%d-%s.json" b.campaign_seed b.case
+         b.kind)
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string (to_json b));
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path;
+  path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | text -> Result.bind (Json.of_string text) of_json
+
+let circuit b =
+  match Blif.Blif_io.circuit_of_string Gatelib.Library.lib2 b.blif with
+  | Ok c -> Ok c
+  | Error e -> Error (Blif.Blif_io.error_to_string e)

@@ -1,0 +1,37 @@
+(** Replayable failure bundles.
+
+    Everything needed to reproduce a fuzz failure offline lives in one
+    JSON file: the campaign seed and case index (so the whole case can
+    be re-derived), the failure kind, the optional injected fault, and
+    the shrunk circuit embedded as BLIF text.  Saves are atomic
+    (temp file + rename) so a crashing campaign never leaves a
+    half-written repro behind. *)
+
+type t = {
+  campaign_seed : int64;
+  case_seed : int64;   (** the derived per-case seed; replay re-derives
+                           the optimizer config from it *)
+  case : int;
+  kind : string;       (** failure kind, e.g. ["injected_corruption"] *)
+  detail : string;
+  injected : string option;  (** armed {!Powder.Guard} fault, if any *)
+  blif : string;             (** shrunk circuit, BLIF text *)
+  original_gates : int;
+  shrunk_gates : int;
+  shrink_steps : int;
+}
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+
+val save : dir:string -> t -> string
+(** Write atomically under [dir] (created if missing); returns the
+    path, which encodes seed, case and kind. *)
+
+val load : string -> (t, string) result
+
+val circuit : t -> (Netlist.Circuit.t, string) result
+(** Parse the embedded BLIF against {!Gatelib.Library.lib2}. *)
+
+val fault_of_name : string -> Powder.Guard.fault option
+val fault_name : Powder.Guard.fault -> string

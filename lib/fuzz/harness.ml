@@ -1,0 +1,457 @@
+module Circuit = Netlist.Circuit
+module Engine = Sim.Engine
+module Rng = Sim.Rng
+module Guard = Powder.Guard
+module Optimizer = Powder.Optimizer
+module Metrics = Obs.Metrics
+module Json = Obs.Json
+
+type config = {
+  seed : int64;
+  cases : int;
+  budget_seconds : float option;
+  max_ins : int;
+  candidates_per_case : int;
+  words : int;
+  out_dir : string option;
+  inject : Guard.fault option;
+  shrink_max_steps : int;
+}
+
+let default_config =
+  {
+    seed = 1L;
+    cases = 0;
+    budget_seconds = Some 20.0;
+    max_ins = 10;
+    candidates_per_case = 6;
+    words = 4;
+    out_dir = None;
+    inject = None;
+    shrink_max_steps = 400;
+  }
+
+type failure = {
+  case : int;
+  kind : string;
+  detail : string;
+  gates : int;
+  shrink_steps : int;
+  bundle_path : string option;
+}
+
+type report = {
+  cases_run : int;
+  checks : int;
+  oracle_splits : int;
+  accepts : int;
+  failures : failure list;
+  shrink_steps : int;
+  injected_caught : bool;
+  elapsed_seconds : float;
+}
+
+let cases_c = Metrics.counter "fuzz/cases"
+let failures_c = Metrics.counter "fuzz/failures"
+
+(* Shrink predicates must reproduce identically at replay time, so they
+   depend only on the case seed and these fixed constants — never on
+   the campaign config. *)
+let pred_words = 4
+let pred_candidates = 6
+
+(* PO equivalence of two same-interface circuits: exhaustive whenever
+   the pattern set can enumerate the input space, Monte-Carlo with a
+   shared derived stream otherwise. *)
+let equivalent ?(words = 16) ~seed a b =
+  let npis = List.length (Circuit.pis a) in
+  let ea = Engine.create a ~words and eb = Engine.create b ~words in
+  if npis <= 20 && 1 lsl npis <= 64 * words then begin
+    Engine.exhaustive ea;
+    Engine.exhaustive eb
+  end
+  else begin
+    Engine.randomize ea (Rng.stream seed "fuzz/equiv");
+    Engine.randomize eb (Rng.stream seed "fuzz/equiv")
+  end;
+  Engine.equivalent_on_patterns ea eb
+
+(* Matches the shape known to exercise the full accept/reject funnel
+   (cf. the guard fault-injection tests): default candidate knobs, a
+   few rounds, bounded wall clock.  [words = 1] deliberately leaves
+   signature aliasing so some candidates reach the exact check and get
+   refuted there — that is the path the forged-verdict fault rides. *)
+let opt_config ~case_seed ~words ~verify =
+  {
+    Optimizer.default_config with
+    words;
+    seed = Rng.derive case_seed "fuzz/opt";
+    max_rounds = 4;
+    max_substitutions = 50;
+    check_engine = `Sat;
+    verify_applies = verify;
+    checkpoint_every = 0;
+    checkpoint_file = None;
+    check_seconds = Some 2.0;
+    round_seconds = None;
+    run_seconds = Some 10.0;
+  }
+
+let gain_identity_holds (r : Optimizer.report) =
+  let summed =
+    List.fold_left
+      (fun acc (_, st) -> acc +. st.Optimizer.power_gain)
+      0.0 r.Optimizer.by_class
+  in
+  let delta = r.Optimizer.initial_power -. r.Optimizer.final_power in
+  Float.abs (summed -. delta)
+  <= 1e-6 *. Float.max 1.0 (Float.abs r.Optimizer.initial_power)
+
+let candidates_of ~case_seed ~words c k =
+  let eng = Engine.create c ~words in
+  Engine.randomize eng (Rng.stream case_seed "fuzz/pat");
+  let est = Power.Estimator.create eng in
+  let cfg =
+    {
+      Powder.Candidates.classes = Powder.Subst.all_klasses;
+      per_target = 2;
+      pool_limit = 30;
+      require_positive = false;
+    }
+  in
+  let all = Powder.Candidates.generate ~config:cfg est in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  (eng, take k all)
+
+(* ------------------------------------------------------------------ *)
+(* Failure predicates (shared between shrinking and bundle replay).    *)
+(* ------------------------------------------------------------------ *)
+
+(* One bounded optimizer run on a private clone; reports whether the
+   run broke validity or I/O equivalence.  [inject] re-arms the guard
+   fault for every evaluation, which is what lets the shrinker hunt for
+   the smallest circuit on which the forged apply still corrupts. *)
+let optimizer_breaks ?inject ~case_seed ~words c =
+  let pre = Circuit.clone c in
+  let cl = Circuit.clone c in
+  let verify = inject = None in
+  (match inject with Some f -> Guard.inject f | None -> ());
+  let outcome =
+    match Optimizer.optimize ~config:(opt_config ~case_seed ~words ~verify) cl with
+    | (_ : Optimizer.report) -> `Finished
+    | exception e -> `Crashed (Printexc.to_string e)
+  in
+  Guard.clear_injection ();
+  match outcome with
+  | `Crashed _ -> true
+  | `Finished -> (
+    match Circuit.validate cl with
+    | Error _ -> true
+    | Ok () -> not (equivalent ~seed:case_seed pre cl))
+
+let injected_fails ~case_seed ~fault c =
+  optimizer_breaks ~inject:fault ~case_seed ~words:1 c
+
+let gain_identity_fails ~case_seed c =
+  let cl = Circuit.clone c in
+  match
+    Optimizer.optimize
+      ~config:(opt_config ~case_seed ~words:pred_words ~verify:true)
+      cl
+  with
+  | r -> not (gain_identity_holds r)
+  | exception _ -> false
+
+let oracle_split_fails ~case_seed c =
+  let _, cands = candidates_of ~case_seed ~words:pred_words c pred_candidates in
+  List.exists
+    (fun (s, _) ->
+      (not (Powder.Subst.creates_cycle c s)) && (Oracle.check c s).Oracle.split)
+    cands
+
+let predicate_for ~case_seed ~kind ~injected =
+  match (kind, injected) with
+  | "injected_corruption", Some fault -> Some (injected_fails ~case_seed ~fault)
+  | ("optimizer_broke_equivalence" | "optimizer_crash"), _ ->
+    Some (optimizer_breaks ~case_seed ~words:pred_words)
+  | "gain_identity", _ -> Some (gain_identity_fails ~case_seed)
+  | "oracle_split", _ -> Some (oracle_split_fails ~case_seed)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type case_outcome = {
+  co_failures : failure list;
+  co_checks : int;
+  co_splits : int;
+  co_accepts : int;
+  co_shrink_steps : int;
+  co_consumed : bool;  (** the armed fault was consumed by this case *)
+  co_detected : bool;  (** ... and the corruption was caught *)
+}
+
+let record_failure ~config ~case_seed ~case ~kind ~detail ~injected circ =
+  Metrics.incr failures_c;
+  let shrunk, (st : Shrink.stats) =
+    match predicate_for ~case_seed ~kind ~injected with
+    | Some failing ->
+      Shrink.minimize ~max_steps:config.shrink_max_steps
+        ~deadline:(Obs.Deadline.after ~seconds:15.0)
+        ~failing circ
+    | None ->
+      let g = Circuit.gate_count circ in
+      (circ, { Shrink.steps = 0; tried = 0; initial_gates = g; final_gates = g })
+  in
+  let bundle_path =
+    match config.out_dir with
+    | None -> None
+    | Some dir ->
+      let b =
+        {
+          Bundle.campaign_seed = config.seed;
+          case_seed;
+          case;
+          kind;
+          detail;
+          injected = Option.map Bundle.fault_name injected;
+          blif = Blif.Blif_io.circuit_to_string shrunk;
+          original_gates = st.initial_gates;
+          shrunk_gates = st.final_gates;
+          shrink_steps = st.steps;
+        }
+      in
+      Some (Bundle.save ~dir b)
+  in
+  {
+    case;
+    kind;
+    detail;
+    gates = st.final_gates;
+    shrink_steps = st.steps;
+    bundle_path;
+  }
+
+let run_case ~config ~deadline ~inject i =
+  let case_seed = Rng.derive config.seed (Printf.sprintf "case-%d" i) in
+  let spec = Gen.spec_of_seed ~max_ins:config.max_ins case_seed in
+  let base = Gen.base spec in
+  let circ = Gen.generate spec in
+  let failures = ref [] in
+  let fail ?injected kind detail =
+    failures :=
+      record_failure ~config ~case_seed ~case:i ~kind ~detail ~injected circ
+      :: !failures
+  in
+  (* generator properties *)
+  (match Circuit.validate circ with
+  | Error e -> fail "generator_invalid" e
+  | Ok () ->
+    if not (equivalent ~seed:case_seed base circ) then
+      fail "mutation_changed_function"
+        (Printf.sprintf "mutations [%s] changed the I/O function"
+           (String.concat "; " (List.map Gen.mutation_name spec.mutations))));
+  (* differential oracle *)
+  let checks = ref 0 and splits = ref 0 in
+  let eng, cands =
+    candidates_of ~case_seed ~words:pred_words circ config.candidates_per_case
+  in
+  List.iter
+    (fun (s, _) ->
+      if not (Powder.Subst.creates_cycle circ s) then begin
+        let r = Oracle.check ~deadline circ s in
+        incr checks;
+        if r.Oracle.split then begin
+          incr splits;
+          fail "oracle_split"
+            (Printf.sprintf "backends disagreed on %s%s"
+               (Powder.Subst.describe circ s)
+               (match r.Oracle.resolved_by with
+               | Some b -> "; resolved by " ^ Oracle.backend_name b
+               | None -> "; unresolved"))
+        end;
+        if r.Oracle.final = Oracle.Yes && Powder.Check.refuted_on_patterns eng s
+        then
+          fail "proof_vs_patterns"
+            (Printf.sprintf "proven permissible yet refuted on patterns: %s"
+               (Powder.Subst.describe circ s))
+      end)
+    cands;
+  (* optimizer metamorphic run *)
+  let pre = Circuit.clone circ in
+  let opt = Circuit.clone circ in
+  let ocfg =
+    opt_config ~case_seed
+      ~words:(if inject <> None then 1 else config.words)
+      ~verify:(inject = None)
+  in
+  (match inject with Some f -> Guard.inject f | None -> ());
+  let opt_result =
+    match Optimizer.optimize ~config:ocfg opt with
+    | r -> Ok r
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let consumed =
+    match inject with None -> false | Some f -> not (Guard.take_fault f)
+  in
+  Guard.clear_injection ();
+  let accepts = ref 0 in
+  let detected = ref false in
+  (match opt_result with
+  | Error msg -> fail "optimizer_crash" ("optimizer raised: " ^ msg)
+  | Ok r -> (
+    accepts := r.Optimizer.substitutions;
+    let invalid =
+      match Circuit.validate opt with Error e -> Some e | Ok () -> None
+    in
+    let equiv = equivalent ~seed:case_seed pre opt in
+    match (invalid, equiv) with
+    | None, true ->
+      if inject = None && not (gain_identity_holds r) then
+        fail "gain_identity"
+          (Printf.sprintf "class gains sum to %g but power delta is %g"
+             (List.fold_left
+                (fun a (_, st) -> a +. st.Optimizer.power_gain)
+                0.0 r.Optimizer.by_class)
+             (r.Optimizer.initial_power -. r.Optimizer.final_power))
+    | invalid, equiv -> (
+      let why =
+        match invalid with
+        | Some e -> "validate failed: " ^ e
+        | None -> if equiv then "" else "PO signatures changed"
+      in
+      match inject with
+      | Some f when consumed ->
+        detected := true;
+        fail ~injected:f "injected_corruption"
+          (Printf.sprintf "fault %s slipped past the disabled guard (%s)"
+             (Bundle.fault_name f) why)
+      | _ -> fail "optimizer_broke_equivalence" why)));
+  (* an armed fault that was consumed without breaking anything the
+     harness can see is itself a finding: the detection net has a hole *)
+  if inject <> None && consumed && not !detected then
+    fail "missed_injection"
+      "fault consumed but the corruption was not observable";
+  {
+    co_failures = List.rev !failures;
+    co_checks = !checks;
+    co_splits = !splits;
+    co_accepts = !accepts;
+    co_shrink_steps =
+      List.fold_left (fun a (f : failure) -> a + f.shrink_steps) 0 !failures;
+    co_consumed = consumed;
+    co_detected = !detected;
+  }
+
+let run config =
+  let t0 = Obs.Clock.now () in
+  let deadline = Obs.Deadline.of_option config.budget_seconds in
+  (* a campaign needs some bound: cap cases when both dials are open *)
+  let case_cap =
+    if config.cases > 0 then config.cases
+    else if config.budget_seconds <> None then max_int
+    else 50
+  in
+  let pending = ref config.inject in
+  let caught = ref false in
+  let failures = ref [] in
+  let cases_run = ref 0 in
+  let checks = ref 0 and splits = ref 0 and accepts = ref 0 in
+  let shrink_steps = ref 0 in
+  (let i = ref 0 in
+   while !i < case_cap && not (Obs.Deadline.expired deadline) do
+     let o = run_case ~config ~deadline ~inject:!pending !i in
+     Metrics.incr cases_c;
+     incr cases_run;
+     failures := !failures @ o.co_failures;
+     checks := !checks + o.co_checks;
+     splits := !splits + o.co_splits;
+     accepts := !accepts + o.co_accepts;
+     shrink_steps := !shrink_steps + o.co_shrink_steps;
+     if o.co_consumed then begin
+       pending := None;
+       if o.co_detected then caught := true
+     end;
+     incr i
+   done);
+  {
+    cases_run = !cases_run;
+    checks = !checks;
+    oracle_splits = !splits;
+    accepts = !accepts;
+    failures = !failures;
+    shrink_steps = !shrink_steps;
+    injected_caught = !caught;
+    elapsed_seconds = Obs.Clock.now () -. t0;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>fuzz: %d cases in %.1fs@,\
+     oracle: %d checks, %d splits@,\
+     optimizer: %d accepted substitutions@,\
+     failures: %d (shrink steps %d)@,"
+    r.cases_run r.elapsed_seconds r.checks r.oracle_splits r.accepts
+    (List.length r.failures) r.shrink_steps;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  case %d: %s (%d gates%s)%s@," f.case f.kind f.gates
+        (if f.shrink_steps > 0 then
+           Printf.sprintf ", %d shrink steps" f.shrink_steps
+         else "")
+        (match f.bundle_path with Some p -> " -> " ^ p | None -> ""))
+    r.failures;
+  Format.fprintf fmt "@]"
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("cases_run", Json.Int r.cases_run);
+      ("checks", Json.Int r.checks);
+      ("oracle_splits", Json.Int r.oracle_splits);
+      ("accepts", Json.Int r.accepts);
+      ("shrink_steps", Json.Int r.shrink_steps);
+      ("injected_caught", Json.Bool r.injected_caught);
+      ("elapsed_seconds", Json.Float r.elapsed_seconds);
+      ( "failures",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("case", Json.Int f.case);
+                   ("kind", Json.String f.kind);
+                   ("detail", Json.String f.detail);
+                   ("gates", Json.Int f.gates);
+                   ("shrink_steps", Json.Int f.shrink_steps);
+                   ( "bundle",
+                     match f.bundle_path with
+                     | Some p -> Json.String p
+                     | None -> Json.Null );
+                 ])
+             r.failures) );
+    ]
+
+let replay path =
+  match Bundle.load path with
+  | Error e -> Error ("cannot load bundle: " ^ e)
+  | Ok b -> (
+    match Bundle.circuit b with
+    | Error e -> Error ("cannot parse bundled BLIF: " ^ e)
+    | Ok c -> (
+      let injected = Option.bind b.Bundle.injected Bundle.fault_of_name in
+      match predicate_for ~case_seed:b.Bundle.case_seed ~kind:b.Bundle.kind ~injected with
+      | None -> Error (Printf.sprintf "kind %S is not replayable" b.Bundle.kind)
+      | Some failing ->
+        if failing c then
+          Ok
+            (Printf.sprintf "failure %s reproduced on %d gates" b.Bundle.kind
+               (Circuit.gate_count c))
+        else
+          Error
+            (Printf.sprintf "failure %s did not reproduce" b.Bundle.kind)))

@@ -1,0 +1,72 @@
+(** The fuzz campaign driver.
+
+    Each case derives a private seed from the campaign seed
+    ([Sim.Rng.derive seed "case-<i>"]), generates a mutated mapped
+    netlist ({!Gen}), and checks four property groups:
+
+    - {b generator}: the netlist validates and is I/O-equivalent to its
+      unmutated base (mutations are function-preserving by
+      construction);
+    - {b oracle}: the three proof backends agree on every candidate
+      substitution's verdict ({!Oracle}), and no proven-permissible
+      candidate is refuted by the simulated pattern set;
+    - {b optimizer}: a bounded POWDER run preserves PO signatures and
+      [Circuit.validate], and the per-class measured power gains sum to
+      the estimator's total delta (the [PG_A+PG_B+PG_C] telescoping
+      identity);
+    - {b resilience} (when a {!Powder.Guard} fault is injected): the
+      corruption is detected, shrunk ({!Shrink}) and dumped as a
+      replayable bundle ({!Bundle}).
+
+    Failures are shrunk and, when [out_dir] is set, saved.  Counters:
+    [fuzz/cases], [fuzz/failures], [fuzz/oracle_*], [fuzz/shrink_steps]. *)
+
+type config = {
+  seed : int64;
+  cases : int;  (** max cases; [0] means run until the budget expires *)
+  budget_seconds : float option;
+  max_ins : int;
+  candidates_per_case : int;  (** substitutions cross-checked per case *)
+  words : int;                (** simulation words for equivalence runs *)
+  out_dir : string option;
+  inject : Powder.Guard.fault option;
+      (** arm this fault during one case's optimizer run (retrying on
+          later cases until it is actually consumed), with the guard
+          disabled, so the end-to-end properties must catch it *)
+  shrink_max_steps : int;
+}
+
+val default_config : config
+(** seed 1, unbounded cases, 20 s budget, [max_ins] 10, 6 candidates,
+    4 words, no out dir, no injection, 400 shrink steps. *)
+
+type failure = {
+  case : int;
+  kind : string;
+  detail : string;
+  gates : int;            (** gate count after shrinking *)
+  shrink_steps : int;
+  bundle_path : string option;
+}
+
+type report = {
+  cases_run : int;
+  checks : int;           (** oracle cross-checks performed *)
+  oracle_splits : int;
+  accepts : int;          (** substitutions applied across optimizer runs *)
+  failures : failure list;
+  shrink_steps : int;
+  injected_caught : bool; (** the armed fault was consumed and detected *)
+  elapsed_seconds : float;
+}
+
+val run : config -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> Obs.Json.t
+
+val replay : string -> (string, string) result
+(** Re-execute a saved bundle's failure predicate on its embedded
+    circuit.  [Ok msg] when the failure reproduces; [Error msg] when it
+    does not (or the bundle cannot be read). *)

@@ -1,0 +1,125 @@
+module Circuit = Netlist.Circuit
+module Check = Powder.Check
+module Subst = Powder.Subst
+module Metrics = Obs.Metrics
+
+type backend = Exhaustive | Sat | Bdd
+
+let backend_name = function
+  | Exhaustive -> "exhaustive"
+  | Sat -> "sat"
+  | Bdd -> "bdd"
+
+type verdict = Yes | No | Abstain
+
+type result = {
+  verdicts : (backend * verdict) list;
+  split : bool;
+  resolved_by : backend option;
+  final : verdict;
+  bad_cex : bool;
+}
+
+let exhaustive_pi_limit = 13
+let tiebreak_pi_limit = 16
+
+let checks_c = Metrics.counter "fuzz/oracle_checks"
+let split_c = Metrics.counter "fuzz/oracle_split"
+let tiebreak_c = Metrics.counter "fuzz/oracle_tiebreak"
+let bad_cex_c = Metrics.counter "fuzz/oracle_bad_cex"
+
+let injected : backend option ref = ref None
+let inject_flip b = injected := Some b
+let clear_injection () = injected := None
+
+let take_flip b =
+  match !injected with
+  | Some b' when b' = b ->
+    injected := None;
+    true
+  | _ -> false
+
+(* Replay a counterexample on the concrete netlist: the vector must
+   flip at least one PO between the original and the substituted
+   circuit, else the refutation is bogus.  Missing PIs are don't-care
+   and default to false. *)
+let cex_distinguishes c s vec =
+  let assignment =
+    List.map
+      (fun pi ->
+        match List.assoc_opt (Circuit.name c pi) vec with
+        | Some v -> v
+        | None -> false)
+      (Circuit.pis c)
+  in
+  match Subst.apply_to_clone c s with
+  | exception Invalid_argument _ -> false
+  | clone ->
+    let before = Sim.Engine.eval_single c assignment in
+    let after = Sim.Engine.eval_single clone assignment in
+    List.exists
+      (fun (name, v) ->
+        match List.assoc_opt name after with
+        | Some v' -> v <> v'
+        | None -> true)
+      before
+
+let run_backend ?deadline c s backend =
+  let npis = List.length (Circuit.pis c) in
+  let raw =
+    match backend with
+    | Sat -> Some (Check.permissible ~exhaustive_limit:0 ~engine:`Sat ?deadline c s)
+    | Bdd -> Some (Check.permissible ~exhaustive_limit:0 ~engine:`Bdd ?deadline c s)
+    | Exhaustive ->
+      if npis <= exhaustive_pi_limit then
+        Some (Check.permissible ~exhaustive_limit:exhaustive_pi_limit ?deadline c s)
+      else None
+  in
+  let verdict, bad =
+    match raw with
+    | None | Some (Check.Gave_up _) -> (Abstain, false)
+    | Some Check.Permissible -> (Yes, false)
+    | Some (Check.Not_permissible vec) ->
+      if cex_distinguishes c s vec then (No, false) else (No, true)
+  in
+  let verdict =
+    if verdict <> Abstain && take_flip backend then
+      match verdict with Yes -> No | No -> Yes | Abstain -> Abstain
+    else verdict
+  in
+  (verdict, bad)
+
+let check ?deadline c s =
+  Metrics.incr checks_c;
+  let backends = [ Exhaustive; Sat; Bdd ] in
+  let runs = List.map (fun b -> (b, run_backend ?deadline c s b)) backends in
+  let verdicts = List.map (fun (b, (v, _)) -> (b, v)) runs in
+  let bad_cex = List.exists (fun (_, (_, bad)) -> bad) runs in
+  let decided = List.filter (fun (_, v) -> v <> Abstain) verdicts in
+  let disagree =
+    match decided with
+    | [] | [ _ ] -> false
+    | (_, v0) :: rest -> List.exists (fun (_, v) -> v <> v0) rest
+  in
+  let split = disagree || bad_cex in
+  if bad_cex then Metrics.incr bad_cex_c;
+  if split then Metrics.incr split_c;
+  if not split then
+    let final = match decided with (_, v) :: _ -> v | [] -> Abstain in
+    { verdicts; split; resolved_by = None; final; bad_cex }
+  else begin
+    (* tie-break by enumeration: ground truth whenever the circuit is
+       narrow enough, even past the oracle's normal exhaustive cutoff *)
+    let npis = List.length (Circuit.pis c) in
+    if npis <= tiebreak_pi_limit then begin
+      Metrics.incr tiebreak_c;
+      let final =
+        match Check.permissible ~exhaustive_limit:tiebreak_pi_limit ?deadline c s with
+        | Check.Permissible -> Yes
+        | Check.Not_permissible _ -> No
+        | Check.Gave_up _ -> No
+      in
+      { verdicts; split; resolved_by = Some Exhaustive; final; bad_cex }
+    end
+    else { verdicts; split; resolved_by = None; final = No; bad_cex }
+  end

@@ -1,0 +1,56 @@
+(** Differential oracle for permissibility verdicts.
+
+    Runs the same substitution through the three independent proof
+    backends — exhaustive simulation (when the circuit has at most
+    {!exhaustive_pi_limit} PIs), the BDD engine ({!Atpg.Bddcheck}) and
+    the SAT miter — and compares.  On a correct engine the decided
+    verdicts always agree; any disagreement is a {e split}, counted in
+    the [fuzz/oracle_split] metric and resolved, when the circuit is
+    narrow enough, by forcing the exhaustive path as tie-breaker
+    (ground truth by enumeration).  Counterexamples returned by a [No]
+    verdict are additionally replayed on the concrete netlist: a vector
+    that fails to distinguish the two sides marks the verdict as
+    suspect ([bad_cex]) and is treated as a split. *)
+
+type backend = Exhaustive | Sat | Bdd
+
+val backend_name : backend -> string
+
+type verdict =
+  | Yes      (** proven permissible *)
+  | No       (** refuted with a counterexample *)
+  | Abstain  (** backend gave up (budget, or circuit too wide) *)
+
+type result = {
+  verdicts : (backend * verdict) list;  (** one entry per backend, in
+                                            [Exhaustive; Sat; Bdd] order *)
+  split : bool;             (** decided backends disagreed, or a
+                                counterexample failed to replay *)
+  resolved_by : backend option;
+      (** [Some Exhaustive] when the tie-breaker settled a split *)
+  final : verdict;          (** consensus, or the tie-breaker's answer;
+                                [No] (conservative) for an unresolved
+                                split; [Abstain] when nobody decided *)
+  bad_cex : bool;
+}
+
+val exhaustive_pi_limit : int
+(** PI count up to which the exhaustive backend participates (13). *)
+
+val tiebreak_pi_limit : int
+(** Hard cap up to which a split forces the exhaustive path even though
+    the normal oracle run abstained (16). *)
+
+val inject_flip : backend -> unit
+(** Test-only, one-shot: the next decided verdict from this backend is
+    inverted, manufacturing a split so the tie-breaker path and the
+    [fuzz/oracle_split] accounting can be exercised. *)
+
+val clear_injection : unit -> unit
+
+val check :
+  ?deadline:Obs.Deadline.t -> Netlist.Circuit.t -> Powder.Subst.t -> result
+(** Cross-check one substitution.  Increments [fuzz/oracle_checks],
+    [fuzz/oracle_split], [fuzz/oracle_tiebreak] and
+    [fuzz/oracle_bad_cex] as appropriate.  The circuit is left
+    untouched. *)

@@ -1,0 +1,143 @@
+module Circuit = Netlist.Circuit
+module Metrics = Obs.Metrics
+
+type stats = {
+  steps : int;
+  tried : int;
+  initial_gates : int;
+  final_gates : int;
+}
+
+let steps_c = Metrics.counter "fuzz/shrink_steps"
+
+let po_names c = List.map (Circuit.name c) (Circuit.pos c)
+
+let restrict_pos c keep =
+  let keep_ids =
+    List.filter (fun po -> List.mem (Circuit.name c po) keep) (Circuit.pos c)
+  in
+  if keep_ids = [] then invalid_arg "Shrink.restrict_pos: no such PO";
+  (* needed = the kept POs' drivers and their transitive fanins *)
+  let needed = Array.make (Circuit.num_nodes c) false in
+  List.iter
+    (fun po ->
+      let d = Circuit.po_driver c po in
+      needed.(d) <- true;
+      Array.iteri (fun i b -> if b then needed.(i) <- true) (Circuit.tfi c d))
+    keep_ids;
+  let out = Circuit.create (Circuit.library c) in
+  let map = Hashtbl.create 64 in
+  Array.iter
+    (fun id ->
+      if needed.(id) then
+        let nid =
+          match Circuit.kind c id with
+          | Circuit.Pi -> Circuit.add_pi out ~name:(Circuit.name c id)
+          | Circuit.Const b -> Circuit.add_const out b
+          | Circuit.Cell (cell, fanins) ->
+            Circuit.add_cell out ~name:(Circuit.name c id) cell
+              (Array.map (Hashtbl.find map) fanins)
+          | Circuit.Po _ -> assert false
+        in
+        Hashtbl.add map id nid)
+    (Circuit.topo_order c);
+  List.iter
+    (fun po ->
+      ignore
+        (Circuit.add_po out ~name:(Circuit.name c po)
+           (Hashtbl.find map (Circuit.po_driver c po))))
+    keep_ids;
+  out
+
+let size c =
+  Circuit.gate_count c
+  + List.length (Circuit.pos c)
+  + List.length (Circuit.pis c)
+
+(* All candidate reductions of [c], lazily, in a fixed order. *)
+let reductions c =
+  let drop_po () =
+    let names = po_names c in
+    if List.length names <= 1 then []
+    else
+      List.map
+        (fun dropped () ->
+          Some (restrict_pos c (List.filter (fun n -> n <> dropped) names)))
+        names
+  in
+  let collapse_gate () =
+    List.concat_map
+      (fun g ->
+        Array.to_list (Circuit.fanins c g)
+        |> List.sort_uniq compare
+        |> List.map (fun f () ->
+               let cl = Circuit.clone c in
+               if Circuit.would_cycle_stem cl g f then None
+               else begin
+                 Circuit.replace_stem cl g f;
+                 ignore (Circuit.sweep cl);
+                 Some cl
+               end))
+      (Circuit.live_gates c)
+  in
+  let gate_to_const () =
+    List.concat_map
+      (fun g ->
+        List.map
+          (fun b () ->
+            let cl = Circuit.clone c in
+            let k = Circuit.add_const cl b in
+            if Circuit.would_cycle_stem cl g k then None
+            else begin
+              Circuit.replace_stem cl g k;
+              ignore (Circuit.sweep cl);
+              Some cl
+            end)
+          [ false; true ])
+      (Circuit.live_gates c)
+  in
+  drop_po () @ collapse_gate () @ gate_to_const ()
+
+let minimize ?(max_steps = 1000) ?(deadline = Obs.Deadline.never) ~failing c =
+  let initial_gates = Circuit.gate_count c in
+  let fails cand =
+    match Circuit.validate cand with
+    | Error _ -> false
+    | Ok () -> failing (Circuit.clone cand)
+  in
+  let tried = ref 0 in
+  if not (fails c) then
+    (c, { steps = 0; tried = 1; initial_gates; final_gates = initial_gates })
+  else begin
+    let current = ref c in
+    let steps = ref 0 in
+    let progress = ref true in
+    while !progress && !steps < max_steps && not (Obs.Deadline.expired deadline) do
+      progress := false;
+      let cands = reductions !current in
+      (try
+         List.iter
+           (fun thunk ->
+             if Obs.Deadline.expired deadline then raise Exit;
+             match thunk () with
+             | None -> ()
+             | Some cand ->
+               incr tried;
+               if size cand < size !current && fails cand then begin
+                 current := cand;
+                 incr steps;
+                 Metrics.incr steps_c;
+                 progress := true;
+                 raise Exit
+               end)
+           cands
+       with Exit -> ())
+    done;
+    ( !current,
+      {
+        steps = !steps;
+        tried = !tried;
+        initial_gates;
+        final_gates = Circuit.gate_count !current;
+      } )
+  end

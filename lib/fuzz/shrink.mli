@@ -1,0 +1,35 @@
+(** Greedy failure-preserving shrinking of a mapped netlist.
+
+    Given a predicate that reproduces a failure, repeatedly try
+    structural reductions — drop a primary output (re-extracting the
+    remaining cones), collapse a gate onto one of its fanins, replace a
+    gate by a constant — and keep each reduction whose result is still
+    a valid circuit on which the predicate still fails.  Reductions are
+    enumerated in a fixed order and applied first-fit, so shrinking is
+    deterministic; each accepted step strictly shrinks
+    [gates + POs + PIs], so termination is guaranteed. *)
+
+type stats = {
+  steps : int;          (** accepted reductions *)
+  tried : int;          (** candidate reductions evaluated *)
+  initial_gates : int;
+  final_gates : int;
+}
+
+val restrict_pos : Netlist.Circuit.t -> string list -> Netlist.Circuit.t
+(** Rebuild the circuit keeping only the named primary outputs (and the
+    logic and PIs their cones need).  PI, gate and PO names carry over.
+    @raise Invalid_argument if no named PO exists. *)
+
+val minimize :
+  ?max_steps:int ->
+  ?deadline:Obs.Deadline.t ->
+  failing:(Netlist.Circuit.t -> bool) ->
+  Netlist.Circuit.t ->
+  Netlist.Circuit.t * stats
+(** Shrink while [failing] holds.  The predicate receives a private
+    clone each time and must be deterministic; the input circuit is
+    never mutated.  If the input does not fail, it is returned
+    unchanged with [steps = 0].  Accepted steps are mirrored into the
+    [fuzz/shrink_steps] metric.  Defaults: [max_steps = 1000],
+    no deadline. *)

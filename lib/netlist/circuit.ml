@@ -108,7 +108,13 @@ let add_pi t ~name =
   t.pis_rev <- id :: t.pis_rev;
   id
 
-let add_const t b = alloc t ~name:(fresh_name t (if b then "const1_" else "const0_")) (Const b)
+let add_const t ?name b =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> fresh_name t (if b then "const1_" else "const0_")
+  in
+  alloc t ~name (Const b)
 
 let add_fanout t driver pin =
   let d = node t driver in

@@ -27,7 +27,7 @@ val create : Gatelib.Library.t -> t
 val library : t -> Gatelib.Library.t
 
 val add_pi : t -> name:string -> node_id
-val add_const : t -> bool -> node_id
+val add_const : t -> ?name:string -> bool -> node_id
 val add_cell : t -> ?name:string -> Gatelib.Cell.t -> node_id array -> node_id
 val add_po : t -> name:string -> node_id -> node_id
 

@@ -213,7 +213,7 @@ let optimize ?(config = default_config) ?resume circ =
   let cex_words = 4 in
   let cex_eng = ref (Engine.create circ ~words:cex_words) in
   Engine.randomize !cex_eng ~input_probs:prob_of
-    (Sim.Rng.create (Int64.add config.seed 77L));
+    (Sim.Rng.stream config.seed "powder/cex");
   let cex_cursor = ref 0 in
   let cex_log = ref [] in
   let write_cex_bits assignment =
@@ -238,7 +238,7 @@ let optimize ?(config = default_config) ?resume circ =
     write_cex_bits assignment;
     Engine.resim_all !cex_eng
   in
-  let verify_seed = Int64.add config.seed 1313L in
+  let verify_seed = Sim.Rng.derive config.seed "powder/guard" in
   let guard =
     ref
       (if config.verify_applies then
@@ -258,7 +258,7 @@ let optimize ?(config = default_config) ?resume circ =
     est := Estimator.create !eng;
     cex_eng := Engine.create circ ~words:cex_words;
     Engine.randomize !cex_eng ~input_probs:prob_of
-      (Sim.Rng.create (Int64.add config.seed 77L));
+      (Sim.Rng.stream config.seed "powder/cex");
     cex_cursor := 0;
     List.iter write_cex_bits (List.rev !cex_log);
     Engine.resim_all !cex_eng;

@@ -27,3 +27,14 @@ let bits_with_prob t p =
   end
 
 let split t = create (next t)
+
+let derive base label =
+  let t = create base in
+  (* absorb the label one byte per splitmix step, then finalize with
+     one more step so even a trailing byte diffuses through the state *)
+  String.iter
+    (fun ch -> t.state <- Int64.logxor (next t) (Int64.of_int (Char.code ch)))
+    label;
+  next t
+
+let stream base label = create (derive base label)

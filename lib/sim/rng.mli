@@ -14,3 +14,16 @@ val bits_with_prob : t -> float -> int64
 
 val split : t -> t
 (** A statistically independent child generator. *)
+
+val derive : int64 -> string -> int64
+(** [derive base label] is a domain-separated child seed: a splitmix
+    hash of [base] and the stream label.  Every subsystem that needs
+    its own pattern stream (optimizer, counterexample screen, guard
+    re-verification, benchmarks, fuzzing) derives it this way from one
+    user-visible seed, so streams are uncorrelated but reproducible —
+    no ad-hoc [Int64.add seed 77L] offsets.  Distinct labels give
+    distinct seeds; the same [(base, label)] pair always gives the
+    same seed. *)
+
+val stream : int64 -> string -> t
+(** [create (derive base label)]. *)

@@ -214,4 +214,28 @@ let verilog_tests =
     Alcotest.test_case "verilog sanitize" `Quick test_verilog_sanitizes;
   ]
 
-let suite = [ ("blif", blif_tests @ verilog_tests) ]
+(* Satellite: repro bundles embed circuits as BLIF, so fuzzed netlists
+   must survive emit -> parse -> emit with byte-identical text — any
+   drift (ordering, constants, naming) would break exact replay. *)
+let test_fuzzed_roundtrip_byte_stable () =
+  for i = 0 to 9 do
+    let seed = Int64.of_int (400 + i) in
+    let c = Fuzz.Gen.generate (Fuzz.Gen.spec_of_seed seed) in
+    let s1 = Blif.circuit_to_string c in
+    match Blif.circuit_of_string Build.lib s1 with
+    | Error e ->
+      Alcotest.failf "seed %Ld: reparse: %s" seed (Blif.error_to_string e)
+    | Ok c2 ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %Ld: byte-stable" seed)
+        s1
+        (Blif.circuit_to_string c2)
+  done
+
+let fuzz_roundtrip_tests =
+  [
+    Alcotest.test_case "fuzzed emit/parse/emit byte-stable" `Quick
+      test_fuzzed_roundtrip_byte_stable;
+  ]
+
+let suite = [ ("blif", blif_tests @ verilog_tests @ fuzz_roundtrip_tests) ]

@@ -222,3 +222,52 @@ let deterministic_tests =
   [ Alcotest.test_case "optimizer deterministic" `Quick test_optimizer_deterministic ]
 
 let suite = suite @ [ ("powder-determinism", deterministic_tests) ]
+
+(* Satellite: the PG_A + PG_B + PG_C decomposition telescopes exactly
+   over every accepted substitution of a run.  With
+   [checkpoint_every = 0] one estimator survives the whole run, so the
+   per-accept measured deltas bucketed by class must sum to the total
+   power drop.  Collect at least 50 accepts across fuzzed netlists. *)
+let test_gain_identity_on_fuzzed_accepts () =
+  let accepts = ref 0 and seed = ref 0 in
+  while !accepts < 50 && !seed < 40 do
+    let case = Int64.of_int (900 + !seed) in
+    let c = Fuzz.Gen.generate (Fuzz.Gen.spec_of_seed case) in
+    let config =
+      {
+        Optimizer.default_config with
+        words = 4;
+        seed = Sim.Rng.derive case "test/gain";
+        max_rounds = 4;
+        max_substitutions = 50;
+        checkpoint_every = 0;
+        checkpoint_file = None;
+        check_seconds = Some 2.0;
+        run_seconds = Some 5.0;
+      }
+    in
+    let r = Optimizer.optimize ~config c in
+    let summed =
+      List.fold_left
+        (fun acc (_, st) -> acc +. st.Optimizer.power_gain)
+        0.0 r.Optimizer.by_class
+    in
+    let delta = r.Optimizer.initial_power -. r.Optimizer.final_power in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %Ld: by-class gains telescope" case)
+      true
+      (Float.abs (summed -. delta)
+      <= 1e-6 *. Float.max 1.0 (Float.abs r.Optimizer.initial_power));
+    accepts := !accepts + r.Optimizer.substitutions;
+    incr seed
+  done;
+  Alcotest.(check bool) "covered >= 50 accepted substitutions" true
+    (!accepts >= 50)
+
+let fuzzed_gain_tests =
+  [
+    Alcotest.test_case "gain telescopes on fuzzed accepts" `Quick
+      test_gain_identity_on_fuzzed_accepts;
+  ]
+
+let suite = suite @ [ ("powder-fuzzed-gain", fuzzed_gain_tests) ]

@@ -146,11 +146,44 @@ let prop_exhaustive_po_prob_parity =
       | [ po ] -> Float.abs (Engine.prob_one eng po -. 0.5) < 1e-9
       | _ -> false)
 
+(* Satellite: every stochastic component (bench sections, the
+   optimizer's cex screen, guard re-verify, the fuzz harness) now draws
+   through [Rng.derive]/[Rng.stream], so equal seed + label must mean
+   an identical stream, and distinct labels distinct domains. *)
+let test_rng_derive_deterministic () =
+  Alcotest.(check int64) "same seed and label"
+    (Rng.derive 5L "powder/cex") (Rng.derive 5L "powder/cex");
+  Alcotest.(check bool) "labels separate domains" true
+    (Rng.derive 5L "powder/cex" <> Rng.derive 5L "powder/guard");
+  Alcotest.(check bool) "seeds separate streams" true
+    (Rng.derive 5L "fuzz/spec" <> Rng.derive 6L "fuzz/spec");
+  Alcotest.(check int64) "stream replays"
+    (Rng.next (Rng.stream 7L "bench/sig")) (Rng.next (Rng.stream 7L "bench/sig"));
+  Alcotest.(check bool) "stream label matters" true
+    (Rng.next (Rng.stream 7L "bench/sig") <> Rng.next (Rng.stream 7L "fuzz/pat"))
+
+let test_identical_seeds_identical_signatures () =
+  let c1 = Build.parity_chain 6 and c2 = Build.parity_chain 6 in
+  let e1 = Engine.create c1 ~words:4 and e2 = Engine.create c2 ~words:4 in
+  Engine.randomize e1 (Rng.stream 7L "test/sig");
+  Engine.randomize e2 (Rng.stream 7L "test/sig");
+  Alcotest.(check bool) "identical seeds give identical signatures" true
+    (Engine.equivalent_on_patterns e1 e2);
+  List.iter2
+    (fun p1 p2 ->
+      Alcotest.(check int) "pattern words match bit for bit"
+        (Engine.count_ones e1 p1) (Engine.count_ones e2 p2))
+    (Circuit.pis c1) (Circuit.pis c2)
+
 let suite =
   [
     ( "sim",
       [
         Alcotest.test_case "exhaustive parity" `Quick test_exhaustive_parity;
+        Alcotest.test_case "seed derivation deterministic" `Quick
+          test_rng_derive_deterministic;
+        Alcotest.test_case "identical seeds, identical signatures" `Quick
+          test_identical_seeds_identical_signatures;
         Alcotest.test_case "eval_single vs engine" `Quick test_eval_single_matches_engine;
         Alcotest.test_case "uniform input probs" `Quick test_prob_uniform_inputs;
         Alcotest.test_case "randomize bias" `Quick test_randomize_prob_bias;
