@@ -7,7 +7,12 @@
      dune exec bench/main.exe -- fig6    -- Figure 6 (power-delay trade-off)
      dune exec bench/main.exe -- guard   -- guard-on vs guard-off overhead
      dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- parallel -- exact-check scaling vs --jobs
      dune exec bench/main.exe -- quick   -- fast subset of everything
+
+   [--jobs N] runs the table1 circuits on a domain pool of N executors
+   (default: Par.Pool.default_jobs); each optimizer run inside a pool
+   task is itself sequential, so reports are unchanged.
 
    Absolute values differ from the paper (different library constants,
    different starting netlists); the comparison targets are the paper's
@@ -20,6 +25,7 @@ module Subst = Powder.Subst
 
 let words = 16
 let quick = ref false
+let jobs = ref (Par.Pool.default_jobs ())
 
 (* One base seed for the whole harness; every section derives its own
    pattern stream by label, the same way the optimizer, guard and
@@ -37,15 +43,22 @@ let bench_runs : (string * Obs.Json.t) list ref = ref []
 let record_run label (r : Optimizer.report) =
   bench_runs := (label, Optimizer.report_to_json r) :: !bench_runs
 
+(* Filled in by the [parallel] section; merged into BENCH_powder.json. *)
+let parallel_section : Obs.Json.t option ref = ref None
+
 let write_bench_json () =
   let json =
     Obs.Json.Obj
-      [
-        ("bench", Obs.Json.String "powder");
-        ("quick", Obs.Json.Bool !quick);
-        ("words", Obs.Json.Int words);
-        ("runs", Obs.Json.Obj (List.rev !bench_runs));
-      ]
+      ([
+         ("bench", Obs.Json.String "powder");
+         ("quick", Obs.Json.Bool !quick);
+         ("words", Obs.Json.Int words);
+         ("jobs", Obs.Json.Int !jobs);
+         ("runs", Obs.Json.Obj (List.rev !bench_runs));
+       ]
+      @ match !parallel_section with
+        | Some p -> [ ("parallel", p) ]
+        | None -> [])
   in
   let oc = open_out "BENCH_powder.json" in
   output_string oc (Obs.Json.to_string json);
@@ -110,20 +123,44 @@ let table1_specs () =
 
 let table1_rows () =
   let specs = table1_specs () in
+  (* Both runs for one circuit are a single pool task; the optimizer
+     detects it is inside a task and stays sequential.  Reports and
+     [bench_runs] entries (recorded here, in spec order) are identical
+     to a fully sequential sweep. *)
+  let compute spec =
+    let circ = Suite.mapped spec in
+    let unconstrained =
+      Optimizer.optimize ~config:base_config (Circuit.clone circ)
+    in
+    let constrained =
+      Optimizer.optimize
+        ~config:{ base_config with Optimizer.delay = Optimizer.Keep_initial }
+        (Circuit.clone circ)
+    in
+    (unconstrained, constrained)
+  in
+  let results =
+    if !jobs > 1 then begin
+      Printf.eprintf "[table1] %d circuits on %d domains...\n%!"
+        (List.length specs) !jobs;
+      Par.Pool.with_pool ~jobs:!jobs (fun pool ->
+          Par.Pool.map pool ~f:compute (Array.of_list specs))
+      |> Array.to_list
+      |> List.map (function
+           | Some r -> r
+           | None -> failwith "table1: pool task cancelled")
+    end
+    else
+      List.map
+        (fun spec ->
+          Printf.eprintf "[table1] %s...\n%!" spec.Suite.name;
+          compute spec)
+        specs
+  in
   let rows =
-    List.map
-      (fun spec ->
-        Printf.eprintf "[table1] %s...\n%!" spec.Suite.name;
-        let circ = Suite.mapped spec in
-        let unconstrained =
-          Optimizer.optimize ~config:base_config (Circuit.clone circ)
-        in
+    List.map2
+      (fun spec (unconstrained, constrained) ->
         record_run ("table1/" ^ spec.Suite.name ^ "/unconstrained") unconstrained;
-        let constrained =
-          Optimizer.optimize
-            ~config:{ base_config with Optimizer.delay = Optimizer.Keep_initial }
-            (Circuit.clone circ)
-        in
         record_run ("table1/" ^ spec.Suite.name ^ "/constrained") constrained;
         {
           spec;
@@ -133,7 +170,7 @@ let table1_rows () =
           unconstrained;
           constrained;
         })
-      specs
+      specs results
   in
   List.sort (fun a b -> Float.compare a.initial_area b.initial_area) rows
 
@@ -513,21 +550,111 @@ let guard () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling: speculative exact checks vs. --jobs.              *)
+(* ------------------------------------------------------------------ *)
+
+(* Reports at different job counts must agree on everything except the
+   timing fields and the job count itself (same filter as
+   [json_check --compare-reports]). *)
+let strip_volatile_report = function
+  | Obs.Json.Obj fields ->
+    Obs.Json.Obj
+      (List.filter
+         (fun (k, _) ->
+           k <> "cpu_seconds" && k <> "phase_seconds" && k <> "jobs")
+         fields)
+  | other -> other
+
+let parallel () =
+  print_endline "=== Parallel scaling: exact-check wall clock vs --jobs ===";
+  let spec, gates =
+    List.fold_left
+      (fun best spec ->
+        let g = List.length (Circuit.live_gates (Suite.mapped spec)) in
+        match best with
+        | Some (_, g') when g' >= g -> best
+        | _ -> Some (spec, g))
+      None (table1_specs ())
+    |> Option.get
+  in
+  Printf.printf "circuit: %s (%d gates)\n" spec.Suite.name gates;
+  let job_counts = if !quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let circ = Suite.mapped spec in
+  let runs =
+    List.map
+      (fun j ->
+        Printf.eprintf "[parallel] %s at jobs=%d...\n%!" spec.Suite.name j;
+        let r =
+          Optimizer.optimize
+            ~config:{ base_config with Optimizer.jobs = j }
+            (Circuit.clone circ)
+        in
+        record_run (Printf.sprintf "parallel/%s/jobs%d" spec.Suite.name j) r;
+        (j, r))
+      job_counts
+  in
+  let exact_check (r : Optimizer.report) =
+    Option.value ~default:0.0
+      (List.assoc_opt "exact-check" r.Optimizer.phase_seconds)
+  in
+  let _, r1 = List.hd runs in
+  let base_exact = exact_check r1 in
+  let base_json = strip_volatile_report (Optimizer.report_to_json r1) in
+  Printf.printf "%6s %10s %13s %8s %6s\n" "jobs" "total(s)" "exact-chk(s)"
+    "speedup" "match";
+  let entries =
+    List.map
+      (fun (j, r) ->
+        let ec = exact_check r in
+        let speedup = if ec > 0.0 then base_exact /. ec else 1.0 in
+        let matches =
+          strip_volatile_report (Optimizer.report_to_json r) = base_json
+        in
+        Printf.printf "%6d %10.3f %13.3f %7.2fx %6b\n" j
+          r.Optimizer.cpu_seconds ec speedup matches;
+        ( "jobs" ^ string_of_int j,
+          Obs.Json.Obj
+            [
+              ("jobs", Obs.Json.Int j);
+              ("cpu_seconds", Obs.Json.Float r.Optimizer.cpu_seconds);
+              ( "phase_seconds",
+                Obs.Json.Obj
+                  (List.map
+                     (fun (k, v) -> (k, Obs.Json.Float v))
+                     r.Optimizer.phase_seconds) );
+              ("exact_check_seconds", Obs.Json.Float ec);
+              ("exact_check_speedup", Obs.Json.Float speedup);
+              ("report_matches_jobs1", Obs.Json.Bool matches);
+            ] ))
+      runs
+  in
+  parallel_section :=
+    Some
+      (Obs.Json.Obj
+         (("circuit", Obs.Json.String spec.Suite.name)
+         :: ("gates", Obs.Json.Int gates)
+         :: entries));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "quick" || a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("quick" | "--quick") :: rest ->
+      quick := true;
+      parse acc rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      jobs := max 1 (int_of_string n);
+      parse acc rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      jobs := max 1 (int_of_string (String.sub a 7 (String.length a - 7)));
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let want x = args = [] || List.mem x args in
   if want "fig2" then fig2 ();
   let rows =
@@ -543,4 +670,5 @@ let () =
   if want "glitch" then glitch ();
   if want "guard" then guard ();
   if want "micro" then micro ();
+  if want "parallel" then parallel ();
   write_bench_json ()

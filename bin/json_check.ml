@@ -18,13 +18,16 @@ let parse_file path =
     Printf.eprintf "%s: %s\n" path e;
     exit 1
 
-(* Timings differ between any two runs; everything else in a report is
-   deterministic for a given seed and must match across kill/resume. *)
+(* Timings differ between any two runs, and [jobs] differs between runs
+   whose equivalence we specifically want to check; everything else in a
+   report is deterministic for a given seed and must match across
+   kill/resume and across job counts. *)
 let strip_volatile = function
   | Obs.Json.Obj fields ->
     Obs.Json.Obj
       (List.filter
-         (fun (k, _) -> k <> "cpu_seconds" && k <> "phase_seconds")
+         (fun (k, _) ->
+           k <> "cpu_seconds" && k <> "phase_seconds" && k <> "jobs")
          fields)
   | other -> other
 

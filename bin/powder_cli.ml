@@ -32,6 +32,15 @@ let seed =
   Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"N"
          ~doc:"Random-pattern seed.")
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Par.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Parallel executors (1 disables the domain pool). Defaults \
+                 to the machine's recommended domain count, capped at 8. \
+                 Results are byte-identical for any value; only wall-clock \
+                 changes.")
+
 let delay_mode =
   let parse s =
     if s = "none" then Ok Optimizer.Unconstrained
@@ -129,7 +138,7 @@ let engine_arg =
 let optimize_cmd =
   let run in_file circuit_name out_file words seed delay classes engine verify
       trace_file json_file metrics time_budget check_seconds round_seconds
-      max_rounds checkpoint resume verify_applies checkpoint_every =
+      max_rounds checkpoint resume verify_applies checkpoint_every jobs =
     let circ = load_circuit in_file circuit_name in
     let original = Circuit.clone circ in
     (* Resume: pick the checkpoint up before building the config so the
@@ -174,6 +183,7 @@ let optimize_cmd =
           (if checkpoint_every > 0 then checkpoint_every
            else if checkpoint <> None then 1
            else 0);
+        jobs;
       }
     in
     (* Open both output files before the (possibly long) run so a bad
@@ -278,7 +288,7 @@ let optimize_cmd =
           $ delay_mode $ classes $ engine_arg $ verify $ trace_file
           $ json_file $ metrics $ time_budget $ check_seconds $ round_seconds
           $ max_rounds $ checkpoint $ resume $ verify_applies
-          $ checkpoint_every)
+          $ checkpoint_every $ jobs_arg)
 
 let map_cmd =
   let run in_file out_file objective =
@@ -434,7 +444,7 @@ let sweep_cmd =
     Term.(const run $ names $ words)
 
 let fuzz_cmd =
-  let run seed budget cases max_ins candidates out_dir inject replay =
+  let run seed budget cases max_ins candidates out_dir inject replay jobs =
     match replay with
     | Some path -> (
       match Fuzz.Harness.replay path with
@@ -465,6 +475,7 @@ let fuzz_cmd =
           candidates_per_case = candidates;
           out_dir;
           inject;
+          jobs;
         }
       in
       let report = Fuzz.Harness.run config in
@@ -530,7 +541,7 @@ let fuzz_cmd =
              netlists, cross-checked equivalence backends, metamorphic \
              optimizer properties, auto-shrunk replayable failures.")
     Term.(const run $ fuzz_seed $ budget $ cases $ max_ins $ candidates
-          $ out_dir $ inject $ replay)
+          $ out_dir $ inject $ replay $ jobs_arg)
 
 let () =
   let default =

@@ -48,6 +48,22 @@ hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
 dune exec bin/json_check.exe -- --compare-reports "$full_json" "$resumed_json"
 rm -f "$ck" "$full_json" "$resumed_json"
 
+echo "== smoke: parallel determinism (--jobs 4 == --jobs 1) =="
+# The hard invariant of the domain pool: report JSON (modulo timing
+# and the jobs field) and the emitted netlist are byte-identical at
+# any job count.
+seq_json=$(mktemp /tmp/powder_ci_j1_XXXXXX.json)
+par_json=$(mktemp /tmp/powder_ci_j4_XXXXXX.json)
+seq_blif=$(mktemp /tmp/powder_ci_j1_XXXXXX.blif)
+par_blif=$(mktemp /tmp/powder_ci_j4_XXXXXX.blif)
+hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+  --jobs 1 --json "$seq_json" -o "$seq_blif" >/dev/null
+hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+  --jobs 4 --json "$par_json" -o "$par_blif" >/dev/null
+dune exec bin/json_check.exe -- --compare-reports "$seq_json" "$par_json"
+cmp "$seq_blif" "$par_blif"
+rm -f "$seq_json" "$par_json" "$seq_blif" "$par_blif"
+
 echo "== smoke: differential fuzz campaign (fixed seed) =="
 # Clean campaign: any oracle split or unshrunk crash exits non-zero.
 fuzz_dir=$(mktemp -d /tmp/powder_ci_fuzz_XXXXXX)

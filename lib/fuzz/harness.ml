@@ -16,6 +16,7 @@ type config = {
   out_dir : string option;
   inject : Guard.fault option;
   shrink_max_steps : int;
+  jobs : int;
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     out_dir = None;
     inject = None;
     shrink_max_steps = 400;
+    jobs = 1;
   }
 
 type failure = {
@@ -48,6 +50,7 @@ type report = {
   failures : failure list;
   shrink_steps : int;
   injected_caught : bool;
+  jobs : int;
   elapsed_seconds : float;
 }
 
@@ -363,22 +366,60 @@ let run config =
   let cases_run = ref 0 in
   let checks = ref 0 and splits = ref 0 and accepts = ref 0 in
   let shrink_steps = ref 0 in
-  (let i = ref 0 in
-   while !i < case_cap && not (Obs.Deadline.expired deadline) do
-     let o = run_case ~config ~deadline ~inject:!pending !i in
-     Metrics.incr cases_c;
-     incr cases_run;
-     failures := !failures @ o.co_failures;
-     checks := !checks + o.co_checks;
-     splits := !splits + o.co_splits;
-     accepts := !accepts + o.co_accepts;
-     shrink_steps := !shrink_steps + o.co_shrink_steps;
-     if o.co_consumed then begin
-       pending := None;
-       if o.co_detected then caught := true
-     end;
-     incr i
-   done);
+  (* Injection campaigns race on the process-global one-shot fault in
+     [Guard], so they stay sequential; so does a harness nested inside
+     a pool task (the pool rejects nested submission). *)
+  let jobs =
+    if config.inject <> None || Par.Pool.in_task () then 1
+    else max 1 config.jobs
+  in
+  let consume o =
+    Metrics.incr cases_c;
+    incr cases_run;
+    failures := !failures @ o.co_failures;
+    checks := !checks + o.co_checks;
+    splits := !splits + o.co_splits;
+    accepts := !accepts + o.co_accepts;
+    shrink_steps := !shrink_steps + o.co_shrink_steps;
+    if o.co_consumed then begin
+      pending := None;
+      if o.co_detected then caught := true
+    end
+  in
+  (if jobs = 1 then (
+     let i = ref 0 in
+     while !i < case_cap && not (Obs.Deadline.expired deadline) do
+       consume (run_case ~config ~deadline ~inject:!pending !i);
+       incr i
+     done)
+   else
+     (* One case per domain, in waves of [jobs].  Cases are mutually
+        independent (each builds its own circuits and engines and
+        writes its own bundle files), so outcomes are simply consumed
+        in case order — same aggregation, same report, any job count.
+        A case whose task was cancelled by the budget deadline never
+        ran; consumption stops at the first one, like the sequential
+        loop stops at expiry. *)
+     Par.Pool.with_pool ~jobs (fun pool ->
+         let i = ref 0 in
+         let stop = ref false in
+         while (not !stop) && !i < case_cap && not (Obs.Deadline.expired deadline)
+         do
+           let wave = min jobs (case_cap - !i) in
+           let base = !i in
+           let outs =
+             Par.Pool.map pool ~deadline
+               ~f:(fun idx -> run_case ~config ~deadline ~inject:None idx)
+               (Array.init wave (fun k -> base + k))
+           in
+           Array.iter
+             (fun o ->
+               match o with
+               | Some o when not !stop -> consume o
+               | _ -> stop := true)
+             outs;
+           i := base + wave
+         done));
   {
     cases_run = !cases_run;
     checks = !checks;
@@ -387,16 +428,17 @@ let run config =
     failures = !failures;
     shrink_steps = !shrink_steps;
     injected_caught = !caught;
+    jobs;
     elapsed_seconds = Obs.Clock.now () -. t0;
   }
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "@[<v>fuzz: %d cases in %.1fs@,\
+    "@[<v>fuzz: %d cases in %.1fs (jobs %d)@,\
      oracle: %d checks, %d splits@,\
      optimizer: %d accepted substitutions@,\
      failures: %d (shrink steps %d)@,"
-    r.cases_run r.elapsed_seconds r.checks r.oracle_splits r.accepts
+    r.cases_run r.elapsed_seconds r.jobs r.checks r.oracle_splits r.accepts
     (List.length r.failures) r.shrink_steps;
   List.iter
     (fun f ->
@@ -417,6 +459,7 @@ let report_to_json r =
       ("accepts", Json.Int r.accepts);
       ("shrink_steps", Json.Int r.shrink_steps);
       ("injected_caught", Json.Bool r.injected_caught);
+      ("jobs", Json.Int r.jobs);
       ("elapsed_seconds", Json.Float r.elapsed_seconds);
       ( "failures",
         Json.List

@@ -34,11 +34,16 @@ type config = {
           later cases until it is actually consumed), with the guard
           disabled, so the end-to-end properties must catch it *)
   shrink_max_steps : int;
+  jobs : int;
+      (** run cases on a [Par.Pool], one case per domain, consumed in
+          case order — reports are identical at any job count.  Forced
+          to 1 when [inject] is set (the one-shot fault is
+          process-global) or when nested inside a pool task. *)
 }
 
 val default_config : config
 (** seed 1, unbounded cases, 20 s budget, [max_ins] 10, 6 candidates,
-    4 words, no out dir, no injection, 400 shrink steps. *)
+    4 words, no out dir, no injection, 400 shrink steps, 1 job. *)
 
 type failure = {
   case : int;
@@ -57,6 +62,7 @@ type report = {
   failures : failure list;
   shrink_steps : int;
   injected_caught : bool; (** the armed fault was consumed and detected *)
+  jobs : int;             (** executors actually used *)
   elapsed_seconds : float;
 }
 

@@ -1,10 +1,11 @@
-type counter = { mutable count : int }
-type gauge = { mutable gvalue : float }
+type counter = { cname : string; mutable count : int }
+type gauge = { gname : string; mutable gvalue : float }
 
 let num_buckets = 64
 let bucket_base = 1e-6 (* 1 microsecond *)
 
 type histogram = {
+  hname : string;
   mutable obs_count : int;
   mutable obs_sum : float;
   bins : int array;
@@ -12,44 +13,110 @@ type histogram = {
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
+(* The process-global registry.  Only ever touched from the domain that
+   owns the run (the "main" domain): worker domains spawned by
+   [Par.Pool] write through a shard installed in domain-local storage
+   instead, and shards are merged back on the main domain at commit
+   points.  That discipline — not a lock — is what makes the registry
+   domain-safe. *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
-let counter name =
-  match Hashtbl.find_opt registry name with
+(* ------------------------------------------------------------------ *)
+(* Shards: domain-local collectors for worker domains.                 *)
+(* ------------------------------------------------------------------ *)
+
+type shard = (string, metric) Hashtbl.t
+
+let shard_key : shard option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let create_shard () : shard = Hashtbl.create 16
+let current_shard () = Domain.DLS.get shard_key
+
+let install_shard sh =
+  let prev = Domain.DLS.get shard_key in
+  Domain.DLS.set shard_key (Some sh);
+  prev
+
+let restore_shard prev = Domain.DLS.set shard_key prev
+
+let kind_error name what =
+  invalid_arg ("Obs.Metrics: " ^ name ^ " already registered, not a " ^ what)
+
+let counter_in tbl name =
+  match Hashtbl.find_opt tbl name with
   | Some (Counter c) -> c
-  | Some _ ->
-    invalid_arg ("Obs.Metrics: " ^ name ^ " already registered, not a counter")
+  | Some _ -> kind_error name "counter"
   | None ->
-    let c = { count = 0 } in
-    Hashtbl.add registry name (Counter c);
+    let c = { cname = name; count = 0 } in
+    Hashtbl.add tbl name (Counter c);
     c
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let counter_value c = c.count
-
-let gauge name =
-  match Hashtbl.find_opt registry name with
+let gauge_in tbl name =
+  match Hashtbl.find_opt tbl name with
   | Some (Gauge g) -> g
-  | Some _ ->
-    invalid_arg ("Obs.Metrics: " ^ name ^ " already registered, not a gauge")
+  | Some _ -> kind_error name "gauge"
   | None ->
-    let g = { gvalue = 0.0 } in
-    Hashtbl.add registry name (Gauge g);
+    let g = { gname = name; gvalue = 0.0 } in
+    Hashtbl.add tbl name (Gauge g);
     g
 
-let set_gauge g v = g.gvalue <- v
-let gauge_value g = g.gvalue
+let histogram_in tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_error name "histogram"
+  | None ->
+    let h =
+      { hname = name; obs_count = 0; obs_sum = 0.0; bins = Array.make num_buckets 0 }
+    in
+    Hashtbl.add tbl name (Histogram h);
+    h
+
+(* Get-or-create resolves against the installed shard when there is
+   one, so instrumentation running inside a pool task never writes the
+   global Hashtbl. *)
+let counter name =
+  match current_shard () with
+  | Some sh -> counter_in sh name
+  | None -> counter_in registry name
+
+let gauge name =
+  match current_shard () with
+  | Some sh -> gauge_in sh name
+  | None -> gauge_in registry name
 
 let histogram name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) -> h
-  | Some _ ->
-    invalid_arg ("Obs.Metrics: " ^ name ^ " already registered, not a histogram")
-  | None ->
-    let h = { obs_count = 0; obs_sum = 0.0; bins = Array.make num_buckets 0 } in
-    Hashtbl.add registry name (Histogram h);
-    h
+  match current_shard () with
+  | Some sh -> histogram_in sh name
+  | None -> histogram_in registry name
+
+(* Write paths re-resolve by name when a shard is installed: handles
+   are hoisted at module init on the main domain, but the update must
+   land in the current domain's collector. *)
+let incr c =
+  match current_shard () with
+  | None -> c.count <- c.count + 1
+  | Some sh ->
+    let c' = counter_in sh c.cname in
+    c'.count <- c'.count + 1
+
+let add c n =
+  match current_shard () with
+  | None -> c.count <- c.count + n
+  | Some sh ->
+    let c' = counter_in sh c.cname in
+    c'.count <- c'.count + n
+
+let counter_value c = c.count
+
+let set_gauge g v =
+  match current_shard () with
+  | None -> g.gvalue <- v
+  | Some sh ->
+    let g' = gauge_in sh g.gname in
+    g'.gvalue <- v
+
+let gauge_value g = g.gvalue
 
 let bucket_of v =
   if v <= bucket_base then 0
@@ -59,11 +126,16 @@ let bucket_of v =
 
 let bucket_upper i = bucket_base *. Float.pow 2.0 (float_of_int i)
 
-let observe h v =
+let observe_in h v =
   h.obs_count <- h.obs_count + 1;
   h.obs_sum <- h.obs_sum +. v;
   let i = bucket_of v in
   h.bins.(i) <- h.bins.(i) + 1
+
+let observe h v =
+  match current_shard () with
+  | None -> observe_in h v
+  | Some sh -> observe_in (histogram_in sh h.hname) v
 
 let histogram_count h = h.obs_count
 let histogram_sum h = h.obs_sum
@@ -74,6 +146,33 @@ let histogram_buckets h =
     if h.bins.(i) > 0 then acc := (bucket_upper i, h.bins.(i)) :: !acc
   done;
   !acc
+
+let sorted_names tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+(* Merge is additive for counters and histograms, last-write for
+   gauges, and registers any name the shard created.  Iterating
+   name-sorted makes the merge order — and therefore the global
+   floating-point sums — independent of Hashtbl layout. *)
+let merge_shard (sh : shard) =
+  (match current_shard () with
+  | Some _ -> invalid_arg "Obs.Metrics.merge_shard: a shard is installed"
+  | None -> ());
+  List.iter
+    (fun name ->
+      match Hashtbl.find sh name with
+      | Counter c ->
+        let g = counter_in registry name in
+        g.count <- g.count + c.count
+      | Gauge gv ->
+        let g = gauge_in registry name in
+        g.gvalue <- gv.gvalue
+      | Histogram h ->
+        let g = histogram_in registry name in
+        g.obs_count <- g.obs_count + h.obs_count;
+        g.obs_sum <- g.obs_sum +. h.obs_sum;
+        Array.iteri (fun i n -> g.bins.(i) <- g.bins.(i) + n) h.bins)
+    (sorted_names sh)
 
 let reset () =
   Hashtbl.iter
@@ -94,8 +193,7 @@ let find name =
   | Some (Histogram h) -> Some (`Histogram (h.obs_count, h.obs_sum))
   | None -> None
 
-let names () =
-  Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort compare
+let names () = sorted_names registry
 
 let pp_duration fmt s =
   if s < 1e-3 then Format.fprintf fmt "%.1fus" (s *. 1e6)

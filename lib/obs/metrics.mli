@@ -8,8 +8,15 @@
     zero — which lets the optimizer delta-measure a single run without
     invalidating cached handles elsewhere.
 
-    Everything here is single-threaded, like the rest of the code
-    base. *)
+    {b Domain safety.}  The global registry is owned by the main
+    domain and is never written concurrently.  Code running inside a
+    [Par.Pool] task executes with a {!shard} installed in domain-local
+    storage: every write ({!incr}, {!add}, {!set_gauge}, {!observe})
+    and every get-or-create resolves against that shard instead of the
+    registry.  Shards are merged back into the registry on the main
+    domain — deterministically, name-sorted — when the task's result
+    is consumed, so a parallel run's registry is identical to the
+    sequential run's. *)
 
 type counter
 type gauge
@@ -66,3 +73,29 @@ val dump : Format.formatter -> unit -> unit
 
 val to_json : unit -> Json.t
 (** The whole registry as one JSON object keyed by metric name. *)
+
+(** {2 Shards}
+
+    Per-task collectors for worker domains.  A worker installs a shard
+    before running user code and restores the previous state after;
+    while installed, all metric writes in that domain land in the
+    shard.  [Par.Pool] owns this protocol (via [Obs.Collector]) —
+    application code never needs it directly. *)
+
+type shard
+
+val create_shard : unit -> shard
+
+val install_shard : shard -> shard option
+(** Install in the current domain; returns the previously installed
+    shard (to be passed back to {!restore_shard}). *)
+
+val restore_shard : shard option -> unit
+
+val merge_shard : shard -> unit
+(** Fold a shard into the global registry: counters and histograms
+    add, gauges take the shard's last value, names the shard created
+    are registered.  Iteration is name-sorted so merge results are
+    independent of hash layout.  Must be called with no shard
+    installed (i.e. on the main domain, outside any task).
+    @raise Invalid_argument otherwise. *)

@@ -61,14 +61,51 @@ let set_sink s =
 let close_sink () = set_sink null_sink
 let active () = not !current_sink.is_null
 
-(* innermost-first; reversed when an event captures its path *)
-let span_stack : string list ref = ref []
+(* innermost-first; reversed when an event captures its path.  Kept in
+   domain-local storage so worker domains never share a stack; within a
+   domain, pool tasks additionally swap in a fresh stack (see
+   [activate_buffer]) so a caller-helping main domain does not leak its
+   own span path into the task's events. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let current_path () = List.rev !span_stack
+let span_stack () = Domain.DLS.get stack_key
+let current_path () = List.rev !(span_stack ())
+
+(* Per-task event buffer.  While installed, events queue up in memory
+   instead of reaching the (main-domain-owned, not thread-safe) sink;
+   the pool flushes them on the main domain when the task's result is
+   consumed, in commit order. *)
+type buffer = { mutable events : event list (* newest first *) }
+
+let buffer_key : buffer option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let create_buffer () = { events = [] }
+
+type saved_context = { prev_stack : string list ref; prev_buffer : buffer option }
+
+let activate_buffer b =
+  let saved =
+    { prev_stack = Domain.DLS.get stack_key; prev_buffer = Domain.DLS.get buffer_key }
+  in
+  Domain.DLS.set stack_key (ref []);
+  Domain.DLS.set buffer_key (Some b);
+  saved
+
+let deactivate_buffer saved =
+  Domain.DLS.set stack_key saved.prev_stack;
+  Domain.DLS.set buffer_key saved.prev_buffer
+
+let flush_buffer b =
+  List.iter (fun e -> !current_sink.emit e) (List.rev b.events);
+  b.events <- []
 
 let emit name fields =
-  !current_sink.emit
-    { ts = Clock.since_start (); name; path = current_path (); fields }
+  let e = { ts = Clock.since_start (); name; path = current_path (); fields } in
+  match Domain.DLS.get buffer_key with
+  | Some b -> b.events <- e :: b.events
+  | None -> !current_sink.emit e
 
 let event name fields = if active () then emit name fields
 let event_f name mk_fields = if active () then emit name (mk_fields ())
@@ -78,14 +115,17 @@ let span_histogram name = Metrics.histogram ("span." ^ name)
 let with_span ?(fields = []) name f =
   let h = span_histogram name in
   let t0 = Clock.now () in
-  span_stack := name :: !span_stack;
+  (* capture the ref: the finally-pop must hit the same stack even if a
+     pool task swaps the domain's stack while [f] runs (caller help) *)
+  let st = span_stack () in
+  st := name :: !st;
   if active () then emit "span_begin" fields;
   Fun.protect
     ~finally:(fun () ->
       let dt = Clock.now () -. t0 in
       Metrics.observe h dt;
       if active () then emit "span_end" (("dur_s", Float dt) :: fields);
-      span_stack := List.tl !span_stack)
+      st := List.tl !st)
     f
 
 let span_seconds name = Metrics.histogram_sum (span_histogram name)

@@ -82,3 +82,29 @@ val span_count : string -> int
 
 val json_of_event : event -> Json.t
 (** The JSONL encoding, exposed so consumers can re-serialize. *)
+
+(** {2 Per-task buffers}
+
+    Sinks are owned by the main domain and are not thread-safe.  A
+    [Par.Pool] task therefore runs with a {!buffer} activated in
+    domain-local storage: its events (and a fresh, empty span stack)
+    are captured in memory and only reach the sink when the pool
+    flushes the buffer — on the main domain, in deterministic commit
+    order.  Application code never needs this API directly; it is the
+    [Obs.Collector] half that pairs with {!Metrics.shard}s. *)
+
+type buffer
+
+val create_buffer : unit -> buffer
+
+type saved_context
+
+val activate_buffer : buffer -> saved_context
+(** Route this domain's events into [b] and swap in an empty span
+    stack; returns the previous state for {!deactivate_buffer}. *)
+
+val deactivate_buffer : saved_context -> unit
+
+val flush_buffer : buffer -> unit
+(** Replay buffered events (oldest first) into the current sink and
+    empty the buffer.  Call on the main domain only. *)

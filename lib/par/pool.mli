@@ -1,0 +1,111 @@
+(** A fixed-size domain pool with {b deterministic} fan-out.
+
+    The contract that everything downstream (optimizer, simulator,
+    fuzzer, bench) relies on: for the same inputs, a run at any
+    [jobs] produces byte-identical observable state — return values,
+    metric counters and sums, trace events, and therefore report JSON
+    and emitted BLIF — as [jobs = 1].  The pool delivers this with a
+    speculate/commit protocol:
+
+    - {!speculate} runs an array of closures in parallel (a barrier);
+      each body executes in a worker domain under a private
+      [Obs.Collector], so no global observability state is touched
+      concurrently.
+    - The caller then walks the outcomes {e in index order} and either
+      {!commit}s one (merge collector, take the value or re-raise the
+      task's exception) or {!discard}s it (speculation invalidated —
+      e.g. a lower-ranked candidate was accepted first, or the item
+      was screened out).  Work the sequential algorithm would never
+      have performed leaves no observable trace.
+
+    [jobs = 1] spawns no domains and runs everything inline; it is the
+    reference semantics. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] executors: [jobs - 1] worker domains plus
+    the submitting domain, which helps drain the queue during a
+    barrier.  [jobs] defaults to {!default_jobs} and is clamped to at
+    least 1. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())]. *)
+
+val shutdown : t -> unit
+(** Stop and join all worker domains.  Idempotent.  Submitting to a
+    shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], exception safe. *)
+
+val in_task : unit -> bool
+(** True while executing inside a pool task (in any domain).  Code
+    that may run both standalone and inside a task — the optimizer
+    invoked by a fuzz case, say — uses this to force [jobs = 1] and
+    avoid nested submission. *)
+
+(** {2 Speculation} *)
+
+type 'b speculation
+
+val speculate :
+  t -> ?deadline:Obs.Deadline.t -> (unit -> 'b) array -> 'b speculation array
+(** Run every closure, in parallel, to completion (a barrier), each
+    under a private [Obs.Collector].  A task not yet started when
+    [deadline] expires is cancelled and never runs; running tasks are
+    not interrupted (cancellation is cooperative — poll the deadline
+    in the body).  @raise Invalid_argument from inside a pool task
+    (nested submission) or after {!shutdown}. *)
+
+val commit : 'b speculation -> 'b option
+(** Consume one outcome on the main domain: merge its collector into
+    the global metrics/trace state, then return [Some value], re-raise
+    the task's exception (original backtrace preserved), or return
+    [None] if it was cancelled.  Call in index order for determinism;
+    committing twice double-merges — each speculation is consumed at
+    most once. *)
+
+val discard : _ speculation -> unit
+(** Drop an outcome without merging its collector. *)
+
+val cancelled : _ speculation -> bool
+
+(** {2 Deterministic combinators} *)
+
+val map : t -> ?deadline:Obs.Deadline.t -> f:('a -> 'b) -> 'a array -> 'b option array
+(** Parallel map; outcomes committed left-to-right.  [None] marks a
+    cancelled element.  If a task raised, the exception surfaces at
+    its index position (later collectors are discarded). *)
+
+val map_reduce :
+  t ->
+  ?deadline:Obs.Deadline.t ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** Parallel map, sequential left-to-right reduce on the caller —
+    the fold order (and any floating-point accumulation) equals the
+    sequential one.  Cancelled elements are skipped. *)
+
+val find_first_accept :
+  t ->
+  ?chunk:int ->
+  ?deadline:Obs.Deadline.t ->
+  check:(int -> 'a -> 'b) ->
+  screen:(int -> 'a -> bool) ->
+  commit:(int -> 'a -> 'b -> 'c option) ->
+  'a array ->
+  'c option
+(** The optimizer's accept pattern, generalized: speculatively [check]
+    items in chunks of [chunk] (default [jobs t]), then walk each
+    chunk in index order — items failing [screen] are skipped (their
+    check result discarded), otherwise [commit] consumes the check's
+    result and may accept.  The first accept wins; remaining
+    speculation in the chunk is rolled back and no later item is
+    checked.  Equivalent to the sequential
+    [screen → check → commit] loop over the array. *)

@@ -29,6 +29,7 @@ type config = {
   verify_words : int;
   checkpoint_every : int;
   checkpoint_file : string option;
+  jobs : int;
 }
 
 let default_config =
@@ -54,6 +55,7 @@ let default_config =
     verify_words = 8;
     checkpoint_every = 0;
     checkpoint_file = None;
+    jobs = 1;
   }
 
 module Trace = Obs.Trace
@@ -86,6 +88,7 @@ type report = {
   degradation_level : int;
   stopped_by : string;
   rounds : int;
+  jobs : int;
   phase_seconds : (string * float) list;
   cpu_seconds : float;
 }
@@ -140,7 +143,7 @@ let klass_of_name name =
    ladder escalates one level. *)
 let escalate_after_timeouts = 3
 
-let optimize ?(config = default_config) ?resume circ =
+let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
   let t0 = Obs.Clock.now () in
   (* span histograms are process-global; remember their current sums so
      this run's phase breakdown is a delta, not a lifetime total *)
@@ -161,7 +164,8 @@ let optimize ?(config = default_config) ?resume circ =
         ("Optimizer.optimize: cannot resume: " ^ Blif.Blif_io.error_to_string e)));
   let prob_of pi = config.input_prob (Circuit.name circ pi) in
   let eng = ref (Engine.create circ ~words:config.words) in
-  Engine.randomize !eng ~input_probs:prob_of (Sim.Rng.create config.seed);
+  Engine.randomize_sharded ~input_probs:prob_of ?pool:dom_pool
+    ~seed:config.seed !eng;
   let est = ref (Estimator.create !eng) in
   let initial_power =
     match resume with
@@ -254,7 +258,8 @@ let optimize ?(config = default_config) ?resume circ =
      identical rebuild at every barrier. *)
   let rebuild_engines () =
     eng := Engine.create circ ~words:config.words;
-    Engine.randomize !eng ~input_probs:prob_of (Sim.Rng.create config.seed);
+    Engine.randomize_sharded ~input_probs:prob_of ?pool:dom_pool
+      ~seed:config.seed !eng;
     est := Estimator.create !eng;
     cex_eng := Engine.create circ ~words:cex_words;
     Engine.randomize !cex_eng ~input_probs:prob_of
@@ -439,147 +444,303 @@ let optimize ?(config = default_config) ?resume circ =
               ("cand", Trace.String (Subst.describe circ s));
             ])
       in
-      let rec attempt = function
-        | [] -> `Tried ranked
-        | _ when Deadline.expired run_deadline ->
+      (* The budget/ladder guards checked before every candidate, in
+         this exact order, by both the sequential and the speculative
+         walk. *)
+      let walk_status () =
+        if Deadline.expired run_deadline then begin
           Guard.count_error Guard.Budget_exhausted;
           stopped_by := "run_budget";
           `Stop
-        | _ when Deadline.expired !round_deadline ->
+        end
+        else if Deadline.expired !round_deadline then begin
           Guard.count_error Guard.Budget_exhausted;
           `Round_over
-        | _ when not !continue_ -> `Stop
-        | (rank, i, s, g) :: rest -> (
-          used.(i) <- true;
-          let delay_fine =
-            match constraint_ with
-            | None -> true
-            | Some _ -> Subst.delay_ok !sta s
+        end
+        else if not !continue_ then `Stop
+        else `Go
+      in
+      (* Cheap screens before the exact proof; marks the candidate used
+         either way and counts the check when it survives. *)
+      let screened_out rank i s =
+        used.(i) <- true;
+        let delay_fine =
+          match constraint_ with
+          | None -> true
+          | Some _ -> Subst.delay_ok !sta s
+        in
+        if not delay_fine then begin
+          incr rej_delay;
+          reject rank s "delay";
+          true
+        end
+        else if Check.refuted_on_patterns !cex_eng s then begin
+          incr rej_cex;
+          reject rank s "cex";
+          true
+        end
+        else begin
+          incr checks;
+          false
+        end
+      in
+      (* The exact proof itself: reads the (frozen) circuit only, so it
+         is safe to run speculatively in a worker domain. *)
+      let run_check ~backtrack_limit ~deadline s =
+        match
+          Check.permissible ~backtrack_limit
+            ~exhaustive_limit:config.exhaustive_limit
+            ~engine:config.check_engine ~deadline circ s
+        with
+        | v -> v
+        | exception Invalid_argument _ ->
+          Check.Gave_up { engine = "check"; limit = "invalid" }
+      in
+      (* Everything downstream of a verdict — apply, stats, cex
+         injection, ladder — runs on the main domain at consumption
+         time. *)
+      let consume_verdict rank s g verdict =
+        (* test-only fault: report a refuted candidate as permissible
+           so the transactional apply must catch it downstream *)
+        let verdict =
+          match verdict with
+          | Check.Not_permissible _ when Guard.take_fault Guard.Forge_verdict ->
+            Check.Permissible
+          | v -> v
+        in
+        match verdict with
+        | Check.Permissible -> (
+          consecutive_timeouts := 0;
+          let power_before = Estimator.total !est in
+          let area_before = Circuit.area circ in
+          let desc = if Trace.active () then Subst.describe circ s else "" in
+          let outcome =
+            Trace.with_span "apply" (fun () ->
+                match !guard with
+                | Some v -> (
+                  match Guard.transactional_apply v circ s with
+                  | Guard.Applied src ->
+                    incr verified_applies;
+                    Estimator.update_after_edit !est src;
+                    Engine.resim_tfo !cex_eng src;
+                    `Ok src
+                  | Guard.Rolled_back err -> `Rolled_back err)
+                | None ->
+                  let src = Subst.apply circ s in
+                  Estimator.update_after_edit !est src;
+                  Engine.resim_tfo !cex_eng src;
+                  `Ok src)
           in
-          if not delay_fine then begin
-            incr rej_delay;
-            reject rank s "delay";
-            attempt rest
-          end
-          else if Check.refuted_on_patterns !cex_eng s then begin
-            incr rej_cex;
-            reject rank s "cex";
-            attempt rest
+          match outcome with
+          | `Rolled_back err ->
+            incr rolled_back;
+            Trace.event_f "rollback" (fun () ->
+                [
+                  ("error", Trace.String (Guard.error_name err));
+                  ("rank", Trace.Int rank);
+                  ("cand", Trace.String (Subst.describe circ s));
+                ]);
+            log (fun m ->
+                m "rolled back %s (%s)" (Subst.describe circ s)
+                  (Guard.error_name err));
+            `Continue
+          | `Ok _src ->
+            sta := analyze_timed ?required_time:constraint_ circ;
+            incr substitutions;
+            let realized = power_before -. Estimator.total !est in
+            let area_delta = area_before -. Circuit.area circ in
+            let k = Subst.klass s in
+            let st = Hashtbl.find stats k in
+            Hashtbl.replace stats k
+              {
+                accepted = st.accepted + 1;
+                power_gain = st.power_gain +. realized;
+                area_gain = st.area_gain +. area_delta;
+              };
+            Trace.event_f "accept" (fun () ->
+                [
+                  ("class", Trace.String (Subst.klass_name k));
+                  ("rank", Trace.Int rank);
+                  ("est_gain", Trace.Float (Subst.total_gain g));
+                  ("realized_gain", Trace.Float realized);
+                  ("area_delta", Trace.Float area_delta);
+                  ("cand", Trace.String desc);
+                ]);
+            log (fun m ->
+                m "accepted %s (gain %.4f)" (Subst.describe circ s)
+                  (Subst.total_gain g));
+            `Accepted)
+        | Check.Not_permissible cex ->
+          consecutive_timeouts := 0;
+          incr rej_atpg;
+          reject rank s "atpg";
+          inject_cex cex;
+          `Continue
+        | Check.Gave_up { engine; limit } ->
+          bump_giveup (engine ^ "/" ^ limit);
+          if String.equal limit "deadline" then begin
+            incr rej_timeout;
+            Guard.count_error Guard.Check_timeout;
+            reject rank s "timeout";
+            incr consecutive_timeouts;
+            if !consecutive_timeouts >= escalate_after_timeouts then begin
+              consecutive_timeouts := 0;
+              escalate "check-deadline"
+            end;
+            `Continue
           end
           else begin
-            incr checks;
-            let verdict =
-              Trace.with_span "exact-check" (fun () ->
-                  match
-                    Check.permissible
-                      ~backtrack_limit:(effective_backtrack_limit ())
-                      ~exhaustive_limit:config.exhaustive_limit
-                      ~engine:config.check_engine ~deadline:(check_deadline ())
-                      circ s
-                  with
-                  | v -> v
-                  | exception Invalid_argument _ ->
-                    Check.Gave_up { engine = "check"; limit = "invalid" })
-            in
-            (* test-only fault: report a refuted candidate as permissible
-               so the transactional apply must catch it downstream *)
-            let verdict =
-              match verdict with
-              | Check.Not_permissible _
-                when Guard.take_fault Guard.Forge_verdict ->
-                Check.Permissible
-              | v -> v
-            in
-            match verdict with
-            | Check.Permissible -> (
-              consecutive_timeouts := 0;
-              let power_before = Estimator.total !est in
-              let area_before = Circuit.area circ in
-              let desc = if Trace.active () then Subst.describe circ s else "" in
-              let outcome =
-                Trace.with_span "apply" (fun () ->
-                    match !guard with
-                    | Some v -> (
-                      match Guard.transactional_apply v circ s with
-                      | Guard.Applied src ->
-                        incr verified_applies;
-                        Estimator.update_after_edit !est src;
-                        Engine.resim_tfo !cex_eng src;
-                        `Ok src
-                      | Guard.Rolled_back err -> `Rolled_back err)
-                    | None ->
-                      let src = Subst.apply circ s in
-                      Estimator.update_after_edit !est src;
-                      Engine.resim_tfo !cex_eng src;
-                      `Ok src)
-              in
-              match outcome with
-              | `Rolled_back err ->
-                incr rolled_back;
-                Trace.event_f "rollback" (fun () ->
-                    [
-                      ("error", Trace.String (Guard.error_name err));
-                      ("rank", Trace.Int rank);
-                      ("cand", Trace.String (Subst.describe circ s));
-                    ]);
-                log (fun m ->
-                    m "rolled back %s (%s)" (Subst.describe circ s)
-                      (Guard.error_name err));
-                attempt rest
-              | `Ok _src ->
-                sta := analyze_timed ?required_time:constraint_ circ;
-                incr substitutions;
-                let realized = power_before -. Estimator.total !est in
-                let area_delta = area_before -. Circuit.area circ in
-                let k = Subst.klass s in
-                let st = Hashtbl.find stats k in
-                Hashtbl.replace stats k
-                  {
-                    accepted = st.accepted + 1;
-                    power_gain = st.power_gain +. realized;
-                    area_gain = st.area_gain +. area_delta;
-                  };
-                Trace.event_f "accept" (fun () ->
-                    [
-                      ("class", Trace.String (Subst.klass_name k));
-                      ("rank", Trace.Int rank);
-                      ("est_gain", Trace.Float (Subst.total_gain g));
-                      ("realized_gain", Trace.Float realized);
-                      ("area_delta", Trace.Float area_delta);
-                      ("cand", Trace.String desc);
-                    ]);
-                log (fun m ->
-                    m "accepted %s (gain %.4f)" (Subst.describe circ s)
-                      (Subst.total_gain g));
-                `Accepted)
-            | Check.Not_permissible cex ->
-              consecutive_timeouts := 0;
-              incr rej_atpg;
-              reject rank s "atpg";
-              inject_cex cex;
-              attempt rest
-            | Check.Gave_up { engine; limit } ->
-              bump_giveup (engine ^ "/" ^ limit);
-              if String.equal limit "deadline" then begin
-                incr rej_timeout;
-                Guard.count_error Guard.Check_timeout;
-                reject rank s "timeout";
-                incr consecutive_timeouts;
-                if !consecutive_timeouts >= escalate_after_timeouts then begin
-                  consecutive_timeouts := 0;
-                  escalate "check-deadline"
-                end;
-                attempt rest
-              end
-              else begin
-                consecutive_timeouts := 0;
-                incr rej_giveup;
-                reject rank s "giveup";
-                attempt rest
-              end
-          end)
+            consecutive_timeouts := 0;
+            incr rej_giveup;
+            reject rank s "giveup";
+            `Continue
+          end
       in
-      attempt refined
+      let attempt_seq refined =
+        let rec attempt = function
+          | [] -> `Tried ranked
+          | (rank, i, s, g) :: rest -> (
+            match walk_status () with
+            | (`Stop | `Round_over) as st -> st
+            | `Go -> (
+              if screened_out rank i s then attempt rest
+              else
+                let verdict =
+                  Trace.with_span "exact-check" (fun () ->
+                      run_check
+                        ~backtrack_limit:(effective_backtrack_limit ())
+                        ~deadline:(check_deadline ()) s)
+                in
+                match consume_verdict rank s g verdict with
+                | `Accepted -> `Accepted
+                | `Continue -> attempt rest))
+        in
+        attempt refined
+      in
+      (* Speculative parallel walk.  A side-effect-free copy of the
+         cheap screens selects, in rank order, the next [jobs]
+         candidates the sequential walk would actually exact-check —
+         without it the pool would burn a full check on every candidate
+         the counterexample screens kill for free, hundreds per accept
+         on the larger circuits.  Those are checked in parallel against
+         the frozen circuit, each under a private collector; the commit
+         walk then replays the exact sequential protocol over {e every}
+         candidate in the scanned window — budget guards, [used]
+         marking, the authoritative counting screens, counterexample
+         injection, accept short-circuit — consuming each speculation
+         (merging its collector, taking its verdict) only where the
+         sequential run would have checked it.  A refutation mid-chunk
+         tightens the cex screen, so a later speculated candidate may
+         now be screened: its speculation is discarded unmerged, like
+         everything behind an accept — the parallel run leaves exactly
+         the observable state of the sequential one.  The barrier-level
+         "exact-check" span is recorded on the main domain, so
+         [phase_seconds] measures the phase's wall clock — that is
+         where the [--jobs] speedup shows up. *)
+      let attempt_par p refined =
+        let items = Array.of_list refined in
+        let n = Array.length items in
+        let chunk = Par.Pool.jobs p in
+        (* pre-warm the lazy topo cache: speculative checkers clone the
+           circuit and must not race on its memoized traversal *)
+        ignore (Circuit.topo_order circ);
+        let prescreen s =
+          (match constraint_ with
+          | None -> true
+          | Some _ -> Subst.delay_ok !sta s)
+          && not (Check.refuted_on_patterns !cex_eng s)
+        in
+        let result = ref None in
+        let pos = ref 0 in
+        while !result = None && !pos < n do
+          (* select the next [chunk] candidates passing the current
+             screens; the window [pos, scan) still gets walked in full
+             rank order below *)
+          let sel = ref [] and nsel = ref 0 and scan = ref !pos in
+          while !nsel < chunk && !scan < n do
+            let _, _, s, _ = items.(!scan) in
+            if prescreen s then begin
+              sel := !scan :: !sel;
+              incr nsel
+            end;
+            incr scan
+          done;
+          let sel = Array.of_list (List.rev !sel) in
+          (* ladder state and per-check deadlines are sampled at
+             submission, on the main domain, in rank order *)
+          let bl = effective_backtrack_limit () in
+          let tasks =
+            Array.map
+              (fun idx ->
+                let _, _, s, _ = items.(idx) in
+                let deadline = check_deadline () in
+                fun () -> run_check ~backtrack_limit:bl ~deadline s)
+              sel
+          in
+          let specs =
+            if Array.length tasks = 0 then [||]
+            else
+              Trace.with_span "exact-check" (fun () ->
+                  Par.Pool.speculate p tasks)
+          in
+          let k = ref 0 in
+          let i = ref !pos in
+          while !result = None && !i < !scan do
+            let rank, ci, s, g = items.(!i) in
+            let speculated = !k < Array.length sel && sel.(!k) = !i in
+            (match walk_status () with
+            | (`Stop | `Round_over) as st -> result := Some st
+            | `Go ->
+              if screened_out rank ci s then begin
+                if speculated then begin
+                  Par.Pool.discard specs.(!k);
+                  incr k
+                end
+              end
+              else
+                let verdict =
+                  if speculated then begin
+                    let v =
+                      match Par.Pool.commit specs.(!k) with
+                      | Some v -> v
+                      | None ->
+                        (* unreachable — [speculate] gets no deadline —
+                           but degrade to an inline check, not assert *)
+                        run_check ~backtrack_limit:bl
+                          ~deadline:(check_deadline ()) s
+                    in
+                    incr k;
+                    v
+                  end
+                  else
+                    (* pre-screened out, yet the authoritative screen
+                       passed (screens only tighten, so this is dead
+                       code today): fall back to the sequential walk's
+                       inline check *)
+                    Trace.with_span "exact-check" (fun () ->
+                        run_check
+                          ~backtrack_limit:(effective_backtrack_limit ())
+                          ~deadline:(check_deadline ()) s)
+                in
+                (match consume_verdict rank s g verdict with
+                | `Accepted -> result := Some `Accepted
+                | `Continue -> ()));
+            incr i
+          done;
+          (* roll back whatever the walk did not consume — everything
+             behind an accept, a budget stop, or a tightened screen *)
+          while !k < Array.length sel do
+            Par.Pool.discard specs.(!k);
+            incr k
+          done;
+          pos := !scan
+        done;
+        match !result with Some st -> st | None -> `Tried ranked
+      in
+      (match dom_pool with
+      | Some p when List.compare_length_with refined 1 > 0 ->
+        attempt_par p refined
+      | _ -> attempt_seq refined)
   in
   while
     !continue_ && !rounds < config.max_rounds
@@ -737,9 +898,21 @@ let optimize ?(config = default_config) ?resume circ =
     degradation_level = !degradation;
     stopped_by = !stopped_by;
     rounds = !rounds;
+    jobs;
     phase_seconds;
     cpu_seconds = Obs.Clock.now () -. t0;
   }
+
+(* The pool is created here (not in [optimize_with]) so its lifetime
+   brackets the whole run and it is joined even when the run raises.
+   Inside a pool task — the optimizer invoked by a parallel fuzz case —
+   nested submission is illegal, so the run is forced sequential. *)
+let optimize ?(config = default_config) ?resume circ =
+  let jobs = if Par.Pool.in_task () then 1 else max 1 config.jobs in
+  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
+    (fun () -> optimize_with ~pool ~jobs ~config ?resume circ)
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -772,7 +945,7 @@ let pp_report fmt r =
   List.iter
     (fun (n, s) -> Format.fprintf fmt " %s %.3fs" n s)
     r.phase_seconds;
-  Format.fprintf fmt "@,cpu: %.2fs@]" r.cpu_seconds
+  Format.fprintf fmt "@,jobs: %d, cpu: %.2fs@]" r.jobs r.cpu_seconds
 
 let report_to_json r =
   let open Obs.Json in
@@ -825,6 +998,7 @@ let report_to_json r =
               Obj (List.map (fun (k, n) -> (k, Int n)) r.giveup_breakdown) );
           ] );
       ("rounds", Int r.rounds);
+      ("jobs", Int r.jobs);
       ( "phase_seconds",
         Obj (List.map (fun (n, s) -> (n, Float s)) r.phase_seconds) );
       ("cpu_seconds", Float r.cpu_seconds);

@@ -51,6 +51,13 @@ type config = {
       (** canonicalize and (if a file is set) checkpoint every N
           rounds; 0 disables both *)
   checkpoint_file : string option;
+  jobs : int;
+      (** parallel executors for the exact-check phase and signature
+          simulation (a {!Par.Pool} of [jobs - 1] worker domains plus
+          the main domain).  1 (the default) runs fully sequentially
+          and spawns nothing.  Any value produces byte-identical
+          reports, substitutions and final BLIF — see the determinism
+          contract in [Par.Pool]. *)
 }
 
 val default_config : config
@@ -100,6 +107,8 @@ type report = {
       (** ["converged"], ["max_rounds"], ["max_substitutions"],
           ["run_budget"] or ["degradation"] *)
   rounds : int;
+  jobs : int;
+      (** executors actually used (1 when nested inside a pool task) *)
   phase_seconds : (string * float) list;
       (** cumulative wall-clock per phase, keyed by {!phase_names} *)
   cpu_seconds : float;
@@ -135,6 +144,18 @@ val optimize : ?config:config -> ?resume:Checkpoint.t -> Netlist.Circuit.t -> re
     overwritten in place from the checkpointed BLIF, counters and
     counterexamples are restored, and the run proceeds exactly as the
     uninterrupted checkpointing run would have.
+
+    Parallelism: with [jobs > 1] the ranked candidates of each pick are
+    proved permissible speculatively, [jobs] at a time, on a
+    [Par.Pool]; verdicts are consumed in rank order replicating the
+    sequential walk exactly, and speculation invalidated by an accept
+    is discarded together with its observability.  Signature
+    generation uses {!Sim.Engine.randomize_sharded}, whose patterns
+    are independent of the job count.  The resulting report (modulo
+    timing fields), accepted substitutions and final netlist are
+    byte-identical to a [jobs = 1] run; in parallel mode the
+    [exact-check] entry of [phase_seconds] measures the phase's wall
+    clock (one span per speculation barrier instead of one per check).
 
     Telemetry: the run is wrapped in {!Obs.Trace} spans (one per entry
     of {!phase_names}); when a trace sink is installed it emits a

@@ -268,7 +268,7 @@ let test_checkpoint_load_rejects_garbage () =
   | Error _ -> ());
   Sys.remove file
 
-let resume_matches name =
+let resume_matches ?(half_jobs = 1) ?(resume_jobs = 1) name =
   let config =
     { Optimizer.default_config with
       words = 4;
@@ -280,12 +280,18 @@ let resume_matches name =
      — the canonicalization barrier alone defines the trajectory) *)
   let c_ref = mapped name in
   let r_ref = Optimizer.optimize ~config c_ref in
-  (* interrupted: stop at round 2 with a checkpoint file, then resume *)
+  (* interrupted: stop at round 2 with a checkpoint file, then resume
+     — possibly at a different job count than either other run *)
   let file = Filename.temp_file "powder_ck" ".json" in
   let c_half = mapped name in
   let _ =
     Optimizer.optimize
-      ~config:{ config with max_rounds = 2; checkpoint_file = Some file }
+      ~config:
+        { config with
+          jobs = half_jobs;
+          max_rounds = 2;
+          checkpoint_file = Some file;
+        }
       c_half
   in
   let ck =
@@ -295,7 +301,9 @@ let resume_matches name =
   in
   Sys.remove file;
   let c_res = mapped name in
-  let r_res = Optimizer.optimize ~config ~resume:ck c_res in
+  let r_res =
+    Optimizer.optimize ~config:{ config with jobs = resume_jobs } ~resume:ck c_res
+  in
   Alcotest.(check int) "substitutions" r_ref.Optimizer.substitutions
     r_res.Optimizer.substitutions;
   Alcotest.(check int) "rounds" r_ref.Optimizer.rounds r_res.Optimizer.rounds;
@@ -316,6 +324,12 @@ let resume_matches name =
 let test_resume_rd84 () = resume_matches "rd84"
 let test_resume_alu2 () = resume_matches "alu2"
 let test_resume_z5xp1 () = resume_matches "Z5xp1"
+
+(* Checkpoints carry no trace of the job count: interrupt a parallel
+   run, resume at yet another width, still land on the sequential
+   reference trajectory. *)
+let test_resume_jobs_agnostic () =
+  resume_matches ~half_jobs:8 ~resume_jobs:2 "alu2"
 
 let suite =
   [
@@ -348,5 +362,7 @@ let suite =
         Alcotest.test_case "resume matches rd84" `Quick test_resume_rd84;
         Alcotest.test_case "resume matches alu2" `Quick test_resume_alu2;
         Alcotest.test_case "resume matches Z5xp1" `Quick test_resume_z5xp1;
+        Alcotest.test_case "resume is jobs-agnostic" `Quick
+          test_resume_jobs_agnostic;
       ] );
   ]

@@ -1,0 +1,258 @@
+(* The domain pool: deterministic fan-out, exception propagation,
+   cancellation, nested-submission rejection, collector merging — and
+   the end-to-end contract that --jobs N runs are byte-identical to
+   --jobs 1 for both the optimizer and the fuzzer. *)
+
+module Circuit = Netlist.Circuit
+module Optimizer = Powder.Optimizer
+
+exception Boom of int
+
+let mapped name =
+  match Circuits.Suite.find name with
+  | Some spec -> Circuits.Suite.mapped spec
+  | None -> Alcotest.fail (name ^ " missing from suite")
+
+(* Wall-clock spin without Unix: poll a private deadline. *)
+let spin_for seconds =
+  let d = Obs.Deadline.after ~seconds in
+  while not (Obs.Deadline.expired d) do
+    Domain.cpu_relax ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pool combinators.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_basic () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "jobs" 4 (Par.Pool.jobs pool);
+      Alcotest.(check (array (option int))) "empty" [||]
+        (Par.Pool.map pool ~f:Fun.id [||]);
+      Alcotest.(check (array (option int))) "singleton" [| Some 9 |]
+        (Par.Pool.map pool ~f:(fun x -> x * x) [| 3 |]);
+      let n = 37 in
+      let r = Par.Pool.map pool ~f:(fun i -> i * i) (Array.init n Fun.id) in
+      Alcotest.(check int) "length" n (Array.length r);
+      Array.iteri
+        (fun i v -> Alcotest.(check (option int)) "element order" (Some (i * i)) v)
+        r)
+
+let test_jobs1_inline () =
+  Par.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs clamped" 1 (Par.Pool.jobs pool);
+      Alcotest.(check (array (option int))) "inline map"
+        [| Some 2; Some 3; Some 4 |]
+        (Par.Pool.map pool ~f:succ [| 1; 2; 3 |]))
+
+let test_map_reduce_order () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let s =
+        Par.Pool.map_reduce pool ~map:string_of_int
+          ~reduce:(fun acc x -> acc ^ x)
+          ~init:""
+          (Array.init 10 Fun.id)
+      in
+      (* the reduce is non-commutative: any out-of-order fold shows *)
+      Alcotest.(check string) "left-to-right fold" "0123456789" s)
+
+let test_find_first_accept_order () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let committed = ref [] in
+      let result =
+        Par.Pool.find_first_accept pool
+          ~check:(fun i x -> i + x)
+          ~screen:(fun i _ -> i mod 2 = 1)
+          ~commit:(fun i _ v ->
+            committed := i :: !committed;
+            if i >= 5 then Some v else None)
+          (Array.init 12 (fun i -> i * 10))
+      in
+      Alcotest.(check (option int)) "first accept wins" (Some 55) result;
+      (* screened-in items consumed in index order, nothing after the
+         accept — exactly the sequential walk *)
+      Alcotest.(check (list int)) "commit order stops at accept" [ 1; 3; 5 ]
+        (List.rev !committed))
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_exception_propagates_first_index () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Par.Pool.map pool
+          ~f:(fun i -> if i = 1 || i = 3 then raise (Boom i) else i)
+          [| 0; 1; 2; 3; 4 |]
+      with
+      | _ -> Alcotest.fail "exception did not propagate"
+      | exception Boom i ->
+        Alcotest.(check int) "lowest raising index surfaces" 1 i)
+
+let test_exception_discards_later_collectors () =
+  let c = Obs.Metrics.counter "test.par.exn.ctr" in
+  let before = Obs.Metrics.counter_value c in
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Par.Pool.map pool
+          ~f:(fun i ->
+            if i = 1 then raise (Boom i)
+            else Obs.Metrics.incr (Obs.Metrics.counter "test.par.exn.ctr"))
+          [| 0; 1; 2; 3 |]
+      with
+      | _ -> Alcotest.fail "exception did not propagate"
+      | exception Boom 1 ->
+        (* index 0 committed before the raise; 2 and 3 ran but their
+           collectors are dropped with the abandoned walk *)
+        Alcotest.(check int) "only committed work merged" (before + 1)
+          (Obs.Metrics.counter_value c)
+      | exception Boom i -> Alcotest.fail (Printf.sprintf "wrong index %d" i))
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and nesting.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_cancels_unstarted () =
+  Par.Pool.with_pool ~jobs:2 (fun pool ->
+      (* both executors grab a task immediately and hold it past the
+         deadline, so everything behind them is cancelled unstarted *)
+      let deadline = Obs.Deadline.after ~seconds:0.05 in
+      let r =
+        Par.Pool.map pool ~deadline
+          ~f:(fun i ->
+            spin_for 0.15;
+            i)
+          [| 0; 1; 2; 3; 4; 5 |]
+      in
+      Alcotest.(check (option int)) "task 0 ran" (Some 0) r.(0);
+      Alcotest.(check (option int)) "task 1 ran" (Some 1) r.(1);
+      for i = 2 to 5 do
+        Alcotest.(check (option int))
+          (Printf.sprintf "task %d cancelled" i)
+          None r.(i)
+      done)
+
+let test_nested_submit_rejected () =
+  Alcotest.(check bool) "not in a task outside" false (Par.Pool.in_task ());
+  Par.Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Par.Pool.map pool
+          ~f:(fun _ ->
+            if not (Par.Pool.in_task ()) then failwith "in_task false in task";
+            Par.Pool.map pool ~f:Fun.id [| 1 |])
+          [| 0 |]
+      with
+      | _ -> Alcotest.fail "nested submission accepted"
+      | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "flag cleared after" false (Par.Pool.in_task ())
+
+let test_shutdown_rejects_submission () =
+  let pool = Par.Pool.create ~jobs:2 () in
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool;
+  (* idempotent *)
+  match Par.Pool.map pool ~f:Fun.id [| 1 |] with
+  | _ -> Alcotest.fail "submission to shut-down pool accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Collector merging.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_merge () =
+  let c = Obs.Metrics.counter "test.par.merge.ctr" in
+  let g = Obs.Metrics.gauge "test.par.merge.gauge" in
+  let before = Obs.Metrics.counter_value c in
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      ignore
+        (Par.Pool.map pool
+           ~f:(fun i ->
+             Obs.Metrics.add (Obs.Metrics.counter "test.par.merge.ctr") i;
+             Obs.Metrics.set_gauge
+               (Obs.Metrics.gauge "test.par.merge.gauge")
+               (float_of_int i);
+             i)
+           (Array.init 8 Fun.id)));
+  Alcotest.(check int) "counter adds across shards" (before + 28)
+    (Obs.Metrics.counter_value c);
+  (* gauges take the last committed write — index order, so task 7 *)
+  Alcotest.(check (float 0.0)) "gauge last-write in commit order" 7.0
+    (Obs.Metrics.gauge_value g)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism: --jobs N ≡ --jobs 1.                        *)
+(* ------------------------------------------------------------------ *)
+
+let strip_volatile = function
+  | Obs.Json.Obj fields ->
+    Obs.Json.Obj
+      (List.filter
+         (fun (k, _) ->
+           k <> "cpu_seconds" && k <> "phase_seconds" && k <> "jobs"
+           && k <> "elapsed_seconds")
+         fields)
+  | other -> other
+
+let optimize_at ~jobs name =
+  let c = mapped name in
+  let config =
+    { Optimizer.default_config with words = 8; max_rounds = 3; jobs }
+  in
+  let r = Optimizer.optimize ~config c in
+  ( Obs.Json.to_string (strip_volatile (Optimizer.report_to_json r)),
+    Blif.Blif_io.circuit_to_string c )
+
+let optimizer_determinism name () =
+  let j1, b1 = optimize_at ~jobs:1 name in
+  let j4, b4 = optimize_at ~jobs:4 name in
+  Alcotest.(check string) "report identical" j1 j4;
+  Alcotest.(check string) "final netlist identical" b1 b4
+
+let fuzz_at jobs =
+  let config =
+    { Fuzz.Harness.default_config with
+      seed = 7L;
+      cases = 4;
+      budget_seconds = None;
+      jobs;
+    }
+  in
+  Obs.Json.to_string
+    (strip_volatile (Fuzz.Harness.report_to_json (Fuzz.Harness.run config)))
+
+let test_fuzz_determinism () =
+  Alcotest.(check string) "fuzz campaign identical at jobs 1 and 2"
+    (fuzz_at 1) (fuzz_at 2)
+
+let suite =
+  [
+    ( "par",
+      [
+        Alcotest.test_case "map empty/singleton/order" `Quick test_map_basic;
+        Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs1_inline;
+        Alcotest.test_case "map_reduce folds left-to-right" `Quick
+          test_map_reduce_order;
+        Alcotest.test_case "find_first_accept commit order" `Quick
+          test_find_first_accept_order;
+        Alcotest.test_case "exception surfaces at first index" `Quick
+          test_exception_propagates_first_index;
+        Alcotest.test_case "exception discards later collectors" `Quick
+          test_exception_discards_later_collectors;
+        Alcotest.test_case "deadline cancels unstarted tasks" `Quick
+          test_deadline_cancels_unstarted;
+        Alcotest.test_case "nested submission rejected" `Quick
+          test_nested_submit_rejected;
+        Alcotest.test_case "shutdown rejects submission" `Quick
+          test_shutdown_rejects_submission;
+        Alcotest.test_case "metrics shards merge deterministically" `Quick
+          test_metrics_merge;
+        Alcotest.test_case "optimizer deterministic: rd84" `Quick
+          (optimizer_determinism "rd84");
+        Alcotest.test_case "optimizer deterministic: comp" `Quick
+          (optimizer_determinism "comp");
+        Alcotest.test_case "optimizer deterministic: f51m" `Quick
+          (optimizer_determinism "f51m");
+        Alcotest.test_case "fuzz deterministic across jobs" `Quick
+          test_fuzz_determinism;
+      ] );
+  ]
