@@ -46,11 +46,28 @@ let record_run label (r : Optimizer.report) =
 (* Filled in by the [parallel] section; merged into BENCH_powder.json. *)
 let parallel_section : Obs.Json.t option ref = ref None
 
+let out_file = ref "BENCH_powder.json"
+
 let write_bench_json () =
+  (* the manifest is built at write time so it reflects the parsed
+     --jobs/quick flags; [bench_diff] compares files only when their
+     schema versions agree and warns when the options hash differs *)
+  let manifest =
+    Obs.Runinfo.create ~tool:"powder-bench" ~jobs:!jobs ~seed:base_seed
+      ~circuit:"suite"
+      ~options:
+        [
+          ("words", string_of_int words);
+          ("quick", string_of_bool !quick);
+        ]
+      ()
+  in
   let json =
     Obs.Json.Obj
       ([
          ("bench", Obs.Json.String "powder");
+         ("schema_version", Obs.Json.Int Obs.Runinfo.schema_version);
+         ("run", Obs.Runinfo.to_json manifest);
          ("quick", Obs.Json.Bool !quick);
          ("words", Obs.Json.Int words);
          ("jobs", Obs.Json.Int !jobs);
@@ -60,12 +77,11 @@ let write_bench_json () =
         | Some p -> [ ("parallel", p) ]
         | None -> [])
   in
-  let oc = open_out "BENCH_powder.json" in
+  let oc = open_out !out_file in
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.eprintf "wrote BENCH_powder.json (%d runs)\n%!"
-    (List.length !bench_runs)
+  Printf.eprintf "wrote %s (%d runs)\n%!" !out_file (List.length !bench_runs)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2: the worked example.                                       *)
@@ -652,10 +668,16 @@ let () =
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
       jobs := max 1 (int_of_string (String.sub a 7 (String.length a - 7)));
       parse acc rest
+    | ("-o" | "--out") :: f :: rest ->
+      out_file := f;
+      parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let want x = args = [] || List.mem x args in
+  (* registered after flag parsing: even a section that raises leaves a
+     well-formed (possibly partial) trajectory point behind *)
+  at_exit write_bench_json;
   if want "fig2" then fig2 ();
   let rows =
     if want "table1" || want "table2" then Some (table1_rows ()) else None
@@ -670,5 +692,4 @@ let () =
   if want "glitch" then glitch ();
   if want "guard" then guard ();
   if want "micro" then micro ();
-  if want "parallel" then parallel ();
-  write_bench_json ()
+  if want "parallel" then parallel ()

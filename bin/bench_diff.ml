@@ -1,0 +1,204 @@
+(* Perf-regression gate over two BENCH_powder.json files.
+
+     bench_diff OLD NEW [--rel-tol R] [--abs-floor S]
+     bench_diff --perturb SRC DST [--factor F]
+
+   Compares the per-run wall-clock figures (cpu_seconds and every
+   phase_seconds entry) of every run label present in OLD.  A metric
+   regresses when it is BOTH relatively slower (new > old * (1 + R))
+   and absolutely slower (new - old > S): the relative tolerance
+   absorbs machine noise on long phases, the absolute floor keeps
+   micro-second phases from tripping the gate on scheduler jitter.
+   Exit 1 on any regression, 0 otherwise.
+
+   [--perturb] writes a copy of SRC with every timing multiplied by F
+   (default 1.5) — CI uses it to prove the gate actually fires without
+   paying for a second bench run. *)
+
+module J = Obs.Json
+
+let rel_tol = ref 0.35
+let abs_floor = ref 0.05
+let factor = ref 1.5
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_file path =
+  match J.of_string (read_file path) with
+  | Ok j -> j
+  | Error e ->
+    Printf.eprintf "bench_diff: %s: %s\n" path e;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* --perturb                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Multiply every timing field by the factor.  Timing lives in
+   "cpu_seconds" floats and inside "phase_seconds" objects; everything
+   else is copied verbatim. *)
+let rec perturb = function
+  | J.Obj fields ->
+    J.Obj
+      (List.map
+         (fun (k, v) ->
+           match (k, v) with
+           | "cpu_seconds", J.Float f -> (k, J.Float (f *. !factor))
+           | "phase_seconds", J.Obj phases ->
+             ( k,
+               J.Obj
+                 (List.map
+                    (fun (p, pv) ->
+                      match pv with
+                      | J.Float f -> (p, J.Float (f *. !factor))
+                      | other -> (p, other))
+                    phases) )
+           | _ -> (k, perturb v))
+         fields)
+  | J.List xs -> J.List (List.map perturb xs)
+  | other -> other
+
+let run_perturb src dst =
+  let j = perturb (parse_file src) in
+  let oc = open_out dst in
+  output_string oc (J.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench_diff: wrote %s (timings x%g)\n" dst !factor
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Ok_ | Faster | Regressed
+
+let regressions = ref 0
+let compared = ref 0
+
+let judge old_v new_v =
+  if new_v > (old_v *. (1.0 +. !rel_tol)) && new_v -. old_v > !abs_floor then
+    Regressed
+  else if old_v > (new_v *. (1.0 +. !rel_tol)) && old_v -. new_v > !abs_floor
+  then Faster
+  else Ok_
+
+let report label metric old_v new_v =
+  incr compared;
+  let v = judge old_v new_v in
+  let tag =
+    match v with Ok_ -> "" | Faster -> "  (faster)" | Regressed -> "  REGRESSED"
+  in
+  let delta =
+    if old_v > 0.0 then 100.0 *. (new_v -. old_v) /. old_v else 0.0
+  in
+  if v <> Ok_ then begin
+    Printf.printf "%-45s %-12s %9.3fs -> %9.3fs %+7.1f%%%s\n" label metric
+      old_v new_v delta tag;
+    if v = Regressed then incr regressions
+  end
+
+let float_member k j = Option.bind (J.member k j) J.get_float
+
+let compare_run label old_run new_run =
+  (match (float_member "cpu_seconds" old_run, float_member "cpu_seconds" new_run)
+   with
+  | Some o, Some n -> report label "cpu_seconds" o n
+  | _ -> ());
+  match (J.member "phase_seconds" old_run, J.member "phase_seconds" new_run) with
+  | Some (J.Obj old_ph), Some (J.Obj new_ph) ->
+    List.iter
+      (fun (phase, ov) ->
+        match (J.get_float ov, Option.bind (List.assoc_opt phase new_ph) J.get_float)
+        with
+        | Some o, Some n -> report label phase o n
+        | _ -> ())
+      old_ph
+  | _ -> ()
+
+let run_compare old_path new_path =
+  let jo = parse_file old_path and jn = parse_file new_path in
+  (match
+     ( Option.bind (J.member "schema_version" jo) J.get_int,
+       Option.bind (J.member "schema_version" jn) J.get_int )
+   with
+  | Some a, Some b when a <> b ->
+    Printf.eprintf
+      "bench_diff: schema_version mismatch (%d vs %d); refusing to compare\n" a
+      b;
+    exit 2
+  | _ -> ());
+  (match
+     ( Option.bind (J.member "run" jo) (J.member "options_hash"),
+       Option.bind (J.member "run" jn) (J.member "options_hash") )
+   with
+  | Some a, Some b when a <> b ->
+    Printf.printf
+      "bench_diff: warning: options_hash differs — the runs were configured \
+       differently\n"
+  | _ -> ());
+  match (J.member "runs" jo, J.member "runs" jn) with
+  | Some (J.Obj old_runs), Some (J.Obj new_runs) ->
+    List.iter
+      (fun (label, old_run) ->
+        match List.assoc_opt label new_runs with
+        | Some new_run -> compare_run label old_run new_run
+        | None ->
+          Printf.printf "bench_diff: warning: %s missing in %s\n" label
+            new_path)
+      old_runs;
+    List.iter
+      (fun (label, _) ->
+        if List.assoc_opt label old_runs = None then
+          Printf.printf "bench_diff: note: %s only in %s\n" label new_path)
+      new_runs;
+    Printf.printf
+      "bench_diff: %d metrics compared, %d regressions (rel-tol %g%%, \
+       abs-floor %gs)\n"
+      !compared !regressions (100.0 *. !rel_tol) !abs_floor;
+    if !regressions > 0 then exit 1
+  | _ ->
+    Printf.eprintf "bench_diff: missing \"runs\" object in one of the inputs\n";
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Argument parsing.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff OLD NEW [--rel-tol R] [--abs-floor S]\n\
+    \       bench_diff --perturb SRC DST [--factor F]";
+  exit 2
+
+let () =
+  let positional = ref [] in
+  let perturb_mode = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--perturb" :: rest ->
+      perturb_mode := true;
+      parse rest
+    | "--rel-tol" :: v :: rest ->
+      rel_tol := float_of_string v;
+      parse rest
+    | "--abs-floor" :: v :: rest ->
+      abs_floor := float_of_string v;
+      parse rest
+    | "--factor" :: v :: rest ->
+      factor := float_of_string v;
+      parse rest
+    | a :: rest when String.length a > 0 && a.[0] <> '-' ->
+      positional := a :: !positional;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (List.rev !positional, !perturb_mode) with
+  | [ src; dst ], true -> run_perturb src dst
+  | [ old_path; new_path ], false -> run_compare old_path new_path
+  | _ -> usage ()

@@ -21,13 +21,19 @@ let parse_file path =
 (* Timings differ between any two runs, and [jobs] differs between runs
    whose equivalence we specifically want to check; everything else in a
    report is deterministic for a given seed and must match across
-   kill/resume and across job counts. *)
+   kill/resume and across job counts.  The embedded run manifest is
+   compared too, after dropping its own volatile identity fields
+   (hostname, pid, timestamp, ... — see [Obs.Runinfo.volatile_fields]):
+   seed, circuit and options hash MUST match for the comparison to be
+   meaningful. *)
 let strip_volatile = function
   | Obs.Json.Obj fields ->
     Obs.Json.Obj
-      (List.filter
-         (fun (k, _) ->
-           k <> "cpu_seconds" && k <> "phase_seconds" && k <> "jobs")
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "cpu_seconds" || k = "phase_seconds" || k = "jobs" then None
+           else if k = "run" then Some (k, Obs.Runinfo.strip_volatile v)
+           else Some (k, v))
          fields)
   | other -> other
 
@@ -72,7 +78,16 @@ let () =
     List.iteri
       (fun i line ->
         match Obs.Json.of_string line with
-        | Ok _ -> ()
+        | Ok j ->
+          (* every trace stream leads with its run manifest *)
+          if i = 0 then begin
+            match Obs.Json.member "ev" j with
+            | Some (Obs.Json.String "run_start") -> ()
+            | _ ->
+              Printf.eprintf
+                "%s:1: first record is not a run_start header\n" path;
+              exit 1
+          end
         | Error e ->
           Printf.eprintf "%s:%d: %s\n" path (i + 1) e;
           exit 1)

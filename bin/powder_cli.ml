@@ -135,10 +135,17 @@ let engine_arg =
        & info [ "engine" ] ~docv:"ENGINE"
            ~doc:"Exact permissibility engine: sat (default), podem or bdd.")
 
+let delay_to_string = function
+  | Optimizer.Unconstrained -> "none"
+  | Optimizer.Keep_initial -> "keep"
+  | Optimizer.Ratio r -> Printf.sprintf "+%g%%" (100.0 *. r)
+  | Optimizer.Absolute d -> Printf.sprintf "%g" d
+
 let optimize_cmd =
   let run in_file circuit_name out_file words seed delay classes engine verify
-      trace_file json_file metrics time_budget check_seconds round_seconds
-      max_rounds checkpoint resume verify_applies checkpoint_every jobs =
+      trace_file json_file profile_dir metrics time_budget check_seconds
+      round_seconds max_rounds checkpoint resume verify_applies
+      checkpoint_every jobs =
     let circ = load_circuit in_file circuit_name in
     let original = Circuit.clone circ in
     (* Resume: pick the checkpoint up before building the config so the
@@ -186,25 +193,98 @@ let optimize_cmd =
         jobs;
       }
     in
+    (* The run manifest: identity of this run (host, toolchain, every
+       deterministic knob), embedded in the trace header, the profile
+       and the JSON report so artifacts can be compared safely. *)
+    let manifest =
+      let opt_str f = function None -> "-" | Some v -> f v in
+      Obs.Runinfo.create ~jobs ~seed
+        ~circuit:
+          (match circuit_name with
+          | Some n -> n
+          | None -> Option.value in_file ~default:"-")
+        ~options:
+          [
+            ("words", string_of_int words);
+            ("delay", delay_to_string delay);
+            ( "classes",
+              String.concat "," (List.map Powder.Subst.klass_name classes) );
+            ( "engine",
+              match engine with `Sat -> "sat" | `Podem -> "podem" | `Bdd -> "bdd"
+            );
+            ("verify_applies", string_of_bool verify_applies);
+            ("max_rounds", opt_str string_of_int max_rounds);
+            ("time_budget", opt_str string_of_float time_budget);
+            ("check_seconds", opt_str string_of_float check_seconds);
+            ("round_seconds", opt_str string_of_float round_seconds);
+          ]
+        ()
+    in
     (* Open both output files before the (possibly long) run so a bad
        path fails immediately instead of after the work is done. *)
     let fail_sys msg = prerr_endline ("powder_cli: " ^ msg); exit 1 in
+    (* the profile directory first: --json may point into it *)
+    let profile =
+      match profile_dir with
+      | None -> None
+      | Some dir -> (
+        try
+          (try Unix.mkdir dir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let chrome_oc = open_out (Filename.concat dir "trace.chrome.json") in
+          Some (dir, Obs.Profile.create (), chrome_oc)
+        with Sys_error m | Unix.Unix_error (Unix.EACCES, _, m) -> fail_sys m)
+    in
     let json_out =
       match json_file with
       | None -> None
       | Some f -> (try Some (f, open_out f) with Sys_error m -> fail_sys m)
     in
-    (match trace_file with
-    | Some f ->
-      (try Obs.Trace.set_sink (Obs.Trace.jsonl_sink f)
-       with Sys_error m -> fail_sys m)
-    | None -> ());
+    let sinks =
+      (match trace_file with
+      | Some f -> (
+        try [ Obs.Trace.jsonl_sink f ] with Sys_error m -> fail_sys m)
+      | None -> [])
+      @
+      match profile with
+      | Some (_, p, chrome_oc) ->
+        [ Obs.Profile.sink p; Obs.Profile.chrome_sink chrome_oc ]
+      | None -> []
+    in
+    (match sinks with
+    | [] -> ()
+    | [ s ] -> Obs.Trace.set_sink s
+    | ss -> Obs.Trace.set_sink (Obs.Trace.tee_sink ss));
+    (* the manifest header must be the stream's first record *)
+    if sinks <> [] then Obs.Runinfo.emit_run_start manifest;
     let report = Optimizer.optimize ~config ?resume:resume_ck circ in
     Obs.Trace.close_sink ();
+    (match profile with
+    | None -> ()
+    | Some (dir, p, _) ->
+      let write name s =
+        let f = Filename.concat dir name in
+        let oc = open_out f in
+        output_string oc s;
+        close_out oc;
+        Printf.printf "wrote %s\n" f
+      in
+      write "profile.json"
+        (Obs.Json.to_string
+           (Obs.Profile.to_json ~run:(Obs.Runinfo.to_json manifest) p)
+        ^ "\n");
+      write "profile.folded" (Obs.Profile.to_folded p);
+      Printf.printf "wrote %s\n" (Filename.concat dir "trace.chrome.json"));
     Format.printf "%a@." Optimizer.pp_report report;
     (match json_out with
     | Some (f, oc) ->
-      output_string oc (Obs.Json.to_string (Optimizer.report_to_json report));
+      let report_json =
+        match Optimizer.report_to_json report with
+        | Obs.Json.Obj fields ->
+          Obs.Json.Obj (("run", Obs.Runinfo.to_json manifest) :: fields)
+        | other -> other
+      in
+      output_string oc (Obs.Json.to_string report_json);
       output_char oc '\n';
       close_out oc;
       Printf.printf "wrote %s\n" f
@@ -234,6 +314,14 @@ let optimize_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the final report as machine-readable JSON, including \
                  the candidate funnel and per-phase timings.")
+  in
+  let profile_dir =
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"DIR"
+           ~doc:"Profile the run: write an attributed call-tree profile \
+                 (profile.json), flamegraph collapsed stacks \
+                 (profile.folded) and a Chrome trace-event file \
+                 (trace.chrome.json) into DIR.  Inspect with the report \
+                 command, a flamegraph viewer, or chrome://tracing.")
   in
   let metrics =
     Arg.(value & flag & info [ "metrics" ]
@@ -286,9 +374,119 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Reduce power by permissible substitutions (POWDER).")
     Term.(const run $ in_file $ circuit_name $ out_file $ words $ seed
           $ delay_mode $ classes $ engine_arg $ verify $ trace_file
-          $ json_file $ metrics $ time_budget $ check_seconds $ round_seconds
-          $ max_rounds $ checkpoint $ resume $ verify_applies
+          $ json_file $ profile_dir $ metrics $ time_budget $ check_seconds
+          $ round_seconds $ max_rounds $ checkpoint $ resume $ verify_applies
           $ checkpoint_every $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Profile report: human-readable view of a --profile directory.       *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let module J = Obs.Json in
+  (* flatten the call tree into (path, count, inclusive, exclusive) rows *)
+  let rec collect_nodes prefix acc node =
+    let name = Option.value ~default:"?" (Option.bind (J.member "name" node) J.get_string) in
+    let path = prefix @ [ name ] in
+    let f key =
+      Option.value ~default:0.0 (Option.bind (J.member key node) J.get_float)
+    in
+    let count =
+      Option.value ~default:0 (Option.bind (J.member "count" node) J.get_int)
+    in
+    let acc = (path, count, f "inclusive_s", f "exclusive_s") :: acc in
+    match Option.bind (J.member "children" node) J.get_list with
+    | Some kids -> List.fold_left (collect_nodes path) acc kids
+    | None -> acc
+  in
+  let run dir top =
+    let path =
+      if Sys.file_exists dir && Sys.is_directory dir then
+        Filename.concat dir "profile.json"
+      else dir
+    in
+    let j =
+      match J.of_string (read_file path) with
+      | Ok j -> j
+      | Error e -> failwith (path ^ ": " ^ e)
+    in
+    (match J.member "run" j with
+    | Some run ->
+      let s k =
+        Option.value ~default:"-" (Option.bind (J.member k run) J.get_string)
+      in
+      Printf.printf "run: tool=%s circuit=%s seed=%s options=%s\n" (s "tool")
+        (s "circuit") (s "seed") (s "options_hash")
+    | None -> ());
+    let total =
+      Option.value ~default:0.0
+        (Option.bind (J.member "total_seconds" j) J.get_float)
+    in
+    let spans =
+      Option.value ~default:0 (Option.bind (J.member "spans" j) J.get_int)
+    in
+    Printf.printf "spans: %d, total: %.3fs\n\n" spans total;
+    let rows =
+      match Option.bind (J.member "tree" j) J.get_list with
+      | Some roots -> List.fold_left (collect_nodes []) [] roots
+      | None -> []
+    in
+    let rows =
+      List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a) rows
+    in
+    Printf.printf "%10s %7s %8s  %s\n" "exclusive" "%total" "calls" "span";
+    List.iteri
+      (fun i (path, count, _incl, excl) ->
+        if i < top then
+          Printf.printf "%9.3fs %6.1f%% %8d  %s\n" excl
+            (if total > 0.0 then 100.0 *. excl /. total else 0.0)
+            count
+            (String.concat ";" path))
+      rows;
+    (match Option.bind (J.member "rounds" j) J.get_list with
+    | None | Some [] -> ()
+    | Some rounds ->
+      Printf.printf "\n%5s %6s %8s  %s\n" "round" "pool" "accepted" "rejected";
+      List.iter
+        (fun r ->
+          let i k =
+            Option.value ~default:0 (Option.bind (J.member k r) J.get_int)
+          in
+          let rejected =
+            match J.member "rejected" r with
+            | Some (J.Obj fields) ->
+              String.concat " "
+                (List.map
+                   (fun (k, v) ->
+                     Printf.sprintf "%s=%d"
+                       k (Option.value ~default:0 (J.get_int v)))
+                   fields)
+            | _ -> ""
+          in
+          Printf.printf "%5d %6d %8d  %s\n" (i "round") (i "pool")
+            (i "accepted") rejected)
+        rounds)
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"A --profile output directory (or a profile.json file).")
+  in
+  let top =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N"
+           ~doc:"Rows in the exclusive-time table.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Summarize a profile directory: run manifest, top spans by \
+             exclusive time, per-round candidate funnel.")
+    Term.(const run $ dir $ top)
 
 let map_cmd =
   let run in_file out_file objective =
@@ -554,5 +752,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ optimize_cmd; map_cmd; stats_cmd; suite_cmd; atpg_cmd; sweep_cmd;
-            redundancy_cmd; resize_cmd; glitch_cmd; fuzz_cmd ]))
+          [ optimize_cmd; report_cmd; map_cmd; stats_cmd; suite_cmd; atpg_cmd;
+            sweep_cmd; redundancy_cmd; resize_cmd; glitch_cmd; fuzz_cmd ]))

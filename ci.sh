@@ -31,6 +31,33 @@ dune exec bin/json_check.exe -- "$tmp_json"
 dune exec bin/json_check.exe -- --jsonl "$tmp_trace"
 rm -f "$tmp_json" "$tmp_trace"
 
+echo "== smoke: deep profile (call tree, flamegraph, Chrome trace) =="
+prof_dir=$(mktemp -d /tmp/powder_ci_prof_XXXXXX)
+hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+  --profile "$prof_dir" --json "$prof_dir/report.json" >/dev/null
+dune exec bin/json_check.exe -- "$prof_dir/profile.json"
+dune exec bin/json_check.exe -- "$prof_dir/trace.chrome.json"
+dune exec bin/json_check.exe -- "$prof_dir/report.json"
+test -s "$prof_dir/profile.folded"
+dune exec bin/powder_cli.exe -- report "$prof_dir" --top 10
+rm -rf "$prof_dir"
+
+echo "== bench perf gate: self-compare passes, +50% perturbation fails =="
+bench_a=$(mktemp /tmp/powder_ci_bench_a_XXXXXX.json)
+bench_b=$(mktemp /tmp/powder_ci_bench_b_XXXXXX.json)
+hard_timeout 600 dune exec bench/main.exe -- quick guard \
+  --out "$bench_a" >/dev/null
+# the quick bench finishes in well under a second per run, so the
+# absolute noise floor is scaled down to match
+dune exec bin/json_check.exe -- "$bench_a"
+dune exec bin/bench_diff.exe -- "$bench_a" "$bench_a" --abs-floor 0.005
+dune exec bin/bench_diff.exe -- --perturb "$bench_a" "$bench_b" --factor 1.5
+if dune exec bin/bench_diff.exe -- "$bench_a" "$bench_b" --abs-floor 0.005; then
+  echo "bench_diff failed to flag a 50% regression" >&2
+  exit 1
+fi
+rm -f "$bench_a" "$bench_b"
+
 echo "== smoke: checkpoint round-trip (kill after 3 rounds, resume) =="
 ck=$(mktemp /tmp/powder_ci_ck_XXXXXX.json)
 full_json=$(mktemp /tmp/powder_ci_full_XXXXXX.json)

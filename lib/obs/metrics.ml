@@ -8,6 +8,7 @@ type histogram = {
   hname : string;
   mutable obs_count : int;
   mutable obs_sum : float;
+  mutable obs_max : float;
   bins : int array;
 }
 
@@ -67,7 +68,13 @@ let histogram_in tbl name =
   | Some _ -> kind_error name "histogram"
   | None ->
     let h =
-      { hname = name; obs_count = 0; obs_sum = 0.0; bins = Array.make num_buckets 0 }
+      {
+        hname = name;
+        obs_count = 0;
+        obs_sum = 0.0;
+        obs_max = 0.0;
+        bins = Array.make num_buckets 0;
+      }
     in
     Hashtbl.add tbl name (Histogram h);
     h
@@ -129,6 +136,7 @@ let bucket_upper i = bucket_base *. Float.pow 2.0 (float_of_int i)
 let observe_in h v =
   h.obs_count <- h.obs_count + 1;
   h.obs_sum <- h.obs_sum +. v;
+  if v > h.obs_max then h.obs_max <- v;
   let i = bucket_of v in
   h.bins.(i) <- h.bins.(i) + 1
 
@@ -139,6 +147,28 @@ let observe h v =
 
 let histogram_count h = h.obs_count
 let histogram_sum h = h.obs_sum
+let histogram_max h = h.obs_max
+
+(* Quantile estimate from the log buckets: the upper bound of the
+   bucket holding the q-th observation, clamped by the exact maximum.
+   One power-of-two bucket of relative error — plenty for "is p99 a
+   millisecond or a second" questions without storing samples. *)
+let histogram_quantile h q =
+  if h.obs_count = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target = max 1 (int_of_float (Float.ceil (q *. float_of_int h.obs_count))) in
+    let rec walk i cum =
+      if i >= num_buckets then h.obs_max
+      else
+        let cum = cum + h.bins.(i) in
+        if cum >= target then Float.min (bucket_upper i) h.obs_max
+        else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+let quantile_points = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
 
 let histogram_buckets h =
   let acc = ref [] in
@@ -171,6 +201,7 @@ let merge_shard (sh : shard) =
         let g = histogram_in registry name in
         g.obs_count <- g.obs_count + h.obs_count;
         g.obs_sum <- g.obs_sum +. h.obs_sum;
+        if h.obs_max > g.obs_max then g.obs_max <- h.obs_max;
         Array.iteri (fun i n -> g.bins.(i) <- g.bins.(i) + n) h.bins)
     (sorted_names sh)
 
@@ -183,6 +214,7 @@ let reset () =
       | Histogram h ->
         h.obs_count <- 0;
         h.obs_sum <- 0.0;
+        h.obs_max <- 0.0;
         Array.fill h.bins 0 num_buckets 0)
     registry
 
@@ -217,6 +249,13 @@ let dump fmt () =
         if h.obs_count > 0 then begin
           Format.fprintf fmt "%-40s " "";
           List.iter
+            (fun (label, q) ->
+              Format.fprintf fmt "%s=%a " label pp_duration
+                (histogram_quantile h q))
+            quantile_points;
+          Format.fprintf fmt "max=%a@," pp_duration h.obs_max;
+          Format.fprintf fmt "%-40s " "";
+          List.iter
             (fun (ub, n) -> Format.fprintf fmt "le(%a)=%d " pp_duration ub n)
             (histogram_buckets h);
           Format.fprintf fmt "@,"
@@ -240,6 +279,10 @@ let to_json () =
                  ("type", Json.String "histogram");
                  ("count", Json.Int h.obs_count);
                  ("sum", Json.Float h.obs_sum);
+                 ("p50", Json.Float (histogram_quantile h 0.5));
+                 ("p90", Json.Float (histogram_quantile h 0.9));
+                 ("p99", Json.Float (histogram_quantile h 0.99));
+                 ("max", Json.Float h.obs_max);
                  ( "buckets",
                    Json.List
                      (List.map

@@ -50,6 +50,20 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val histogram_max : histogram -> float
+(** Exact largest observation since the last {!reset} (0 when empty);
+    merged across shards with [max]. *)
+
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile (q in [0,1])
+    as the upper bound of the log bucket holding the q-th observation,
+    clamped by {!histogram_max} — at most one power of two above the
+    true value.  0 when the histogram is empty.  Dumps and
+    {!to_json} report p50/p90/p99/max from this. *)
+
+val quantile_points : (string * float) list
+(** The standard summary points: [p50], [p90], [p99]. *)
+
 val histogram_buckets : histogram -> (float * int) list
 (** Non-empty buckets only, as [(upper_bound_seconds, count)] in
     increasing bound order. *)

@@ -12,6 +12,11 @@ type sink = { emit : event -> unit; close : unit -> unit; is_null : bool }
 let make_sink ~emit ~close = { emit; close; is_null = false }
 let null_sink = { emit = (fun _ -> ()); close = (fun () -> ()); is_null = true }
 
+let tee_sink sinks =
+  make_sink
+    ~emit:(fun e -> List.iter (fun s -> s.emit e) sinks)
+    ~close:(fun () -> List.iter (fun s -> s.close ()) sinks)
+
 let json_of_value = function
   | Bool b -> Json.Bool b
   | Int i -> Json.Int i
@@ -115,6 +120,10 @@ let span_histogram name = Metrics.histogram ("span." ^ name)
 let with_span ?(fields = []) name f =
   let h = span_histogram name in
   let t0 = Clock.now () in
+  (* allocation delta is only sampled when a sink is recording, so the
+     null-sink fast path keeps its two-clock-reads cost; a sink
+     installed mid-span yields one meaningless delta, nothing worse *)
+  let a0 = if active () then Gc.allocated_bytes () else Float.nan in
   (* capture the ref: the finally-pop must hit the same stack even if a
      pool task swaps the domain's stack while [f] runs (caller help) *)
   let st = span_stack () in
@@ -124,7 +133,12 @@ let with_span ?(fields = []) name f =
     ~finally:(fun () ->
       let dt = Clock.now () -. t0 in
       Metrics.observe h dt;
-      if active () then emit "span_end" (("dur_s", Float dt) :: fields);
+      if active () then begin
+        let da =
+          if Float.is_nan a0 then 0.0 else Gc.allocated_bytes () -. a0
+        in
+        emit "span_end" (("dur_s", Float dt) :: ("alloc_b", Float da) :: fields)
+      end;
       st := List.tl !st)
     f
 

@@ -22,7 +22,9 @@
     where [ts] is seconds since process start, [ev] is the event name
     ([span_begin]/[span_end] for spans, anything else for point
     events), [path] is the enclosing span stack outermost-first, and
-    span ends carry a ["dur_s"] field. *)
+    span ends carry ["dur_s"] (seconds) and ["alloc_b"] (bytes
+    allocated by this domain while the span was open, via
+    [Gc.allocated_bytes]) fields. *)
 
 type value = Bool of bool | Int of int | Float of float | String of string
 
@@ -39,6 +41,12 @@ val make_sink : emit:(event -> unit) -> close:(unit -> unit) -> sink
 (** Custom sink (used by tests to capture events in memory). *)
 
 val null_sink : sink
+
+val tee_sink : sink list -> sink
+(** Fan every event out to each sink in order; closing the tee closes
+    them all.  Used to feed a JSONL file, the profiler and the Chrome
+    exporter from one run. *)
+
 val console_sink : Format.formatter -> sink
 val jsonl_sink : string -> sink
 (** Opens [file] for writing; one JSON object per event per line.
@@ -82,6 +90,8 @@ val span_count : string -> int
 
 val json_of_event : event -> Json.t
 (** The JSONL encoding, exposed so consumers can re-serialize. *)
+
+val json_of_value : value -> Json.t
 
 (** {2 Per-task buffers}
 

@@ -181,20 +181,35 @@ let speculate t ?(deadline = Deadline.never) (fs : (unit -> 'b) array) :
 let cancelled s =
   match s.outcome with Some Cancelled -> true | _ -> false
 
+(* Speculation accounting.  Both [commit] and [discard] only ever run
+   on the main domain, so plain registry counters are safe; the values
+   are a parallelism diagnostic (how much speculative work was thrown
+   away) and are deliberately NOT part of any report compared across
+   job counts. *)
+let m_committed = Obs.Metrics.counter "par.speculations.committed"
+let m_discarded = Obs.Metrics.counter "par.speculations.discarded"
+let m_cancelled = Obs.Metrics.counter "par.speculations.cancelled"
+
 let commit (s : 'b speculation) : 'b option =
   match s.outcome with
   | None -> invalid_arg "Par.Pool.commit: speculation still pending"
-  | Some Cancelled -> None
+  | Some Cancelled ->
+    Obs.Metrics.incr m_cancelled;
+    None
   | Some (Done (v, coll)) ->
     Obs.Collector.commit coll;
+    Obs.Metrics.incr m_committed;
     Some v
   | Some (Raised (e, bt, coll)) ->
     Obs.Collector.commit coll;
+    Obs.Metrics.incr m_committed;
     Printexc.raise_with_backtrace e bt
 
 let discard (s : _ speculation) =
   match s.outcome with
-  | Some (Done (_, coll)) | Some (Raised (_, _, coll)) -> Obs.Collector.discard coll
+  | Some (Done (_, coll)) | Some (Raised (_, _, coll)) ->
+    Obs.Collector.discard coll;
+    Obs.Metrics.incr m_discarded
   | Some Cancelled | None -> ()
 
 let map t ?deadline ~f xs =

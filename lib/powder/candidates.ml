@@ -106,6 +106,18 @@ let branch_targets circ eng =
           (Circuit.fanouts circ id));
   List.rev !out
 
+(* Sub-span names: the generate phase is the optimizer's dominant cost
+   (91% of CPU on the larger circuits), so its interior is attributed
+   to named spans a profile can diff — target/observability
+   enumeration, the 2-signal signature scan, the 3-signal pair scan,
+   and per-target selection. *)
+let span_targets = "generate/targets"
+let span_targets_stem = "targets/stem-obs"
+let span_targets_branch = "targets/branch-obs"
+let span_scan2 = "generate/scan2"
+let span_scan3 = "generate/scan3"
+let span_select = "generate/select"
+
 let generate ?(config = default_config) est =
   let circ = Estimator.circuit est in
   let eng = Estimator.engine est in
@@ -119,9 +131,16 @@ let generate ?(config = default_config) est =
   let sigs = Array.map (fun id -> Engine.value eng id) signals in
   let gates2 = Library.two_input_cells (Circuit.library circ) in
   let targets =
-    (if want Subst.Os2 || want Subst.Os3 then stem_targets circ eng else [])
-    @
-    if want Subst.Is2 || want Subst.Is3 then branch_targets circ eng else []
+    Obs.Trace.with_span span_targets (fun () ->
+        (if want Subst.Os2 || want Subst.Os3 then
+           Obs.Trace.with_span span_targets_stem (fun () ->
+               stem_targets circ eng)
+         else [])
+        @
+        if want Subst.Is2 || want Subst.Is3 then
+          Obs.Trace.with_span span_targets_branch (fun () ->
+              branch_targets circ eng)
+        else [])
   in
   let margin = 1e-12 in
   let results = ref [] in
@@ -145,65 +164,72 @@ let generate ?(config = default_config) est =
         | Subst.Branch _ -> want Subst.Is3
       in
       if two_signal_wanted then
-        Array.iteri
-          (fun i b ->
-            if b <> ti.a && not ti.forbidden.(b) then begin
-              if matches_on_care sig_a sigs.(i) ti.care then
-                consider acc { Subst.target = ti.target; source = Subst.Signal b };
-              if matches_compl_on_care sig_a sigs.(i) ti.care then
-                consider acc
-                  { Subst.target = ti.target; source = Subst.Inverted b }
-            end)
-          signals;
-      if three_signal_wanted && gates2 <> [] then begin
-        (* pool: the signals closest to [a] on the care set *)
-        let scored = ref [] in
-        Array.iteri
-          (fun i b ->
-            if b <> ti.a && not ti.forbidden.(b) then
-              scored := (disagreement sig_a sigs.(i) ti.care, i) :: !scored)
-          signals;
-        let pool =
-          List.sort compare !scored
-          |> List.filteri (fun k _ -> k < config.pool_limit)
-          |> List.map snd |> Array.of_list
-        in
-        Array.iter
-          (fun i ->
+        Obs.Trace.with_span span_scan2 (fun () ->
+            Array.iteri
+              (fun i b ->
+                if b <> ti.a && not ti.forbidden.(b) then begin
+                  if matches_on_care sig_a sigs.(i) ti.care then
+                    consider acc
+                      { Subst.target = ti.target; source = Subst.Signal b };
+                  if matches_compl_on_care sig_a sigs.(i) ti.care then
+                    consider acc
+                      { Subst.target = ti.target; source = Subst.Inverted b }
+                end)
+              signals);
+      if three_signal_wanted && gates2 <> [] then
+        Obs.Trace.with_span span_scan3 (fun () ->
+            (* pool: the signals closest to [a] on the care set *)
+            let scored = ref [] in
+            Array.iteri
+              (fun i b ->
+                if b <> ti.a && not ti.forbidden.(b) then
+                  scored := (disagreement sig_a sigs.(i) ti.care, i) :: !scored)
+              signals;
+            let pool =
+              List.sort compare !scored
+              |> List.filteri (fun k _ -> k < config.pool_limit)
+              |> List.map snd |> Array.of_list
+            in
             Array.iter
-              (fun j ->
-                if i <> j then
-                  List.iter
-                    (fun (cell : Cell.t) ->
-                      let g_words =
-                        Engine.apply_gate_words cell.Cell.func
-                          [| sigs.(i); sigs.(j) |]
-                      in
-                      if
-                        matches_on_care sig_a g_words ti.care
-                        (* skip pairs a plain 2-substitution already covers *)
-                        && not (matches_on_care sig_a sigs.(i) ti.care)
-                        && not (matches_on_care sig_a sigs.(j) ti.care)
-                      then
-                        consider acc
-                          {
-                            Subst.target = ti.target;
-                            source = Subst.Gate2 (cell, signals.(i), signals.(j));
-                          })
-                    gates2)
-              pool)
-          pool
-      end;
+              (fun i ->
+                Array.iter
+                  (fun j ->
+                    if i <> j then
+                      List.iter
+                        (fun (cell : Cell.t) ->
+                          let g_words =
+                            Engine.apply_gate_words cell.Cell.func
+                              [| sigs.(i); sigs.(j) |]
+                          in
+                          if
+                            matches_on_care sig_a g_words ti.care
+                            (* skip pairs a plain 2-substitution already
+                               covers *)
+                            && not (matches_on_care sig_a sigs.(i) ti.care)
+                            && not (matches_on_care sig_a sigs.(j) ti.care)
+                          then
+                            consider acc
+                              {
+                                Subst.target = ti.target;
+                                source =
+                                  Subst.Gate2 (cell, signals.(i), signals.(j));
+                              })
+                        gates2)
+                  pool)
+              pool);
       (* keep the best per_target candidates for this target *)
       let best =
-        List.sort
-          (fun (_, g1) (_, g2) ->
-            Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
-          !acc
-        |> List.filteri (fun k _ -> k < config.per_target)
+        Obs.Trace.with_span span_select (fun () ->
+            List.sort
+              (fun (_, g1) (_, g2) ->
+                Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
+              !acc
+            |> List.filteri (fun k _ -> k < config.per_target))
       in
       results := best @ !results)
     targets;
-  List.sort
-    (fun (_, g1) (_, g2) -> Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
-    !results
+  Obs.Trace.with_span span_select (fun () ->
+      List.sort
+        (fun (_, g1) (_, g2) ->
+          Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
+        !results)

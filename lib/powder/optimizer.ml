@@ -107,6 +107,37 @@ let m_rej_cex = Metrics.counter "powder.rejected.cex"
 let m_rolled_back = Metrics.counter "powder.rolled_back"
 let m_rounds = Metrics.counter "powder.rounds"
 
+(* Per-round GC telemetry.  [Gc.quick_stat] reads counters without
+   walking the heap, so sampling every round is free.  Gauges keep the
+   latest sample in the always-on registry; when a trace sink is
+   installed the sample is also emitted as a ["gc"] point event, which
+   the profiler collects into its per-round GC table.  Sampled on the
+   main domain only, after the round's commits — the sample COUNT is
+   therefore identical across [--jobs] widths, while the values are
+   volatile and stripped by profile comparison. *)
+let g_gc_live = Metrics.gauge "gc.live_words"
+let g_gc_heap = Metrics.gauge "gc.heap_words"
+let g_gc_major = Metrics.gauge "gc.major_collections"
+let g_gc_minor = Metrics.gauge "gc.minor_collections"
+let g_gc_top_heap = Metrics.gauge "gc.top_heap_words"
+
+let sample_gc ~round =
+  let s = Gc.quick_stat () in
+  Metrics.set_gauge g_gc_live (float_of_int s.Gc.live_words);
+  Metrics.set_gauge g_gc_heap (float_of_int s.Gc.heap_words);
+  Metrics.set_gauge g_gc_major (float_of_int s.Gc.major_collections);
+  Metrics.set_gauge g_gc_minor (float_of_int s.Gc.minor_collections);
+  Metrics.set_gauge g_gc_top_heap (float_of_int s.Gc.top_heap_words);
+  Trace.event "gc"
+    [
+      ("round", Trace.Int round);
+      ("live_words", Trace.Int s.Gc.live_words);
+      ("heap_words", Trace.Int s.Gc.heap_words);
+      ("major_collections", Trace.Int s.Gc.major_collections);
+      ("minor_collections", Trace.Int s.Gc.minor_collections);
+      ("top_heap_words", Trace.Int s.Gc.top_heap_words);
+    ]
+
 let power_reduction_percent r =
   if r.initial_power <= 0.0 then 0.0
   else 100.0 *. (r.initial_power -. r.final_power) /. r.initial_power
@@ -800,6 +831,7 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
         if !accepted_this_round = 0 && not !round_expired then
           continue_ := false
       end;
+      sample_gc ~round:!rounds;
       (* Checkpoint barrier (also taken with no file configured, so a
          checkpointing run and a resumed one share identical state). *)
       if config.checkpoint_every > 0 && !rounds mod config.checkpoint_every = 0

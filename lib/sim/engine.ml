@@ -104,6 +104,8 @@ let eval_node t id = eval_node_range t id 0 t.w
 let m_resim_all_calls = Obs.Metrics.counter "sim.resim_all.calls"
 let m_resim_tfo_calls = Obs.Metrics.counter "sim.resim_tfo.calls"
 let m_resim_nodes = Obs.Metrics.counter "sim.resim.nodes"
+let m_obs_stem_calls = Obs.Metrics.counter "sim.observability.stem.calls"
+let m_obs_branch_calls = Obs.Metrics.counter "sim.observability.branch.calls"
 
 (* Full resimulation.  With a pool, the word range is cut into one
    contiguous slice per executor and each domain sweeps the whole topo
@@ -184,6 +186,10 @@ let randomize t ?input_probs rng =
 let shard_words = 2
 
 let randomize_sharded ?input_probs ?pool ~seed t =
+  (* spanned on the caller's domain only — [fill_shard] bodies stay
+     span-free so a pool run's trace has the same tree as a sequential
+     one *)
+  Obs.Trace.with_span "sim/randomize" @@ fun () ->
   ensure_capacity t;
   let prob = match input_probs with Some f -> f | None -> fun _ -> 0.5 in
   let pis = Circuit.pis t.circ in
@@ -282,6 +288,7 @@ let observability_core t ~first ~perturb =
 
 let stem_observability t s =
   ensure_capacity t;
+  Obs.Metrics.incr m_obs_stem_calls;
   let flip () =
     let v = t.values.(s) in
     for j = 0 to t.w - 1 do
@@ -292,6 +299,7 @@ let stem_observability t s =
 
 let branch_observability t ~sink ~pin =
   ensure_capacity t;
+  Obs.Metrics.incr m_obs_branch_calls;
   match Circuit.kind t.circ sink with
   | Circuit.Po _ -> Array.make t.w (-1L) (* an output branch is always observed *)
   | Circuit.Cell (c, fs) ->
