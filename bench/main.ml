@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- guard   -- guard-on vs guard-off overhead
      dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks
      dune exec bench/main.exe -- parallel -- exact-check scaling vs --jobs
+     dune exec bench/main.exe -- serve   -- powder_serve load generator
      dune exec bench/main.exe -- quick   -- fast subset of everything
 
    [--jobs N] runs the table1 circuits on a domain pool of N executors
@@ -46,6 +47,9 @@ let record_run label (r : Optimizer.report) =
 (* Filled in by the [parallel] section; merged into BENCH_powder.json. *)
 let parallel_section : Obs.Json.t option ref = ref None
 
+(* Filled in by the [serve] section; merged into BENCH_powder.json. *)
+let serve_section : Obs.Json.t option ref = ref None
+
 let out_file = ref "BENCH_powder.json"
 
 let write_bench_json () =
@@ -73,8 +77,11 @@ let write_bench_json () =
          ("jobs", Obs.Json.Int !jobs);
          ("runs", Obs.Json.Obj (List.rev !bench_runs));
        ]
-      @ match !parallel_section with
+      @ (match !parallel_section with
         | Some p -> [ ("parallel", p) ]
+        | None -> [])
+      @ match !serve_section with
+        | Some s -> [ ("serve", s) ]
         | None -> [])
   in
   let oc = open_out !out_file in
@@ -653,6 +660,93 @@ let parallel () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Service load generator: throughput and latency of powder_serve.     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  print_endline "=== Service: supervisor throughput under load ===";
+  let n = if !quick then 30 else 150 in
+  let circuits = [| "rd84"; "alu2"; "f51m" |] in
+  (* deterministic mixed-priority load: ids, circuits and priorities
+     are pure functions of the index, so successive bench runs submit
+     the same stream *)
+  let lines =
+    List.init n (fun i ->
+        Printf.sprintf
+          "{\"op\":\"submit\",\"id\":\"load-%03d\",\"circuit\":%S,\"priority\":%d,\"options\":{\"words\":4,\"max_rounds\":2}}"
+          i
+          circuits.(i mod Array.length circuits)
+          (((i * 7) mod 11) - 5))
+  in
+  let dir = Filename.temp_file "powder_serve_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let q = Queue.create () in
+  List.iter (fun l -> Queue.push l q) lines;
+  let source () =
+    if Queue.is_empty q then Serve.Supervisor.Eof
+    else Serve.Supervisor.Line (Queue.pop q)
+  in
+  let latencies = ref [] in
+  let emit = function
+    | Obs.Json.Obj fs
+      when List.assoc_opt "ev" fs = Some (Obs.Json.String "job_done") -> (
+      match List.assoc_opt "latency_s" fs with
+      | Some (Obs.Json.Float l) -> latencies := l :: !latencies
+      | _ -> ())
+    | _ -> ()
+  in
+  let config =
+    { (Serve.Supervisor.default_config ~state_dir:dir) with
+      Serve.Supervisor.jobs = !jobs
+    }
+  in
+  Printf.eprintf "[serve] %d jobs on %d worker slots...\n%!" n !jobs;
+  let t0 = Obs.Clock.now () in
+  let outcome = Serve.Supervisor.run config ~source ~emit () in
+  let wall = Obs.Clock.now () -. t0 in
+  let sorted = Array.of_list !latencies in
+  Array.sort Float.compare sorted;
+  (* nearest-rank quantile, the same convention as [Obs.Fleet] *)
+  let quant p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  let throughput =
+    if wall > 0.0 then float_of_int outcome.Serve.Supervisor.completed /. wall
+    else 0.0
+  in
+  Printf.printf "%10s %10s %10s %12s %10s %10s %10s\n" "submitted" "completed"
+    "failed" "wall(s)" "jobs/s" "p50(s)" "p99(s)";
+  Printf.printf "%10d %10d %10d %12.3f %10.2f %10.3f %10.3f\n\n" n
+    outcome.Serve.Supervisor.completed outcome.Serve.Supervisor.failed wall
+    throughput (quant 0.5) (quant 0.99);
+  serve_section :=
+    Some
+      (Obs.Json.Obj
+         [
+           ("jobs_submitted", Obs.Json.Int n);
+           ("completed", Obs.Json.Int outcome.Serve.Supervisor.completed);
+           ("failed", Obs.Json.Int outcome.Serve.Supervisor.failed);
+           ("rejected", Obs.Json.Int outcome.Serve.Supervisor.rejected);
+           ("worker_slots", Obs.Json.Int !jobs);
+           ("wall_seconds", Obs.Json.Float wall);
+           ("throughput_jobs_per_s", Obs.Json.Float throughput);
+           ("latency_p50_s", Obs.Json.Float (quant 0.5));
+           ("latency_p99_s", Obs.Json.Float (quant 0.99));
+           ("latency_max_s", Obs.Json.Float (quant 1.0));
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -692,4 +786,5 @@ let () =
   if want "glitch" then glitch ();
   if want "guard" then guard ();
   if want "micro" then micro ();
-  if want "parallel" then parallel ()
+  if want "parallel" then parallel ();
+  if want "serve" then serve_bench ()

@@ -163,7 +163,7 @@ let optimize_cmd =
           else (
             match Powder.Checkpoint.load f with
             | Ok ck -> Some ck
-            | Error e -> failwith e)
+            | Error e -> failwith (Powder.Checkpoint.error_to_string e))
     in
     let seed =
       match resume_ck with
@@ -741,6 +741,151 @@ let fuzz_cmd =
     Term.(const run $ fuzz_seed $ budget $ cases $ max_ins $ candidates
           $ out_dir $ inject $ replay $ jobs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the fault-tolerant batch optimization service.               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run input state output jobs slice_rounds retry_base retry_cap
+      max_attempts seed inject chaos_seed =
+    let chaos =
+      match inject with
+      | None -> None
+      | Some name -> (
+        match Serve.Chaos.fault_of_name name with
+        | None ->
+          failwith
+            ("unknown fault " ^ name
+           ^ " (expected worker-crash, malformed-job, deadline-storm or \
+              checkpoint-corrupt)")
+        | Some f ->
+          let malformed =
+            if f = Serve.Chaos.Malformed_job then
+              Array.map snd
+                (Fuzz.Proto.corpus ~seed:(Int64.of_int chaos_seed) ())
+            else [||]
+          in
+          Some (Serve.Chaos.create ~malformed f))
+    in
+    let config =
+      {
+        (Serve.Supervisor.default_config ~state_dir:state) with
+        jobs;
+        slice_rounds;
+        retry =
+          {
+            Serve.Retry.base = retry_base;
+            cap = retry_cap;
+            max_attempts;
+            jitter = Serve.Retry.default.Serve.Retry.jitter;
+          };
+        seed = Int64.of_int seed;
+        chaos;
+      }
+    in
+    (* graceful shutdown: SIGTERM/SIGINT set a flag the event loop
+       polls between slices; the queue is persisted before exit *)
+    let stop = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler;
+    let rec mkdir_p dir =
+      if not (Sys.file_exists dir) then begin
+        mkdir_p (Filename.dirname dir);
+        try Unix.mkdir dir 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      end
+    in
+    mkdir_p state;
+    let out_path =
+      match output with
+      | Some f -> f
+      | None -> Filename.concat state "results.jsonl"
+    in
+    (* append: a restarted server extends the same event log *)
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 out_path
+    in
+    let emit j =
+      output_string oc (Obs.Json.to_string j);
+      output_char oc '\n';
+      flush oc
+    in
+    let source = Serve.Supervisor.file_source input in
+    let outcome =
+      Serve.Supervisor.run config ~source ~emit
+        ~should_stop:(fun () -> !stop)
+        ()
+    in
+    close_out oc;
+    Printf.printf
+      "serve: %s  completed=%d failed=%d rejected=%d recovered=%d\n"
+      (if outcome.Serve.Supervisor.clean_exit then "drained" else "stopped")
+      outcome.Serve.Supervisor.completed outcome.Serve.Supervisor.failed
+      outcome.Serve.Supervisor.rejected outcome.Serve.Supervisor.recovered
+  in
+  let input =
+    Arg.(value & opt string "-" & info [ "input" ] ~docv:"FILE"
+           ~doc:"JSONL request source: a file, a FIFO, or - for stdin.")
+  in
+  let state =
+    Arg.(required & opt (some string) None & info [ "state" ] ~docv:"DIR"
+           ~doc:"State directory: queue snapshot, per-job checkpoints, \
+                 result files.  A restart with the same directory recovers \
+                 pending work.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output" ] ~docv:"FILE"
+           ~doc:"JSONL event log (default \\$(state)/results.jsonl, \
+                 appended).")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Parallel worker slots: up to N job slices run \
+                 concurrently on a domain pool.")
+  in
+  let slice_rounds =
+    Arg.(value & opt int 2 & info [ "slice-rounds" ] ~docv:"N"
+           ~doc:"Optimizer rounds per scheduling slice; smaller slices \
+                 preempt faster.")
+  in
+  let retry_base =
+    Arg.(value & opt float 0.05 & info [ "retry-base" ] ~docv:"SECONDS"
+           ~doc:"First-retry backoff delay.")
+  in
+  let retry_cap =
+    Arg.(value & opt float 2.0 & info [ "retry-cap" ] ~docv:"SECONDS"
+           ~doc:"Backoff ceiling.")
+  in
+  let max_attempts =
+    Arg.(value & opt int 5 & info [ "max-attempts" ] ~docv:"N"
+           ~doc:"Total attempts per job (first try included) before a \
+                 transient failure becomes permanent.")
+  in
+  let serve_seed =
+    Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"N"
+           ~doc:"Server seed (retry jitter streams derive from it).")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT"
+           ~doc:"Chaos injection: worker-crash, malformed-job, \
+                 deadline-storm or checkpoint-corrupt.  Every well-formed \
+                 job must still complete with byte-identical outputs.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 0xBADF00D & info [ "chaos-seed" ] ~docv:"N"
+           ~doc:"Seed for the malformed-job corpus.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Fault-tolerant batch optimization service: JSONL job protocol, \
+             priority queue, supervised sliced workers with checkpointed \
+             preemption, typed failure taxonomy, retry with backoff, \
+             crash-safe state, chaos injection.")
+    Term.(const run $ input $ state $ output $ jobs $ slice_rounds
+          $ retry_base $ retry_cap $ max_attempts $ serve_seed $ inject
+          $ chaos_seed)
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -753,4 +898,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ optimize_cmd; report_cmd; map_cmd; stats_cmd; suite_cmd; atpg_cmd;
-            sweep_cmd; redundancy_cmd; resize_cmd; glitch_cmd; fuzz_cmd ]))
+            sweep_cmd; redundancy_cmd; resize_cmd; glitch_cmd; fuzz_cmd;
+            serve_cmd ]))

@@ -115,4 +115,62 @@ bundle=$(ls "$fuzz_dir"/fuzz-*-injected_corruption.json | head -n 1)
 hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --replay "$bundle"
 rm -rf "$fuzz_dir"
 
+echo "== smoke: batch service drains a 3-job queue =="
+serve_dir=$(mktemp -d /tmp/powder_ci_serve_XXXXXX)
+cat > "$serve_dir/jobs.jsonl" <<'EOF'
+{"op":"submit","id":"s1","circuit":"rd84","priority":1,"options":{"words":4,"max_rounds":2}}
+{"op":"submit","id":"s2","circuit":"alu2","options":{"words":4,"max_rounds":2}}
+{"op":"submit","id":"s3","circuit":"f51m","priority":-1,"options":{"words":4,"max_rounds":2}}
+EOF
+hard_timeout 300 dune exec bin/powder_cli.exe -- serve \
+  --input "$serve_dir/jobs.jsonl" --state "$serve_dir/state" \
+  | grep -q 'drained  completed=3 failed=0 rejected=0'
+for id in s1 s2 s3; do
+  dune exec bin/json_check.exe -- "$serve_dir/state/results/$id.json"
+  test -s "$serve_dir/state/results/$id.blif"
+done
+dune exec bin/json_check.exe -- --jsonl "$serve_dir/state/results.jsonl"
+
+echo "== chaos: worker crashes leave results byte-identical =="
+# Same 3 jobs under worker-crash injection: the supervisor retries the
+# crashed slices from their checkpoints and must land on exactly the
+# outputs of the undisturbed run above.
+hard_timeout 300 dune exec bin/powder_cli.exe -- serve \
+  --input "$serve_dir/jobs.jsonl" --state "$serve_dir/chaos" \
+  --inject worker-crash --retry-base 0.01 --retry-cap 0.05 >/dev/null
+for id in s1 s2 s3; do
+  cmp "$serve_dir/state/results/$id.blif" "$serve_dir/chaos/results/$id.blif"
+  dune exec bin/json_check.exe -- --compare-reports \
+    "$serve_dir/state/results/$id.json" "$serve_dir/chaos/results/$id.json"
+done
+grep -q '"ev":"retry"' "$serve_dir/chaos/results.jsonl"
+
+echo "== chaos: kill -TERM mid-run, restart recovers bit-identically =="
+cli=_build/default/bin/powder_cli.exe
+cat > "$serve_dir/big.jsonl" <<'EOF'
+{"op":"submit","id":"k1","circuit":"rd84","options":{"words":4,"max_rounds":6}}
+{"op":"submit","id":"k2","circuit":"alu2","options":{"words":4,"max_rounds":6}}
+{"op":"submit","id":"k3","circuit":"f51m","options":{"words":4,"max_rounds":6}}
+EOF
+# reference: the same queue run to completion undisturbed
+hard_timeout 300 "$cli" serve --input "$serve_dir/big.jsonl" \
+  --state "$serve_dir/ref" >/dev/null
+# interrupted run: SIGTERM lands between slices, the queue is persisted
+"$cli" serve --input "$serve_dir/big.jsonl" --state "$serve_dir/kill" \
+  >/dev/null &
+serve_pid=$!
+sleep 0.4
+kill -TERM "$serve_pid" 2>/dev/null || true
+wait "$serve_pid"
+# restart on the same state directory with no new input: pending jobs
+# recover (resuming mid-job from their checkpoints) and finish
+hard_timeout 300 "$cli" serve --input /dev/null --state "$serve_dir/kill" \
+  >/dev/null
+for id in k1 k2 k3; do
+  cmp "$serve_dir/ref/results/$id.blif" "$serve_dir/kill/results/$id.blif"
+  dune exec bin/json_check.exe -- --compare-reports \
+    "$serve_dir/ref/results/$id.json" "$serve_dir/kill/results/$id.json"
+done
+rm -rf "$serve_dir"
+
 echo "CI OK"

@@ -1,0 +1,100 @@
+let valid_submit ?(id = "job-ok") ?(circuit = "rd84") () =
+  Printf.sprintf
+    "{\"op\":\"submit\",\"id\":%S,\"circuit\":%S,\"priority\":1,\"options\":{\"words\":4,\"max_rounds\":2}}"
+    id circuit
+
+let duplicate_pair ~id ~circuit =
+  (valid_submit ~id ~circuit (), valid_submit ~id ~circuit ())
+
+(* The fixed battery.  Every line must draw a typed error from
+   [Serve.Protocol.parse] (or, for [dup-second], from the server's
+   duplicate-id check) — keep labels stable, tests key on them. *)
+let fixed : (string * string) list =
+  [
+    ("garbage", "this is not json at all");
+    ("truncated-object", "{\"op\":\"submit\",\"id\":");
+    ("truncated-string", "{\"op\":\"submit\",\"id\":\"jo");
+    ("non-object", "[\"op\",\"submit\"]");
+    ("bare-scalar", "42");
+    ("missing-op", "{\"id\":\"j1\",\"circuit\":\"rd84\"}");
+    ("mistyped-op", "{\"op\":17,\"id\":\"j1\"}");
+    ("unknown-op", "{\"op\":\"launch_missiles\",\"id\":\"j1\"}");
+    ("missing-id", "{\"op\":\"submit\",\"circuit\":\"rd84\"}");
+    ("mistyped-id", "{\"op\":\"submit\",\"id\":12,\"circuit\":\"rd84\"}");
+    ("empty-id", "{\"op\":\"submit\",\"id\":\"\",\"circuit\":\"rd84\"}");
+    ( "slash-id",
+      "{\"op\":\"submit\",\"id\":\"../etc/passwd\",\"circuit\":\"rd84\"}" );
+    ( "unknown-field",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"prority\":3}" );
+    ( "unknown-option",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"options\":{\"wrds\":4}}"
+    );
+    ( "mistyped-options",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"options\":[4]}" );
+    ( "absurd-words-zero",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"options\":{\"words\":0}}"
+    );
+    ( "absurd-words-huge",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"options\":{\"words\":1000000000}}"
+    );
+    ( "absurd-rounds-negative",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"options\":{\"max_rounds\":-3}}"
+    );
+    ( "absurd-budget-negative",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"options\":{\"budget_seconds\":-1.0}}"
+    );
+    ( "absurd-budget-huge",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"options\":{\"budget_seconds\":1e300}}"
+    );
+    ( "absurd-priority",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"priority\":1000000}" );
+    ( "mistyped-priority",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"priority\":\"high\"}"
+    );
+    ("unknown-circuit", "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"no_such\"}");
+    ( "both-sources",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\",\"blif\":\".model m\\n.end\"}"
+    );
+    ("no-source", "{\"op\":\"submit\",\"id\":\"j1\"}");
+    ( "bad-blif",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"blif\":\".model broken\\n.gate nand2 a=x\"}"
+    );
+    ( "trailing-junk",
+      "{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"rd84\"} and then some" );
+  ]
+
+let corpus ?(seed = 0xBADF00DL) () =
+  let base = valid_submit () in
+  let n = String.length base in
+  let rng = Sim.Rng.stream seed "fuzz/proto-corpus" in
+  let rand_below bound =
+    Int64.to_int (Int64.rem (Int64.logand (Sim.Rng.next rng) Int64.max_int)
+                    (Int64.of_int bound))
+  in
+  (* seeded truncations: cutting a valid line anywhere before its last
+     byte must never parse (the object brace is unbalanced) *)
+  let truncations =
+    List.init 6 (fun i ->
+        let cut = 1 + rand_below (n - 2) in
+        ( Printf.sprintf "truncate-%d-at-%d" i cut,
+          String.sub base 0 cut ))
+  in
+  (* seeded corruptions: overwrite one structural byte with junk; a
+     corruption may still parse as JSON, so aim at the quote/brace
+     skeleton which cannot survive *)
+  let corruptions =
+    List.init 4 (fun i ->
+        let b = Bytes.of_string base in
+        let structural =
+          List.filter
+            (fun p ->
+              match Bytes.get b p with
+              | '{' | '}' | '"' | ':' -> true
+              | _ -> false)
+            (List.init n Fun.id)
+        in
+        let p = List.nth structural (rand_below (List.length structural)) in
+        Bytes.set b p '\x01';
+        (Printf.sprintf "corrupt-%d-at-%d" i p, Bytes.to_string b))
+  in
+  Array.of_list (fixed @ truncations @ corruptions)

@@ -1,0 +1,22 @@
+(** Malformed-job corpus for the [powder_serve] JSONL protocol.
+
+    A deterministic battery of hostile input lines — truncated JSON,
+    unknown operations and fields, mistyped and absurd option values,
+    bad circuit payloads — plus seeded random truncations/corruptions
+    of a valid submit line.  The contract under test (see
+    [Serve.Protocol] and the serve chaos harness): the server answers
+    {e every} one of these with a typed error event and keeps serving;
+    none of them may kill the process or poison the queue. *)
+
+val valid_submit : ?id:string -> ?circuit:string -> unit -> string
+(** A well-formed submit line, used as the mutation base and as the
+    well-formed traffic interleaved between corpus lines in tests. *)
+
+val corpus : ?seed:int64 -> unit -> (string * string) array
+(** [(label, line)] pairs: the fixed battery followed by seeded random
+    truncations and single-byte corruptions of {!valid_submit}.  The
+    same seed always yields the same corpus.  Labels are unique. *)
+
+val duplicate_pair : id:string -> circuit:string -> string * string
+(** Two well-formed submit lines sharing one job id — the first must be
+    accepted, the second rejected with [duplicate_id]. *)

@@ -106,7 +106,13 @@ type 'b outcome =
   | Raised of exn * Printexc.raw_backtrace * Obs.Collector.t
   | Cancelled
 
-type 'b speculation = { mutable outcome : 'b outcome option (* None = pending *) }
+type 'b speculation = {
+  mutable outcome : 'b outcome option; (* None = pending *)
+  mutable consumed : bool;
+      (* set by commit/commit_result/discard: each speculation's
+         collector is merged or dropped exactly once, so cleanup
+         finalizers can blanket-[discard] without double-counting *)
+}
 
 let run_collected f =
   let coll = Obs.Collector.create () in
@@ -127,7 +133,7 @@ let speculate t ?(deadline = Deadline.never) (fs : (unit -> 'b) array) :
     invalid_arg "Par.Pool.speculate: nested submission from inside a pool task";
   if not t.alive then invalid_arg "Par.Pool.speculate: pool is shut down";
   let n = Array.length fs in
-  let slots = Array.init n (fun _ -> { outcome = None }) in
+  let slots = Array.init n (fun _ -> { outcome = None; consumed = false }) in
   let exec i =
     let slot = slots.(i) in
     if Deadline.expired deadline then slot.outcome <- Some Cancelled
@@ -190,44 +196,90 @@ let m_committed = Obs.Metrics.counter "par.speculations.committed"
 let m_discarded = Obs.Metrics.counter "par.speculations.discarded"
 let m_cancelled = Obs.Metrics.counter "par.speculations.cancelled"
 
-let commit (s : 'b speculation) : 'b option =
+let take what (s : 'b speculation) : 'b outcome =
   match s.outcome with
-  | None -> invalid_arg "Par.Pool.commit: speculation still pending"
-  | Some Cancelled ->
+  | None -> invalid_arg ("Par.Pool." ^ what ^ ": speculation still pending")
+  | Some o ->
+    if s.consumed then
+      invalid_arg ("Par.Pool." ^ what ^ ": speculation already consumed");
+    s.consumed <- true;
+    o
+
+let commit_result (s : 'b speculation) :
+    ('b, exn * Printexc.raw_backtrace) result option =
+  match take "commit_result" s with
+  | Cancelled ->
     Obs.Metrics.incr m_cancelled;
     None
-  | Some (Done (v, coll)) ->
+  | Done (v, coll) ->
+    Obs.Collector.commit coll;
+    Obs.Metrics.incr m_committed;
+    Some (Ok v)
+  | Raised (e, bt, coll) ->
+    Obs.Collector.commit coll;
+    Obs.Metrics.incr m_committed;
+    Some (Error (e, bt))
+
+let commit (s : 'b speculation) : 'b option =
+  match take "commit" s with
+  | Cancelled ->
+    Obs.Metrics.incr m_cancelled;
+    None
+  | Done (v, coll) ->
     Obs.Collector.commit coll;
     Obs.Metrics.incr m_committed;
     Some v
-  | Some (Raised (e, bt, coll)) ->
+  | Raised (e, bt, coll) ->
     Obs.Collector.commit coll;
     Obs.Metrics.incr m_committed;
     Printexc.raise_with_backtrace e bt
 
 let discard (s : _ speculation) =
-  match s.outcome with
-  | Some (Done (_, coll)) | Some (Raised (_, _, coll)) ->
-    Obs.Collector.discard coll;
-    Obs.Metrics.incr m_discarded
-  | Some Cancelled | None -> ()
+  if not s.consumed then
+    match s.outcome with
+    | Some (Done (_, coll)) | Some (Raised (_, _, coll)) ->
+      s.consumed <- true;
+      Obs.Collector.discard coll;
+      Obs.Metrics.incr m_discarded
+    | Some Cancelled -> s.consumed <- true
+    | None -> ()
+
+(* Every combinator below blanket-discards the batch in a finalizer:
+   if a commit re-raises a task's exception mid-walk, the collectors
+   of the not-yet-consumed speculations are dropped instead of
+   stranded (consume-once makes the blanket pass a no-op for the
+   already-committed prefix). *)
 
 let map t ?deadline ~f xs =
   let specs = speculate t ?deadline (Array.map (fun x () -> f x) xs) in
   let out = Array.make (Array.length specs) None in
+  Fun.protect
+    ~finally:(fun () -> Array.iter discard specs)
+    (fun () ->
+      for i = 0 to Array.length specs - 1 do
+        out.(i) <- commit specs.(i)
+      done);
+  out
+
+let map_result t ?deadline ~f xs =
+  let specs = speculate t ?deadline (Array.map (fun x () -> f x) xs) in
+  let out = Array.make (Array.length specs) None in
   for i = 0 to Array.length specs - 1 do
-    out.(i) <- commit specs.(i)
+    out.(i) <- Option.map (Result.map_error fst) (commit_result specs.(i))
   done;
   out
 
 let map_reduce t ?deadline ~map:f ~reduce ~init xs =
   let specs = speculate t ?deadline (Array.map (fun x () -> f x) xs) in
   let acc = ref init in
-  for i = 0 to Array.length specs - 1 do
-    match commit specs.(i) with
-    | None -> ()
-    | Some v -> acc := reduce !acc v
-  done;
+  Fun.protect
+    ~finally:(fun () -> Array.iter discard specs)
+    (fun () ->
+      for i = 0 to Array.length specs - 1 do
+        match commit specs.(i) with
+        | None -> ()
+        | Some v -> acc := reduce !acc v
+      done);
   !acc
 
 let find_first_accept t ?chunk ?deadline ~check ~screen ~commit:commitf xs =
@@ -244,26 +296,26 @@ let find_first_accept t ?chunk ?deadline ~check ~screen ~commit:commitf xs =
       tasks.(k) <- (fun () -> check idx xs.(idx))
     done;
     let specs = speculate t ?deadline tasks in
-    let k = ref 0 in
-    while !result = None && !k < m do
-      let idx = !lo + !k in
-      if screen idx xs.(idx) then begin
-        match commit specs.(!k) with
-        | None -> ()
-        | Some v -> (
-          match commitf idx xs.(idx) v with
-          | Some r -> result := Some r
-          | None -> ())
-      end
-      else discard specs.(!k);
-      incr k
-    done;
-    (* an accept mid-chunk invalidates the rest of the chunk's
-       speculation: roll it back without merging *)
-    while !k < m do
-      discard specs.(!k);
-      incr k
-    done;
+    (* the finalizer rolls back whatever the walk did not consume: the
+       tail of a chunk invalidated by an accept, or — if a committed
+       task re-raises — everything after the raising index *)
+    Fun.protect
+      ~finally:(fun () -> Array.iter discard specs)
+      (fun () ->
+        let k = ref 0 in
+        while !result = None && !k < m do
+          let idx = !lo + !k in
+          if screen idx xs.(idx) then begin
+            match commit specs.(!k) with
+            | None -> ()
+            | Some v -> (
+              match commitf idx xs.(idx) v with
+              | Some r -> result := Some r
+              | None -> ())
+          end
+          else discard specs.(!k);
+          incr k
+        done);
     lo := hi
   done;
   !result

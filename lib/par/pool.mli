@@ -64,12 +64,24 @@ val commit : 'b speculation -> 'b option
 (** Consume one outcome on the main domain: merge its collector into
     the global metrics/trace state, then return [Some value], re-raise
     the task's exception (original backtrace preserved), or return
-    [None] if it was cancelled.  Call in index order for determinism;
-    committing twice double-merges — each speculation is consumed at
-    most once. *)
+    [None] if it was cancelled.  Call in index order for determinism.
+    Each speculation is consumed exactly once: a second
+    commit/commit_result raises [Invalid_argument], and {!discard}
+    after a commit is a no-op. *)
+
+val commit_result :
+  'b speculation -> ('b, exn * Printexc.raw_backtrace) result option
+(** Like {!commit}, but a task that raised surfaces as [Some (Error
+    (exn, backtrace))] instead of re-raising — the containment
+    primitive for supervisors that must keep running when one task
+    fails.  The raising task's collector is still merged (sequential
+    parity: the work up to the raise happened and is observable).
+    [None] marks a cancelled task. *)
 
 val discard : _ speculation -> unit
-(** Drop an outcome without merging its collector. *)
+(** Drop an outcome without merging its collector.  No-op on a
+    speculation that was already committed or discarded, so cleanup
+    paths may blanket-discard a whole batch. *)
 
 val cancelled : _ speculation -> bool
 
@@ -78,7 +90,20 @@ val cancelled : _ speculation -> bool
 val map : t -> ?deadline:Obs.Deadline.t -> f:('a -> 'b) -> 'a array -> 'b option array
 (** Parallel map; outcomes committed left-to-right.  [None] marks a
     cancelled element.  If a task raised, the exception surfaces at
-    its index position (later collectors are discarded). *)
+    its index position and the later elements' collectors are
+    discarded (never stranded half-merged). *)
+
+val map_result :
+  t ->
+  ?deadline:Obs.Deadline.t ->
+  f:('a -> 'b) ->
+  'a array ->
+  ('b, exn) result option array
+(** Parallel map with per-element containment: element [i] is
+    [Some (Ok y)], [Some (Error exn)] if [f xs.(i)] raised, or [None]
+    if it was cancelled by the deadline.  A raising element never
+    aborts the walk or poisons the pool — every other element's result
+    (and observability) is still delivered. *)
 
 val map_reduce :
   t ->

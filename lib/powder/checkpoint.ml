@@ -81,30 +81,60 @@ let to_json c =
       ("degradation_level", J.Int c.degradation_level);
     ]
 
+type error =
+  | Io of string
+  | Corrupt of string
+  | Bad_version of { found : int; expected : int }
+
+let error_to_string = function
+  | Io m -> "checkpoint: " ^ m
+  | Corrupt m -> "checkpoint: corrupt: " ^ m
+  | Bad_version { found; expected } ->
+    Printf.sprintf "checkpoint: version %d, expected %d" found expected
+
+(* Crash-atomic and durable: the payload is written to a sibling tmp
+   file, fsync'd, then renamed over the target; finally the directory
+   entry itself is fsync'd.  A kill or power cut at any instant leaves
+   either the complete old checkpoint or the complete new one — and
+   [load] rejects anything else with a typed error. *)
 let save file c =
+  let payload = J.to_string (to_json c) ^ "\n" in
   let tmp = file ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (J.to_string (to_json c));
-  output_char oc '\n';
-  close_out oc;
-  (* Atomic on POSIX: a reader sees either the old file or the new one,
-     never a torn write — a kill mid-checkpoint cannot lose the run. *)
-  Sys.rename tmp file
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+  let closed = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !closed then Unix.close fd)
+    (fun () ->
+      let n = String.length payload in
+      let off = ref 0 in
+      while !off < n do
+        off := !off + Unix.write_substring fd payload !off (n - !off)
+      done;
+      Unix.fsync fd;
+      Unix.close fd;
+      closed := true);
+  Sys.rename tmp file;
+  match Unix.openfile (Filename.dirname file) [ O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+    (* directory fsync is best-effort: not every filesystem allows it *)
+    (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+    (try Unix.close dfd with Unix.Unix_error _ -> ())
 
 let ( let* ) = Result.bind
 
 let field name conv j =
   match Option.bind (J.member name j) conv with
   | Some v -> Ok v
-  | None -> Error (Printf.sprintf "checkpoint: missing or invalid field %S" name)
+  | None ->
+    Error (Corrupt (Printf.sprintf "missing or invalid field %S" name))
 
 let of_json j =
   let* m = field "magic" J.get_string j in
-  if m <> magic then Error "checkpoint: bad magic"
+  if m <> magic then Error (Corrupt "bad magic")
   else
     let* v = field "version" J.get_int j in
-    if v <> version then
-      Error (Printf.sprintf "checkpoint: version %d, expected %d" v version)
+    if v <> version then Error (Bad_version { found = v; expected = version })
     else
       let* round = field "round" J.get_int j in
       let* status = field "status" J.get_string j in
@@ -113,7 +143,7 @@ let of_json j =
       let* seed =
         match Int64.of_string_opt seed_s with
         | Some s -> Ok s
-        | None -> Error "checkpoint: bad seed"
+        | None -> Error (Corrupt "bad seed")
       in
       let* blif = field "blif" J.get_string j in
       let* cex_json = field "cex" J.get_list j in
@@ -129,11 +159,11 @@ let of_json j =
                     let* acc = acc in
                     match J.get_bool v with
                     | Some b -> Ok ((name, b) :: acc)
-                    | None -> Error "checkpoint: non-bool cex value")
+                    | None -> Error (Corrupt "non-bool cex value"))
                   (Ok []) fields
               in
               Ok (List.rev assignment :: acc)
-            | _ -> Error "checkpoint: cex entry is not an object")
+            | _ -> Error (Corrupt "cex entry is not an object"))
           (Ok []) cex_json
       in
       let cex = List.rev cex in
@@ -155,10 +185,10 @@ let of_json j =
               let* acc = acc in
               match J.get_int v with
               | Some n -> Ok ((k, n) :: acc)
-              | None -> Error "checkpoint: bad giveup_breakdown")
+              | None -> Error (Corrupt "bad giveup_breakdown"))
             (Ok []) fields
           |> Result.map List.rev
-        | _ -> Error "checkpoint: missing giveup_breakdown"
+        | _ -> Error (Corrupt "missing giveup_breakdown")
       in
       let* by_class =
         match J.member "by_class" j with
@@ -172,7 +202,7 @@ let of_json j =
               Ok ((k, (accepted, pg, ag)) :: acc))
             (Ok []) fields
           |> Result.map List.rev
-        | _ -> Error "checkpoint: missing by_class"
+        | _ -> Error (Corrupt "missing by_class")
       in
       let* initial_power = field "initial_power" J.get_float j in
       let* initial_area = field "initial_area" J.get_float j in
@@ -206,14 +236,15 @@ let of_json j =
 
 let load file =
   match
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error e -> Error (Printf.sprintf "checkpoint: %s" e)
+  | exception Sys_error e -> Error (Io e)
+  | exception End_of_file -> Error (Corrupt "truncated file")
+  | "" -> Error (Corrupt "empty file")
   | text -> (
     match J.of_string (String.trim text) with
-    | Error e -> Error (Printf.sprintf "checkpoint: invalid JSON: %s" e)
+    | Error e -> Error (Corrupt ("invalid JSON: " ^ e))
     | Ok j -> of_json j)

@@ -43,10 +43,23 @@ val version : int
 
 val to_json : t -> Obs.Json.t
 
-val save : string -> t -> unit
-(** Atomic: writes to [file ^ ".tmp"], then renames — a kill mid-write
-    leaves the previous checkpoint intact. *)
+type error =
+  | Io of string
+      (** the file cannot be opened or read (missing, permissions, ...) *)
+  | Corrupt of string
+      (** truncated or garbled contents: invalid JSON, bad magic,
+          missing or mistyped fields *)
+  | Bad_version of { found : int; expected : int }
 
-val load : string -> (t, string) result
-(** Rejects wrong magic, wrong version, and malformed fields with a
-    descriptive message. *)
+val error_to_string : error -> string
+
+val save : string -> t -> unit
+(** Crash-atomic and durable: write to [file ^ ".tmp"], fsync, rename
+    over [file], fsync the directory.  A kill or power cut at any
+    instant leaves either the previous complete checkpoint or the new
+    one — never a torn write.  Raises [Unix.Unix_error] / [Sys_error]
+    only on real I/O failure (disk full, bad path). *)
+
+val load : string -> (t, error) result
+(** Never raises: unreadable files come back as [Io], truncated or
+    garbled ones as [Corrupt], schema mismatches as [Bad_version]. *)

@@ -1,0 +1,45 @@
+type fault = Worker_crash | Malformed_job | Deadline_storm | Checkpoint_corrupt
+
+let fault_name = function
+  | Worker_crash -> "worker-crash"
+  | Malformed_job -> "malformed-job"
+  | Deadline_storm -> "deadline-storm"
+  | Checkpoint_corrupt -> "checkpoint-corrupt"
+
+let all_faults =
+  [ Worker_crash; Malformed_job; Deadline_storm; Checkpoint_corrupt ]
+
+let fault_of_name name =
+  List.find_opt (fun f -> fault_name f = name) all_faults
+
+type t = {
+  fault : fault;
+  malformed : string array;
+  fired : (string, unit) Hashtbl.t;  (* hook-qualified job ids *)
+  mutable spliced : bool;
+}
+
+let create ?(malformed = [||]) fault =
+  { fault; malformed; fired = Hashtbl.create 16; spliced = false }
+
+let fault t = t.fault
+
+let once t key =
+  if Hashtbl.mem t.fired key then false
+  else begin
+    Hashtbl.add t.fired key ();
+    true
+  end
+
+let crash_now t ~id = t.fault = Worker_crash && once t ("crash/" ^ id)
+let storm_now t ~id = t.fault = Deadline_storm && once t ("storm/" ^ id)
+
+let corrupt_now t ~id =
+  t.fault = Checkpoint_corrupt && once t ("corrupt/" ^ id)
+
+let malformed_lines t =
+  if t.fault = Malformed_job && not t.spliced then begin
+    t.spliced <- true;
+    Array.to_list t.malformed
+  end
+  else []

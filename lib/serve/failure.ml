@@ -1,0 +1,17 @@
+type klass = Transient | Malformed | Fatal | Timeout
+
+let klass_name = function
+  | Transient -> "transient"
+  | Malformed -> "malformed"
+  | Fatal -> "fatal"
+  | Timeout -> "timeout"
+
+exception Crashed of string
+
+let classify_exn = function
+  | Crashed _ -> Transient
+  | Sys_error _ -> Transient
+  | Out_of_memory | Stack_overflow -> Fatal
+  | Assert_failure _ -> Fatal
+  | Failure m when String.length m >= 6 && String.sub m 0 6 = "fatal:" -> Fatal
+  | _ -> Transient

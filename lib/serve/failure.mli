@@ -1,0 +1,29 @@
+(** The worker-failure taxonomy.
+
+    Every job attempt ends in exactly one class, and the class alone
+    decides the supervisor's move:
+
+    - [Transient] — worker crash, I/O hiccup, spurious timeout.
+      Retried with backoff up to the policy's attempt budget.
+    - [Malformed] — the job itself is invalid (protocol rejects land
+      here).  Never retried; answered with a typed error.
+    - [Fatal] — the process cannot safely continue this job
+      (out-of-memory, stack overflow, invariant violation).  Never
+      retried; the job fails, the fleet keeps serving.
+    - [Timeout] — the job's own wall-clock budget is exhausted.
+      Never retried. *)
+
+type klass = Transient | Malformed | Fatal | Timeout
+
+val klass_name : klass -> string
+(** Stable snake_case wire label. *)
+
+exception Crashed of string
+(** Raised by chaos injection (and usable by workers) to model an
+    abrupt worker death mid-slice. *)
+
+val classify_exn : exn -> klass
+(** [Crashed] and [Sys_error] are [Transient]; [Out_of_memory],
+    [Stack_overflow], [Assert_failure] and [Failure] messages tagged
+    ["fatal:"] are [Fatal]; anything else is [Transient] (retrying an
+    unknown exception is safe — the attempt budget bounds it). *)

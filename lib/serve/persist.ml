@@ -1,0 +1,35 @@
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+  let closed = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !closed then try Unix.close fd with _ -> ())
+    (fun () ->
+      let n = String.length contents in
+      let written = ref 0 in
+      while !written < n do
+        written :=
+          !written + Unix.write_substring fd contents !written (n - !written)
+      done;
+      Unix.fsync fd;
+      Unix.close fd;
+      closed := true);
+  Sys.rename tmp path;
+  (* durability of the rename itself is best-effort: some filesystems
+     refuse to fsync a directory fd *)
+  match Unix.openfile (Filename.dirname path) [ O_RDONLY ] 0 with
+  | dirfd ->
+    (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+    (try Unix.close dirfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Ok s
+        | exception End_of_file -> Error (path ^ ": truncated read"))

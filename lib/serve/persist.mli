@@ -1,0 +1,11 @@
+(** Crash-atomic durable file writes for the serve state directory —
+    the same tmp + fsync + rename discipline as [Powder.Checkpoint],
+    for arbitrary payloads (queue snapshots, result reports, BLIFs). *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents]: write [path ^ ".tmp"], fsync, rename
+    over [path], then best-effort fsync the directory.  A kill at any
+    instant leaves either the old complete file or the new one. *)
+
+val read_file : string -> (string, string) result
+(** Whole-file read; [Error] carries the system message. *)

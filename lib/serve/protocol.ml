@@ -1,0 +1,240 @@
+module J = Obs.Json
+
+type source = Suite of string | Blif of string
+
+type options = {
+  words : int;
+  seed : int;
+  max_rounds : int;
+  budget_seconds : float option;
+}
+
+let default_options =
+  { words = 8; seed = 0xC0FFEE; max_rounds = 32; budget_seconds = None }
+
+type job = { id : string; priority : int; source : source; options : options }
+type request = Submit of job | Status | Drain | Shutdown
+
+type error =
+  | Invalid_json of string
+  | Not_an_object
+  | Unknown_op of string
+  | Missing_field of string
+  | Unknown_field of string
+  | Bad_field of string * string
+  | Absurd_value of string * string
+  | Unknown_circuit of string
+  | Bad_blif of string
+  | Ambiguous_source
+  | Duplicate_id of string
+
+let error_name = function
+  | Invalid_json _ -> "invalid_json"
+  | Not_an_object -> "not_an_object"
+  | Unknown_op _ -> "unknown_op"
+  | Missing_field _ -> "missing_field"
+  | Unknown_field _ -> "unknown_field"
+  | Bad_field _ -> "bad_field"
+  | Absurd_value _ -> "absurd_value"
+  | Unknown_circuit _ -> "unknown_circuit"
+  | Bad_blif _ -> "bad_blif"
+  | Ambiguous_source -> "ambiguous_source"
+  | Duplicate_id _ -> "duplicate_id"
+
+let error_detail = function
+  | Invalid_json m -> m
+  | Not_an_object -> "a request is a JSON object"
+  | Unknown_op op -> Printf.sprintf "unknown op %S" op
+  | Missing_field f -> Printf.sprintf "missing required field %S" f
+  | Unknown_field f -> Printf.sprintf "unknown field %S" f
+  | Bad_field (f, why) -> Printf.sprintf "field %S: %s" f why
+  | Absurd_value (f, why) -> Printf.sprintf "field %S: %s" f why
+  | Unknown_circuit c -> Printf.sprintf "unknown suite circuit %S" c
+  | Bad_blif m -> "embedded BLIF does not parse: " ^ m
+  | Ambiguous_source -> "exactly one of \"circuit\" or \"blif\" is required"
+  | Duplicate_id id -> Printf.sprintf "job id %S already exists" id
+
+let ( let* ) = Result.bind
+
+(* Resource bounds: requests outside these are answered with
+   [absurd_value] instead of being allowed to starve the fleet. *)
+let max_words = 256
+let max_rounds_limit = 10_000
+let max_budget_seconds = 3600.0
+let priority_limit = 100
+
+let id_ok id =
+  let n = String.length id in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       id
+
+let parse_options fields =
+  List.fold_left
+    (fun acc (k, v) ->
+      let* o = acc in
+      match k with
+      | "words" -> (
+        match J.get_int v with
+        | None -> Error (Bad_field ("options.words", "must be an integer"))
+        | Some w when w < 1 || w > max_words ->
+          Error
+            (Absurd_value
+               ( "options.words",
+                 Printf.sprintf "%d outside 1..%d" w max_words ))
+        | Some w -> Ok { o with words = w })
+      | "seed" -> (
+        match J.get_int v with
+        | None -> Error (Bad_field ("options.seed", "must be an integer"))
+        | Some s -> Ok { o with seed = s })
+      | "max_rounds" -> (
+        match J.get_int v with
+        | None -> Error (Bad_field ("options.max_rounds", "must be an integer"))
+        | Some r when r < 1 || r > max_rounds_limit ->
+          Error
+            (Absurd_value
+               ( "options.max_rounds",
+                 Printf.sprintf "%d outside 1..%d" r max_rounds_limit ))
+        | Some r -> Ok { o with max_rounds = r })
+      | "budget_seconds" -> (
+        match J.get_float v with
+        | None ->
+          Error (Bad_field ("options.budget_seconds", "must be a number"))
+        | Some b
+          when (not (Float.is_finite b)) || b <= 0.0 || b > max_budget_seconds
+          ->
+          Error
+            (Absurd_value
+               ( "options.budget_seconds",
+                 Printf.sprintf "%g outside (0, %g]" b max_budget_seconds ))
+        | Some b -> Ok { o with budget_seconds = Some b })
+      | other -> Error (Unknown_field ("options." ^ other)))
+    (Ok default_options) fields
+
+let validate_source circuit blif =
+  match (circuit, blif) with
+  | Some _, Some _ | None, None -> Error Ambiguous_source
+  | Some name, None -> (
+    match Circuits.Suite.find name with
+    | Some _ -> Ok (Suite name)
+    | None -> Error (Unknown_circuit name))
+  | None, Some text -> (
+    match Blif.Blif_io.circuit_of_string Gatelib.Library.lib2 text with
+    | Ok _ -> Ok (Blif text)
+    | Error e -> Error (Bad_blif (Blif.Blif_io.error_to_string e)))
+
+(* Shared by the wire parser (fields include "op") and the persistence
+   rehydrator (fields do not). *)
+let job_of_fields ~with_op fields =
+  let* () =
+    List.fold_left
+      (fun acc (k, _) ->
+        let* () = acc in
+        match k with
+        | "id" | "priority" | "circuit" | "blif" | "options" -> Ok ()
+        | "op" when with_op -> Ok ()
+        | other -> Error (Unknown_field other))
+      (Ok ()) fields
+  in
+  let mem k = List.assoc_opt k fields in
+  let* id =
+    match mem "id" with
+    | None -> Error (Missing_field "id")
+    | Some v -> (
+      match J.get_string v with
+      | None -> Error (Bad_field ("id", "must be a string"))
+      | Some id when not (id_ok id) ->
+        Error
+          (Bad_field
+             ("id", "must match [A-Za-z0-9._-]{1,64} (it names result files)"))
+      | Some id -> Ok id)
+  in
+  let* priority =
+    match mem "priority" with
+    | None -> Ok 0
+    | Some v -> (
+      match J.get_int v with
+      | None -> Error (Bad_field ("priority", "must be an integer"))
+      | Some p when p < -priority_limit || p > priority_limit ->
+        Error
+          (Absurd_value
+             ( "priority",
+               Printf.sprintf "%d outside -%d..%d" p priority_limit
+                 priority_limit ))
+      | Some p -> Ok p)
+  in
+  let* source =
+    validate_source
+      (Option.bind (mem "circuit") J.get_string)
+      (Option.bind (mem "blif") J.get_string)
+  in
+  (* a present-but-mistyped source field must not read as absent *)
+  let* () =
+    match mem "circuit" with
+    | Some v when J.get_string v = None ->
+      Error (Bad_field ("circuit", "must be a string"))
+    | _ -> Ok ()
+  in
+  let* () =
+    match mem "blif" with
+    | Some v when J.get_string v = None ->
+      Error (Bad_field ("blif", "must be a string"))
+    | _ -> Ok ()
+  in
+  let* options =
+    match mem "options" with
+    | None -> Ok default_options
+    | Some (J.Obj ofields) -> parse_options ofields
+    | Some _ -> Error (Bad_field ("options", "must be an object"))
+  in
+  Ok { id; priority; source; options }
+
+let parse line =
+  match J.of_string line with
+  | Error e -> Error (Invalid_json e)
+  | Ok (J.Obj fields) -> (
+    match List.assoc_opt "op" fields with
+    | None -> Error (Missing_field "op")
+    | Some v -> (
+      match J.get_string v with
+      | None -> Error (Bad_field ("op", "must be a string"))
+      | Some "submit" ->
+        let* job = job_of_fields ~with_op:true fields in
+        Ok (Submit job)
+      | Some "status" -> Ok Status
+      | Some "drain" -> Ok Drain
+      | Some "shutdown" -> Ok Shutdown
+      | Some op -> Error (Unknown_op op)))
+  | Ok _ -> Error Not_an_object
+
+let job_to_json j =
+  let source_field =
+    match j.source with
+    | Suite name -> ("circuit", J.String name)
+    | Blif text -> ("blif", J.String text)
+  in
+  let opt_fields =
+    [
+      ("words", J.Int j.options.words);
+      ("seed", J.Int j.options.seed);
+      ("max_rounds", J.Int j.options.max_rounds);
+    ]
+    @
+    match j.options.budget_seconds with
+    | None -> []
+    | Some b -> [ ("budget_seconds", J.Float b) ]
+  in
+  J.Obj
+    [
+      ("id", J.String j.id);
+      ("priority", J.Int j.priority);
+      source_field;
+      ("options", J.Obj opt_fields);
+    ]
+
+let job_of_json = function
+  | J.Obj fields -> job_of_fields ~with_op:false fields
+  | _ -> Error Not_an_object

@@ -1,0 +1,74 @@
+(** The [powder_serve] wire protocol: newline-delimited JSON requests.
+
+    One JSON object per line.  [op] selects the request:
+
+    {v
+    {"op":"submit","id":"j1","priority":2,"circuit":"rd84",
+     "options":{"words":8,"seed":7,"max_rounds":16,"budget_seconds":30.0}}
+    {"op":"submit","id":"j2","blif":".model m\n..."}
+    {"op":"status"}
+    {"op":"drain"}
+    {"op":"shutdown"}
+    v}
+
+    Parsing is {b strict}: unknown operations, unknown fields (top
+    level and inside [options]), mistyped values, and absurd resource
+    requests are all rejected with a typed {!error} — the server
+    answers an [error] event and keeps serving.  Jobs carry either a
+    built-in suite circuit name or an embedded mapped BLIF; both are
+    resolved/validated at submit time so a malformed payload can never
+    reach a worker. *)
+
+type source =
+  | Suite of string  (** a [Circuits.Suite] benchmark name *)
+  | Blif of string   (** an embedded mapped-BLIF payload *)
+
+type options = {
+  words : int;                    (** simulation words, 1..256 *)
+  seed : int;                     (** optimizer pattern seed *)
+  max_rounds : int;               (** total optimization rounds, 1..10000 *)
+  budget_seconds : float option;  (** total job wall-clock budget *)
+}
+
+val default_options : options
+(** words 8, seed 0xC0FFEE, max_rounds 32, no budget. *)
+
+type job = {
+  id : string;       (** [A-Za-z0-9._-]{1,64} — doubles as a file stem *)
+  priority : int;    (** higher runs first; -100..100, default 0 *)
+  source : source;
+  options : options;
+}
+
+type request = Submit of job | Status | Drain | Shutdown
+
+(** The failure taxonomy for protocol-level rejects.  [error_name] is
+    the stable snake_case wire label. *)
+type error =
+  | Invalid_json of string
+  | Not_an_object
+  | Unknown_op of string
+  | Missing_field of string
+  | Unknown_field of string
+  | Bad_field of string * string     (** field, reason *)
+  | Absurd_value of string * string  (** field, reason *)
+  | Unknown_circuit of string
+  | Bad_blif of string
+  | Ambiguous_source
+      (** exactly one of [circuit] / [blif] is required *)
+  | Duplicate_id of string
+      (** raised by the server, not the parser: the id is already
+          queued, running, or completed *)
+
+val error_name : error -> string
+val error_detail : error -> string
+
+val parse : string -> (request, error) result
+(** Parse and validate one protocol line.  Suite names are resolved
+    and embedded BLIF payloads are parsed against the standard cell
+    library here, at the door. *)
+
+val job_to_json : job -> Obs.Json.t
+(** Canonical job serialization, used for queue persistence. *)
+
+val job_of_json : Obs.Json.t -> (job, error) result

@@ -1,0 +1,27 @@
+type policy = {
+  base : float;
+  cap : float;
+  max_attempts : int;
+  jitter : float;
+}
+
+let default = { base = 0.05; cap = 2.0; max_attempts = 5; jitter = 0.5 }
+
+type t = { policy : policy; rng : Sim.Rng.t; mutable attempts : int }
+
+let create policy ~seed ~job_id =
+  { policy; rng = Sim.Rng.stream seed ("serve/retry/" ^ job_id); attempts = 0 }
+
+let attempts t = t.attempts
+
+let next_delay t =
+  t.attempts <- t.attempts + 1;
+  if t.attempts >= t.policy.max_attempts then None
+  else
+    let raw =
+      Float.min t.policy.cap
+        (t.policy.base *. Float.pow 2.0 (float_of_int (t.attempts - 1)))
+    in
+    let u = Sim.Rng.next_float t.rng in
+    (* scale by 1 +/- jitter/2 around the nominal delay *)
+    Some (Float.max 0.0 (raw *. (1.0 +. (t.policy.jitter *. (u -. 0.5)))))

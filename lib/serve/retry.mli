@@ -1,0 +1,31 @@
+(** Capped exponential backoff with deterministic jitter.
+
+    A transient job failure is retried after
+    [min cap (base * 2^(attempt-1))], scaled by a jitter factor drawn
+    from a per-job [Sim.Rng] stream — so two servers started with the
+    same seed schedule byte-identical retries, while distinct jobs
+    don't thundering-herd onto the same instant. *)
+
+type policy = {
+  base : float;        (** first-retry delay, seconds *)
+  cap : float;         (** backoff ceiling, seconds *)
+  max_attempts : int;  (** total tries, including the first *)
+  jitter : float;      (** +/- fraction of the delay, in [0, 1] *)
+}
+
+val default : policy
+(** base 0.05s, cap 2.0s, 5 attempts, 0.5 jitter. *)
+
+type t
+
+val create : policy -> seed:int64 -> job_id:string -> t
+(** Jitter stream is [Sim.Rng.stream seed ("serve/retry/" ^ job_id)] —
+    per-job, domain-separated, reproducible. *)
+
+val attempts : t -> int
+(** Attempts consumed so far. *)
+
+val next_delay : t -> float option
+(** Consume one attempt.  [Some delay] if a retry is allowed (the
+    caller should wait [delay] seconds), [None] once [max_attempts]
+    tries have been consumed. *)

@@ -255,7 +255,7 @@ let test_checkpoint_roundtrip () =
   Checkpoint.save file ck;
   (match Checkpoint.load file with
   | Ok ck' -> Alcotest.(check bool) "round-trips exactly" true (ck = ck')
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
   Sys.remove file
 
 let test_checkpoint_load_rejects_garbage () =
@@ -266,6 +266,90 @@ let test_checkpoint_load_rejects_garbage () =
   (match Checkpoint.load file with
   | Ok _ -> Alcotest.fail "bad magic accepted"
   | Error _ -> ());
+  Sys.remove file
+
+(* One sample checkpoint reused by every typed-error case below. *)
+let sample_ck () =
+  {
+    Checkpoint.round = 1;
+    status = "running";
+    substitutions = 0;
+    seed = 1L;
+    blif = ".model m\n.inputs a\n.outputs f\n.end\n";
+    cex = [];
+    cex_cursor = 0;
+    candidates_generated = 0;
+    checks_run = 0;
+    rejected_by_delay = 0;
+    rejected_by_atpg = 0;
+    rejected_by_giveup = 0;
+    rejected_by_timeout = 0;
+    rejected_by_cex = 0;
+    rolled_back = 0;
+    verified_applies = 0;
+    giveup_breakdown = [];
+    by_class = [];
+    initial_power = 1.0;
+    initial_area = 1.0;
+    initial_delay = 1.0;
+    degradation_level = 0;
+  }
+
+let expect_error name file check =
+  match Checkpoint.load file with
+  | Ok _ -> Alcotest.fail (name ^ ": damaged checkpoint accepted")
+  | Error e ->
+    if not (check e) then
+      Alcotest.fail (name ^ ": wrong class: " ^ Checkpoint.error_to_string e)
+
+let test_checkpoint_typed_errors () =
+  let file = Filename.temp_file "powder_ck" ".json" in
+  (* truncation: save a valid checkpoint, cut it in half *)
+  Checkpoint.save file (sample_ck ());
+  let size = (Unix.stat file).Unix.st_size in
+  Unix.truncate file (size / 2);
+  expect_error "truncated" file (function
+    | Checkpoint.Corrupt _ -> true
+    | _ -> false);
+  (* empty file *)
+  Unix.truncate file 0;
+  expect_error "empty" file (function
+    | Checkpoint.Corrupt _ -> true
+    | _ -> false);
+  (* single corrupted byte in the JSON skeleton *)
+  Checkpoint.save file (sample_ck ());
+  let fd = Unix.openfile file [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.write_substring fd "\x01" 0 1);
+  Unix.close fd;
+  expect_error "corrupt byte" file (function
+    | Checkpoint.Corrupt _ -> true
+    | _ -> false);
+  (* schema version from the future *)
+  let oc = open_out file in
+  output_string oc
+    (Printf.sprintf
+       "{\"magic\":\"powder-checkpoint\",\"version\":%d}"
+       (Checkpoint.version + 1));
+  close_out oc;
+  expect_error "future version" file (function
+    | Checkpoint.Bad_version { found; expected } ->
+      found = Checkpoint.version + 1 && expected = Checkpoint.version
+    | _ -> false);
+  Sys.remove file;
+  (* missing file: an I/O error, not a crash *)
+  expect_error "missing" file (function
+    | Checkpoint.Io _ -> true
+    | _ -> false)
+
+let test_checkpoint_save_atomic () =
+  let file = Filename.temp_file "powder_ck" ".json" in
+  Checkpoint.save file (sample_ck ());
+  (* overwrite with a different checkpoint; no .tmp must survive *)
+  Checkpoint.save file { (sample_ck ()) with Checkpoint.round = 9 };
+  Alcotest.(check bool) "no tmp litter" false (Sys.file_exists (file ^ ".tmp"));
+  (match Checkpoint.load file with
+  | Ok ck -> Alcotest.(check int) "newest version visible" 9 ck.Checkpoint.round
+  | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
   Sys.remove file
 
 let resume_matches ?(half_jobs = 1) ?(resume_jobs = 1) name =
@@ -297,7 +381,7 @@ let resume_matches ?(half_jobs = 1) ?(resume_jobs = 1) name =
   let ck =
     match Checkpoint.load file with
     | Ok ck -> ck
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Checkpoint.error_to_string e)
   in
   Sys.remove file;
   let c_res = mapped name in
@@ -359,6 +443,10 @@ let suite =
           test_checkpoint_roundtrip;
         Alcotest.test_case "checkpoint rejects garbage" `Quick
           test_checkpoint_load_rejects_garbage;
+        Alcotest.test_case "checkpoint typed load errors" `Quick
+          test_checkpoint_typed_errors;
+        Alcotest.test_case "checkpoint save is atomic" `Quick
+          test_checkpoint_save_atomic;
         Alcotest.test_case "resume matches rd84" `Quick test_resume_rd84;
         Alcotest.test_case "resume matches alu2" `Quick test_resume_alu2;
         Alcotest.test_case "resume matches Z5xp1" `Quick test_resume_z5xp1;

@@ -330,6 +330,64 @@ let test_report_json () =
     Alcotest.(check (option int)) "substitutions" (Some report.Powder.Optimizer.substitutions)
       (Option.bind (Json.member "substitutions" j') Json.get_int))
 
+(* ------------------------------------------------------------------ *)
+(* Deadline edge cases: the supervisor leans on these (zero budgets    *)
+(* from deadline storms, nested job/slice deadlines).                  *)
+(* ------------------------------------------------------------------ *)
+
+let spin_past () =
+  (* let the wall clock tick at least once *)
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 <= 1e-4 do
+    Domain.cpu_relax ()
+  done
+
+let test_deadline_zero_budget () =
+  let d = Obs.Deadline.after ~seconds:0.0 in
+  spin_past ();
+  Alcotest.(check bool) "zero budget expires" true (Obs.Deadline.expired d);
+  Alcotest.(check bool) "zero budget is finite" true (Obs.Deadline.is_finite d);
+  Alcotest.(check bool) "remaining has gone negative" true
+    (Obs.Deadline.remaining d < 0.0)
+
+let test_deadline_negative_budget () =
+  let d = Obs.Deadline.after ~seconds:(-5.0) in
+  Alcotest.(check bool) "already expired at creation" true
+    (Obs.Deadline.expired d);
+  Alcotest.(check bool) "remaining below -4s" true
+    (Obs.Deadline.remaining d < -4.0)
+
+let test_deadline_never () =
+  Alcotest.(check bool) "never is infinite" false
+    (Obs.Deadline.is_finite Obs.Deadline.never);
+  Alcotest.(check bool) "never never expires" false
+    (Obs.Deadline.expired Obs.Deadline.never);
+  Alcotest.(check bool) "remaining is infinity" true
+    (Obs.Deadline.remaining Obs.Deadline.never = infinity);
+  Alcotest.(check bool) "of_option None is never" false
+    (Obs.Deadline.is_finite (Obs.Deadline.of_option None));
+  Alcotest.(check bool) "of_option Some is finite" true
+    (Obs.Deadline.is_finite (Obs.Deadline.of_option (Some 10.0)))
+
+let test_deadline_nested () =
+  (* a slice deadline nested under a job deadline: the tighter wins,
+     whichever argument order *)
+  let job = Obs.Deadline.after ~seconds:100.0 in
+  let slice = Obs.Deadline.after ~seconds:(-1.0) in
+  let a = Obs.Deadline.earliest job slice
+  and b = Obs.Deadline.earliest slice job in
+  Alcotest.(check bool) "tighter wins (left)" true (Obs.Deadline.expired a);
+  Alcotest.(check bool) "tighter wins (right)" true (Obs.Deadline.expired b);
+  (* never is the identity *)
+  let c = Obs.Deadline.earliest Obs.Deadline.never job in
+  Alcotest.(check bool) "never is identity" true (Obs.Deadline.is_finite c);
+  Alcotest.(check bool) "identity keeps the budget" true
+    (Obs.Deadline.remaining c > 90.0);
+  (* expired stays expired even nested under generous budgets *)
+  let d = Obs.Deadline.earliest slice Obs.Deadline.never in
+  Alcotest.(check bool) "expired survives nesting" true
+    (Obs.Deadline.expired d)
+
 let suite =
   [
     ( "obs",
@@ -347,5 +405,12 @@ let suite =
         Alcotest.test_case "jsonl sink round-trip" `Quick test_jsonl_roundtrip;
         Alcotest.test_case "optimizer trace coherent" `Quick test_optimizer_trace;
         Alcotest.test_case "report json" `Quick test_report_json;
+        Alcotest.test_case "deadline zero budget" `Quick
+          test_deadline_zero_budget;
+        Alcotest.test_case "deadline negative budget" `Quick
+          test_deadline_negative_budget;
+        Alcotest.test_case "deadline never/of_option" `Quick
+          test_deadline_never;
+        Alcotest.test_case "deadline nesting" `Quick test_deadline_nested;
       ] );
   ]

@@ -224,6 +224,58 @@ let test_fuzz_determinism () =
   Alcotest.(check string) "fuzz campaign identical at jobs 1 and 2"
     (fuzz_at 1) (fuzz_at 2)
 
+(* ------------------------------------------------------------------ *)
+(* Containment: a raising task is a per-task error, not a pool death.  *)
+(* ------------------------------------------------------------------ *)
+
+let containment_at jobs () =
+  Par.Pool.with_pool ~jobs (fun pool ->
+      let c = Obs.Metrics.counter "test.par.contain.ctr" in
+      let before = Obs.Metrics.counter_value c in
+      let f i =
+        Obs.Metrics.add (Obs.Metrics.counter "test.par.contain.ctr") 1;
+        if i = 2 then raise (Boom i);
+        i * 10
+      in
+      let r = Par.Pool.map_result pool ~f (Array.init 5 Fun.id) in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Some (Ok y) when i <> 2 ->
+            Alcotest.(check int) "value delivered" (i * 10) y
+          | Some (Error (Boom 2)) when i = 2 -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "element %d: wrong outcome" i))
+        r;
+      (* sequential parity: the raising task's pre-raise work merged *)
+      Alcotest.(check int) "all five collectors merged" (before + 5)
+        (Obs.Metrics.counter_value c);
+      (* the pool is not poisoned: a follow-up batch runs normally *)
+      Alcotest.(check (array (option int))) "pool survives"
+        [| Some 1; Some 2; Some 3 |]
+        (Par.Pool.map pool ~f:(fun x -> x + 1) [| 0; 1; 2 |]))
+
+let test_commit_result_single () =
+  Par.Pool.with_pool ~jobs:2 (fun pool ->
+      let specs = Par.Pool.speculate pool [| (fun () -> raise (Boom 7)) |] in
+      (match Par.Pool.commit_result specs.(0) with
+      | Some (Error (Boom 7, _)) -> ()
+      | _ -> Alcotest.fail "exception not surfaced as Error");
+      (* consume-once: a second consumption is a usage error *)
+      match Par.Pool.commit_result specs.(0) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "double consumption accepted")
+
+let test_commit_result_cancelled () =
+  Par.Pool.with_pool ~jobs:1 (fun pool ->
+      let d = Obs.Deadline.after ~seconds:(-1.0) in
+      let specs =
+        Par.Pool.speculate pool ~deadline:d
+          [| (fun () -> spin_for 0.001; 1) |]
+      in
+      match Par.Pool.commit_result specs.(0) with
+      | None -> ()
+      | Some _ -> Alcotest.fail "cancelled task produced an outcome")
+
 let suite =
   [
     ( "par",
@@ -254,5 +306,13 @@ let suite =
           (optimizer_determinism "f51m");
         Alcotest.test_case "fuzz deterministic across jobs" `Quick
           test_fuzz_determinism;
+        Alcotest.test_case "raising task contained at jobs=1" `Quick
+          (containment_at 1);
+        Alcotest.test_case "raising task contained at jobs=4" `Quick
+          (containment_at 4);
+        Alcotest.test_case "commit_result surfaces the exception" `Quick
+          test_commit_result_single;
+        Alcotest.test_case "commit_result marks cancellation" `Quick
+          test_commit_result_cancelled;
       ] );
   ]
