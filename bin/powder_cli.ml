@@ -41,6 +41,27 @@ let jobs_arg =
                  Results are byte-identical for any value; only wall-clock \
                  changes.")
 
+(* Like --jobs, the signature index is an execution-strategy knob:
+   results are byte-identical either way (CI enforces it), so it stays
+   out of the hashed run-manifest options. *)
+let sig_index_arg =
+  let parse = function
+    | "hash" -> Ok Powder.Candidates.Hash
+    | "scan" -> Ok Powder.Candidates.Scan
+    | _ -> Error (`Msg "expected hash or scan")
+  in
+  let print fmt = function
+    | Powder.Candidates.Hash -> Format.pp_print_string fmt "hash"
+    | Powder.Candidates.Scan -> Format.pp_print_string fmt "scan"
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Powder.Candidates.Hash
+       & info [ "sig-index" ] ~docv:"MODE"
+           ~doc:"Signature-store lookup strategy for the 2-signal classes: \
+                 hash (default; bucket lookup on the masked row) or scan \
+                 (linear reference scan).  Candidates, reports and netlists \
+                 are byte-identical across modes; only speed differs.")
+
 let delay_mode =
   let parse s =
     if s = "none" then Ok Optimizer.Unconstrained
@@ -145,7 +166,7 @@ let optimize_cmd =
   let run in_file circuit_name out_file words seed delay classes engine verify
       trace_file json_file profile_dir metrics time_budget check_seconds
       round_seconds max_rounds checkpoint resume verify_applies
-      checkpoint_every jobs =
+      checkpoint_every jobs sig_index =
     let circ = load_circuit in_file circuit_name in
     let original = Circuit.clone circ in
     (* Resume: pick the checkpoint up before building the config so the
@@ -191,6 +212,7 @@ let optimize_cmd =
            else if checkpoint <> None then 1
            else 0);
         jobs;
+        sig_index;
       }
     in
     (* The run manifest: identity of this run (host, toolchain, every
@@ -376,7 +398,7 @@ let optimize_cmd =
           $ delay_mode $ classes $ engine_arg $ verify $ trace_file
           $ json_file $ profile_dir $ metrics $ time_budget $ check_seconds
           $ round_seconds $ max_rounds $ checkpoint $ resume $ verify_applies
-          $ checkpoint_every $ jobs_arg)
+          $ checkpoint_every $ jobs_arg $ sig_index_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Profile report: human-readable view of a --profile directory.       *)

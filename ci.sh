@@ -1,8 +1,19 @@
 #!/bin/sh
-# Minimal CI: build, test, then smoke-run the optimizer and validate
-# that its machine-readable outputs actually parse.  Every stage runs
-# under a hard wall-clock cap so a hang fails the build instead of
-# wedging it.
+# Staged CI pipeline.
+#
+#   ./ci.sh [STAGE ...]       with STAGE in:
+#     build   compile everything
+#     test    unit/property tests + fault-injection self-test
+#     smoke   end-to-end runs: telemetry, profiling, checkpointing,
+#             parallel determinism, signature-index determinism
+#     fuzz    differential fuzz campaign + injected-fault catch
+#     serve   batch service drain + crash/kill chaos legs
+#     perf    bench self-consistency + committed-baseline perf gate
+#     all     every stage above, in that order (the default)
+#
+# Every leg runs under a hard wall-clock cap so a hang fails the build
+# instead of wedging it.  Each stage is timed; a summary table is
+# printed at exit (with the failing stage named when one fails).
 set -eu
 cd "$(dirname "$0")"
 
@@ -13,164 +24,275 @@ else
   hard_timeout() { shift; "$@"; }
 fi
 
-echo "== build =="
-hard_timeout 600 dune build
+summary_file=$(mktemp /tmp/powder_ci_summary_XXXXXX)
+current_stage=""
+finish() {
+  status=$?
+  echo
+  echo "== ci summary =="
+  cat "$summary_file"
+  if [ "$status" -ne 0 ] && [ -n "$current_stage" ]; then
+    printf '%-8s %6s  FAILED\n' "$current_stage" "-"
+    echo "CI FAILED (stage: $current_stage)"
+  fi
+  rm -f "$summary_file"
+  exit "$status"
+}
+trap finish EXIT
 
-echo "== tests =="
-hard_timeout 900 dune runtest
+run_stage() {
+  current_stage="$1"
+  echo "==== stage: $1 ===="
+  t0=$(date +%s)
+  "stage_$1"
+  t1=$(date +%s)
+  printf '%-8s %5ss  ok\n' "$1" "$((t1 - t0))" >> "$summary_file"
+  current_stage=""
+}
 
-echo "== fault injection =="
-hard_timeout 300 dune exec test/main.exe -- test guard
+# ------------------------------------------------------------------ #
+# build                                                              #
+# ------------------------------------------------------------------ #
+stage_build() {
+  hard_timeout 600 dune build
+}
 
-echo "== smoke: optimize rd84 with full telemetry =="
-tmp_json=$(mktemp /tmp/powder_ci_XXXXXX.json)
-tmp_trace=$(mktemp /tmp/powder_ci_XXXXXX.jsonl)
-hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
-  --json "$tmp_json" --trace "$tmp_trace" --metrics
-dune exec bin/json_check.exe -- "$tmp_json"
-dune exec bin/json_check.exe -- --jsonl "$tmp_trace"
-rm -f "$tmp_json" "$tmp_trace"
+# ------------------------------------------------------------------ #
+# test                                                               #
+# ------------------------------------------------------------------ #
+stage_test() {
+  hard_timeout 900 dune runtest
 
-echo "== smoke: deep profile (call tree, flamegraph, Chrome trace) =="
-prof_dir=$(mktemp -d /tmp/powder_ci_prof_XXXXXX)
-hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
-  --profile "$prof_dir" --json "$prof_dir/report.json" >/dev/null
-dune exec bin/json_check.exe -- "$prof_dir/profile.json"
-dune exec bin/json_check.exe -- "$prof_dir/trace.chrome.json"
-dune exec bin/json_check.exe -- "$prof_dir/report.json"
-test -s "$prof_dir/profile.folded"
-dune exec bin/powder_cli.exe -- report "$prof_dir" --top 10
-rm -rf "$prof_dir"
+  echo "== fault injection =="
+  hard_timeout 300 dune exec test/main.exe -- test guard
+}
 
-echo "== bench perf gate: self-compare passes, +50% perturbation fails =="
-bench_a=$(mktemp /tmp/powder_ci_bench_a_XXXXXX.json)
-bench_b=$(mktemp /tmp/powder_ci_bench_b_XXXXXX.json)
-hard_timeout 600 dune exec bench/main.exe -- quick guard \
-  --out "$bench_a" >/dev/null
-# the quick bench finishes in well under a second per run, so the
-# absolute noise floor is scaled down to match
-dune exec bin/json_check.exe -- "$bench_a"
-dune exec bin/bench_diff.exe -- "$bench_a" "$bench_a" --abs-floor 0.005
-dune exec bin/bench_diff.exe -- --perturb "$bench_a" "$bench_b" --factor 1.5
-if dune exec bin/bench_diff.exe -- "$bench_a" "$bench_b" --abs-floor 0.005; then
-  echo "bench_diff failed to flag a 50% regression" >&2
-  exit 1
-fi
-rm -f "$bench_a" "$bench_b"
+# ------------------------------------------------------------------ #
+# smoke                                                              #
+# ------------------------------------------------------------------ #
+stage_smoke() {
+  echo "== smoke: optimize rd84 with full telemetry =="
+  tmp_json=$(mktemp /tmp/powder_ci_XXXXXX.json)
+  tmp_trace=$(mktemp /tmp/powder_ci_XXXXXX.jsonl)
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+    --json "$tmp_json" --trace "$tmp_trace" --metrics
+  dune exec bin/json_check.exe -- "$tmp_json"
+  dune exec bin/json_check.exe -- --jsonl "$tmp_trace"
+  rm -f "$tmp_json" "$tmp_trace"
 
-echo "== smoke: checkpoint round-trip (kill after 3 rounds, resume) =="
-ck=$(mktemp /tmp/powder_ci_ck_XXXXXX.json)
-full_json=$(mktemp /tmp/powder_ci_full_XXXXXX.json)
-resumed_json=$(mktemp /tmp/powder_ci_res_XXXXXX.json)
-# reference: uninterrupted 6-round run checkpointing every 3 rounds
-hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
-  --max-rounds 6 --checkpoint-every 3 --json "$full_json" >/dev/null
-# interrupted: stop after 3 rounds (the checkpoint survives), resume to 6
-rm -f "$ck"
-hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
-  --max-rounds 3 --checkpoint "$ck" --checkpoint-every 3 >/dev/null
-hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
-  --max-rounds 6 --checkpoint "$ck" --checkpoint-every 3 --resume \
-  --json "$resumed_json" >/dev/null
-dune exec bin/json_check.exe -- --compare-reports "$full_json" "$resumed_json"
-rm -f "$ck" "$full_json" "$resumed_json"
+  echo "== smoke: deep profile (call tree, flamegraph, Chrome trace) =="
+  prof_dir=$(mktemp -d /tmp/powder_ci_prof_XXXXXX)
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+    --profile "$prof_dir" --json "$prof_dir/report.json" >/dev/null
+  dune exec bin/json_check.exe -- "$prof_dir/profile.json"
+  dune exec bin/json_check.exe -- "$prof_dir/trace.chrome.json"
+  dune exec bin/json_check.exe -- "$prof_dir/report.json"
+  test -s "$prof_dir/profile.folded"
+  dune exec bin/powder_cli.exe -- report "$prof_dir" --top 10
+  rm -rf "$prof_dir"
 
-echo "== smoke: parallel determinism (--jobs 4 == --jobs 1) =="
-# The hard invariant of the domain pool: report JSON (modulo timing
-# and the jobs field) and the emitted netlist are byte-identical at
-# any job count.
-seq_json=$(mktemp /tmp/powder_ci_j1_XXXXXX.json)
-par_json=$(mktemp /tmp/powder_ci_j4_XXXXXX.json)
-seq_blif=$(mktemp /tmp/powder_ci_j1_XXXXXX.blif)
-par_blif=$(mktemp /tmp/powder_ci_j4_XXXXXX.blif)
-hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
-  --jobs 1 --json "$seq_json" -o "$seq_blif" >/dev/null
-hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
-  --jobs 4 --json "$par_json" -o "$par_blif" >/dev/null
-dune exec bin/json_check.exe -- --compare-reports "$seq_json" "$par_json"
-cmp "$seq_blif" "$par_blif"
-rm -f "$seq_json" "$par_json" "$seq_blif" "$par_blif"
+  echo "== smoke: checkpoint round-trip (kill after 3 rounds, resume) =="
+  ck=$(mktemp /tmp/powder_ci_ck_XXXXXX.json)
+  full_json=$(mktemp /tmp/powder_ci_full_XXXXXX.json)
+  resumed_json=$(mktemp /tmp/powder_ci_res_XXXXXX.json)
+  # reference: uninterrupted 6-round run checkpointing every 3 rounds
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
+    --max-rounds 6 --checkpoint-every 3 --json "$full_json" >/dev/null
+  # interrupted: stop after 3 rounds (the checkpoint survives), resume to 6
+  rm -f "$ck"
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
+    --max-rounds 3 --checkpoint "$ck" --checkpoint-every 3 >/dev/null
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit alu2 \
+    --max-rounds 6 --checkpoint "$ck" --checkpoint-every 3 --resume \
+    --json "$resumed_json" >/dev/null
+  dune exec bin/json_check.exe -- --compare-reports "$full_json" "$resumed_json"
+  rm -f "$ck" "$full_json" "$resumed_json"
 
-echo "== smoke: differential fuzz campaign (fixed seed) =="
-# Clean campaign: any oracle split or unshrunk crash exits non-zero.
-fuzz_dir=$(mktemp -d /tmp/powder_ci_fuzz_XXXXXX)
-if ! hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --seed 1 \
-  --budget 20 --out "$fuzz_dir"; then
-  echo "fuzz smoke failed; shrunk repro bundles (replay with" \
-    "powder_cli fuzz --replay <bundle>):" >&2
-  ls -l "$fuzz_dir" >&2 || true
-  exit 1
-fi
+  echo "== smoke: parallel determinism (--jobs 4 == --jobs 1) =="
+  # The hard invariant of the domain pool: report JSON (modulo timing
+  # and the jobs field) and the emitted netlist are byte-identical at
+  # any job count.
+  seq_json=$(mktemp /tmp/powder_ci_j1_XXXXXX.json)
+  par_json=$(mktemp /tmp/powder_ci_j4_XXXXXX.json)
+  seq_blif=$(mktemp /tmp/powder_ci_j1_XXXXXX.blif)
+  par_blif=$(mktemp /tmp/powder_ci_j4_XXXXXX.blif)
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+    --jobs 1 --json "$seq_json" -o "$seq_blif" >/dev/null
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+    --jobs 4 --json "$par_json" -o "$par_blif" >/dev/null
+  dune exec bin/json_check.exe -- --compare-reports "$seq_json" "$par_json"
+  cmp "$seq_blif" "$par_blif"
+  rm -f "$seq_json" "$par_json" "$seq_blif" "$par_blif"
 
-echo "== smoke: injected guard fault is caught, shrunk, replayable =="
-# The harness must catch a forged permissibility verdict, shrink the
-# witness, and the dumped bundle must reproduce the failure.
-if ! hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --seed 1 \
-  --budget 20 --inject forge_verdict --out "$fuzz_dir"; then
-  echo "injected-fault fuzz leg failed; bundles:" >&2
-  ls -l "$fuzz_dir" >&2 || true
-  exit 1
-fi
-bundle=$(ls "$fuzz_dir"/fuzz-*-injected_corruption.json | head -n 1)
-hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --replay "$bundle"
-rm -rf "$fuzz_dir"
+  echo "== smoke: signature determinism on cps (jobs, index mode) =="
+  # The signature store's own invariant, on the circuit whose generate
+  # phase motivated it: the hash index, the linear reference scan, and
+  # any pool width must emit byte-identical netlists and matching
+  # reports.  cps is the largest suite circuit, so this is also the leg
+  # that would catch a store-maintenance bug only visible at scale.
+  ref_json=$(mktemp /tmp/powder_ci_sig_ref_XXXXXX.json)
+  ref_blif=$(mktemp /tmp/powder_ci_sig_ref_XXXXXX.blif)
+  alt_json=$(mktemp /tmp/powder_ci_sig_alt_XXXXXX.json)
+  alt_blif=$(mktemp /tmp/powder_ci_sig_alt_XXXXXX.blif)
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit cps \
+    --jobs 1 --json "$ref_json" -o "$ref_blif" >/dev/null
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit cps \
+    --jobs 4 --json "$alt_json" -o "$alt_blif" >/dev/null
+  cmp "$ref_blif" "$alt_blif"
+  dune exec bin/json_check.exe -- --compare-reports "$ref_json" "$alt_json"
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit cps \
+    --jobs 1 --sig-index scan --json "$alt_json" -o "$alt_blif" >/dev/null
+  cmp "$ref_blif" "$alt_blif"
+  dune exec bin/json_check.exe -- --compare-reports "$ref_json" "$alt_json"
+  rm -f "$ref_json" "$ref_blif" "$alt_json" "$alt_blif"
+}
 
-echo "== smoke: batch service drains a 3-job queue =="
-serve_dir=$(mktemp -d /tmp/powder_ci_serve_XXXXXX)
-cat > "$serve_dir/jobs.jsonl" <<'EOF'
+# ------------------------------------------------------------------ #
+# fuzz                                                               #
+# ------------------------------------------------------------------ #
+stage_fuzz() {
+  echo "== fuzz: differential campaign (fixed seed) =="
+  # Clean campaign: any oracle split or unshrunk crash exits non-zero.
+  fuzz_dir=$(mktemp -d /tmp/powder_ci_fuzz_XXXXXX)
+  if ! hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --seed 1 \
+    --budget 20 --out "$fuzz_dir"; then
+    echo "fuzz smoke failed; shrunk repro bundles (replay with" \
+      "powder_cli fuzz --replay <bundle>):" >&2
+    ls -l "$fuzz_dir" >&2 || true
+    exit 1
+  fi
+
+  echo "== fuzz: injected guard fault is caught, shrunk, replayable =="
+  # The harness must catch a forged permissibility verdict, shrink the
+  # witness, and the dumped bundle must reproduce the failure.
+  if ! hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --seed 1 \
+    --budget 20 --inject forge_verdict --out "$fuzz_dir"; then
+    echo "injected-fault fuzz leg failed; bundles:" >&2
+    ls -l "$fuzz_dir" >&2 || true
+    exit 1
+  fi
+  bundle=$(ls "$fuzz_dir"/fuzz-*-injected_corruption.json | head -n 1)
+  hard_timeout 120 dune exec bin/powder_cli.exe -- fuzz --replay "$bundle"
+  rm -rf "$fuzz_dir"
+}
+
+# ------------------------------------------------------------------ #
+# serve                                                              #
+# ------------------------------------------------------------------ #
+stage_serve() {
+  echo "== serve: batch service drains a 3-job queue =="
+  serve_dir=$(mktemp -d /tmp/powder_ci_serve_XXXXXX)
+  cat > "$serve_dir/jobs.jsonl" <<'EOF'
 {"op":"submit","id":"s1","circuit":"rd84","priority":1,"options":{"words":4,"max_rounds":2}}
 {"op":"submit","id":"s2","circuit":"alu2","options":{"words":4,"max_rounds":2}}
 {"op":"submit","id":"s3","circuit":"f51m","priority":-1,"options":{"words":4,"max_rounds":2}}
 EOF
-hard_timeout 300 dune exec bin/powder_cli.exe -- serve \
-  --input "$serve_dir/jobs.jsonl" --state "$serve_dir/state" \
-  | grep -q 'drained  completed=3 failed=0 rejected=0'
-for id in s1 s2 s3; do
-  dune exec bin/json_check.exe -- "$serve_dir/state/results/$id.json"
-  test -s "$serve_dir/state/results/$id.blif"
-done
-dune exec bin/json_check.exe -- --jsonl "$serve_dir/state/results.jsonl"
+  hard_timeout 300 dune exec bin/powder_cli.exe -- serve \
+    --input "$serve_dir/jobs.jsonl" --state "$serve_dir/state" \
+    | grep -q 'drained  completed=3 failed=0 rejected=0'
+  for id in s1 s2 s3; do
+    dune exec bin/json_check.exe -- "$serve_dir/state/results/$id.json"
+    test -s "$serve_dir/state/results/$id.blif"
+  done
+  dune exec bin/json_check.exe -- --jsonl "$serve_dir/state/results.jsonl"
 
-echo "== chaos: worker crashes leave results byte-identical =="
-# Same 3 jobs under worker-crash injection: the supervisor retries the
-# crashed slices from their checkpoints and must land on exactly the
-# outputs of the undisturbed run above.
-hard_timeout 300 dune exec bin/powder_cli.exe -- serve \
-  --input "$serve_dir/jobs.jsonl" --state "$serve_dir/chaos" \
-  --inject worker-crash --retry-base 0.01 --retry-cap 0.05 >/dev/null
-for id in s1 s2 s3; do
-  cmp "$serve_dir/state/results/$id.blif" "$serve_dir/chaos/results/$id.blif"
-  dune exec bin/json_check.exe -- --compare-reports \
-    "$serve_dir/state/results/$id.json" "$serve_dir/chaos/results/$id.json"
-done
-grep -q '"ev":"retry"' "$serve_dir/chaos/results.jsonl"
+  echo "== chaos: worker crashes leave results byte-identical =="
+  # Same 3 jobs under worker-crash injection: the supervisor retries the
+  # crashed slices from their checkpoints and must land on exactly the
+  # outputs of the undisturbed run above.
+  hard_timeout 300 dune exec bin/powder_cli.exe -- serve \
+    --input "$serve_dir/jobs.jsonl" --state "$serve_dir/chaos" \
+    --inject worker-crash --retry-base 0.01 --retry-cap 0.05 >/dev/null
+  for id in s1 s2 s3; do
+    cmp "$serve_dir/state/results/$id.blif" "$serve_dir/chaos/results/$id.blif"
+    dune exec bin/json_check.exe -- --compare-reports \
+      "$serve_dir/state/results/$id.json" "$serve_dir/chaos/results/$id.json"
+  done
+  grep -q '"ev":"retry"' "$serve_dir/chaos/results.jsonl"
 
-echo "== chaos: kill -TERM mid-run, restart recovers bit-identically =="
-cli=_build/default/bin/powder_cli.exe
-cat > "$serve_dir/big.jsonl" <<'EOF'
+  echo "== chaos: kill -TERM mid-run, restart recovers bit-identically =="
+  cli=_build/default/bin/powder_cli.exe
+  dune build bin/powder_cli.exe
+  cat > "$serve_dir/big.jsonl" <<'EOF'
 {"op":"submit","id":"k1","circuit":"rd84","options":{"words":4,"max_rounds":6}}
 {"op":"submit","id":"k2","circuit":"alu2","options":{"words":4,"max_rounds":6}}
 {"op":"submit","id":"k3","circuit":"f51m","options":{"words":4,"max_rounds":6}}
 EOF
-# reference: the same queue run to completion undisturbed
-hard_timeout 300 "$cli" serve --input "$serve_dir/big.jsonl" \
-  --state "$serve_dir/ref" >/dev/null
-# interrupted run: SIGTERM lands between slices, the queue is persisted
-"$cli" serve --input "$serve_dir/big.jsonl" --state "$serve_dir/kill" \
-  >/dev/null &
-serve_pid=$!
-sleep 0.4
-kill -TERM "$serve_pid" 2>/dev/null || true
-wait "$serve_pid"
-# restart on the same state directory with no new input: pending jobs
-# recover (resuming mid-job from their checkpoints) and finish
-hard_timeout 300 "$cli" serve --input /dev/null --state "$serve_dir/kill" \
-  >/dev/null
-for id in k1 k2 k3; do
-  cmp "$serve_dir/ref/results/$id.blif" "$serve_dir/kill/results/$id.blif"
-  dune exec bin/json_check.exe -- --compare-reports \
-    "$serve_dir/ref/results/$id.json" "$serve_dir/kill/results/$id.json"
+  # reference: the same queue run to completion undisturbed
+  hard_timeout 300 "$cli" serve --input "$serve_dir/big.jsonl" \
+    --state "$serve_dir/ref" >/dev/null
+  # interrupted run: SIGTERM lands between slices, the queue is persisted
+  "$cli" serve --input "$serve_dir/big.jsonl" --state "$serve_dir/kill" \
+    >/dev/null &
+  serve_pid=$!
+  sleep 0.4
+  kill -TERM "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid"
+  # restart on the same state directory with no new input: pending jobs
+  # recover (resuming mid-job from their checkpoints) and finish
+  hard_timeout 300 "$cli" serve --input /dev/null --state "$serve_dir/kill" \
+    >/dev/null
+  for id in k1 k2 k3; do
+    cmp "$serve_dir/ref/results/$id.blif" "$serve_dir/kill/results/$id.blif"
+    dune exec bin/json_check.exe -- --compare-reports \
+      "$serve_dir/ref/results/$id.json" "$serve_dir/kill/results/$id.json"
+  done
+  rm -rf "$serve_dir"
+}
+
+# ------------------------------------------------------------------ #
+# perf                                                               #
+# ------------------------------------------------------------------ #
+stage_perf() {
+  echo "== perf: bench self-compare passes, +50% perturbation fails =="
+  bench_a=$(mktemp /tmp/powder_ci_bench_a_XXXXXX.json)
+  bench_b=$(mktemp /tmp/powder_ci_bench_b_XXXXXX.json)
+  hard_timeout 600 dune exec bench/main.exe -- quick guard \
+    --out "$bench_a" >/dev/null
+  # the quick bench finishes in well under a second per run, so the
+  # absolute noise floor is scaled down to match
+  dune exec bin/json_check.exe -- "$bench_a"
+  dune exec bin/bench_diff.exe -- "$bench_a" "$bench_a" --abs-floor 0.005
+  dune exec bin/bench_diff.exe -- --perturb "$bench_a" "$bench_b" --factor 1.5
+  if dune exec bin/bench_diff.exe -- "$bench_a" "$bench_b" --abs-floor 0.005; then
+    echo "bench_diff failed to flag a 50% regression" >&2
+    exit 1
+  fi
+  rm -f "$bench_a" "$bench_b"
+
+  echo "== perf: committed-baseline gate (BENCH_powder.json) =="
+  # A fresh quick bench against the committed trajectory point.  The
+  # quick table1 set includes cps, whose generate phase carries the
+  # signature-store speedup: eroding it (or any other phase) past
+  # rel-tol fails CI here instead of rotting silently.  The tolerance
+  # is wide (50% + a 0.25s floor) because CI machines are noisy; the
+  # regressions this gate exists for are order-of-magnitude.
+  fresh=$(mktemp /tmp/powder_ci_bench_fresh_XXXXXX.json)
+  hard_timeout 600 dune exec bench/main.exe -- quick table1 glitch guard \
+    parallel serve --out "$fresh" >/dev/null
+  dune exec bin/json_check.exe -- "$fresh"
+  dune exec bin/bench_diff.exe -- BENCH_powder.json "$fresh" \
+    --rel-tol 0.5 --abs-floor 0.25
+  rm -f "$fresh"
+}
+
+# ------------------------------------------------------------------ #
+# driver                                                             #
+# ------------------------------------------------------------------ #
+if [ "$#" -eq 0 ]; then
+  set -- all
+fi
+for s in "$@"; do
+  case "$s" in
+    all)
+      for t in build test smoke fuzz serve perf; do run_stage "$t"; done ;;
+    build|test|smoke|fuzz|serve|perf)
+      run_stage "$s" ;;
+    *)
+      echo "ci.sh: unknown stage '$s'" >&2
+      echo "usage: ./ci.sh [build|test|smoke|fuzz|serve|perf|all]..." >&2
+      exit 2 ;;
+  esac
 done
-rm -rf "$serve_dir"
 
 echo "CI OK"

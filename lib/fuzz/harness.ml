@@ -120,9 +120,27 @@ let candidates_of ~case_seed ~words c k =
       per_target = 2;
       pool_limit = 30;
       require_positive = false;
+      index = Powder.Candidates.Hash;
     }
   in
   let all = Powder.Candidates.generate ~config:cfg est in
+  (* metamorphic: the class-indexed path and the per-signal reference
+     scan must emit the identical candidate list *)
+  let all_scan =
+    Powder.Candidates.generate
+      ~config:{ cfg with Powder.Candidates.index = Powder.Candidates.Scan }
+      est
+  in
+  if
+    not
+      (List.length all = List.length all_scan
+      && List.for_all2
+           (fun (s1, g1) (s2, g2) ->
+             s1 = s2
+             && Float.equal (Powder.Subst.total_gain g1)
+                  (Powder.Subst.total_gain g2))
+           all all_scan)
+  then failwith "candidates: hash/scan index modes disagree";
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []

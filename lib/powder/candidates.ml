@@ -2,13 +2,18 @@ module Circuit = Netlist.Circuit
 module Cell = Gatelib.Cell
 module Library = Gatelib.Library
 module Engine = Sim.Engine
+module Sigstore = Sim.Sigstore
 module Estimator = Power.Estimator
+module Bits = Logic.Bits
+
+type index_mode = Hash | Scan
 
 type config = {
   classes : Subst.klass list;
   per_target : int;
   pool_limit : int;
   require_positive : bool;
+  index : index_mode;
 }
 
 let default_config =
@@ -17,45 +22,78 @@ let default_config =
     per_target = 4;
     pool_limit = 16;
     require_positive = true;
+    index = Hash;
   }
 
-let popcount64 x =
-  let rec go x acc =
-    if Int64.equal x 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1)
-  in
-  go x 0
+(* Number of care positions the 3-signal pool ranks on (see
+   [scan_target]); exact when a target's care set is smaller. *)
+let pool_rank_bits = 128
 
-(* number of care-patterns where the signatures disagree *)
-let disagreement sig_a sig_b care =
-  let acc = ref 0 in
-  for j = 0 to Array.length sig_a - 1 do
-    acc :=
-      !acc
-      + popcount64 (Int64.logand (Int64.logxor sig_a.(j) sig_b.(j)) care.(j))
-  done;
-  !acc
+type stats = { pairs_hit : int; pairs_filtered : int; is3_candidates : int }
 
-let matches_on_care sig_a sig_b care =
-  let rec go j =
-    j >= Array.length sig_a
-    || (Int64.equal
-          (Int64.logand (Int64.logxor sig_a.(j) sig_b.(j)) care.(j))
-          0L
-       && go (j + 1))
-  in
-  go 0
+let zero_stats = { pairs_hit = 0; pairs_filtered = 0; is3_candidates = 0 }
 
-let matches_compl_on_care sig_a sig_b care =
-  let rec go j =
-    j >= Array.length sig_a
-    || (Int64.equal
-          (Int64.logand
-             (Int64.logxor sig_a.(j) (Int64.lognot sig_b.(j)))
-             care.(j))
-          0L
-       && go (j + 1))
+let add_stats a b =
+  {
+    pairs_hit = a.pairs_hit + b.pairs_hit;
+    pairs_filtered = a.pairs_filtered + b.pairs_filtered;
+    is3_candidates = a.is3_candidates + b.is3_candidates;
+  }
+
+(* registry mirrors, merged deterministically from pool tasks *)
+let m_sig_hits = Obs.Metrics.counter "sig/hits"
+let m_sig_filtered = Obs.Metrics.counter "sig/filtered"
+let m_is3_candidates = Obs.Metrics.counter "is3/candidates"
+
+type target_info = {
+  target : Subst.target;
+  a : Circuit.node_id;         (* substituted signal *)
+  care : int64 array;          (* folded: base words @ cex words *)
+  forbidden : bool array;      (* source base signals that risk a cycle *)
+  forbidden_signals : int;     (* store signals inside [forbidden] *)
+}
+
+(* [Circuit.tfo] plus the number of store signals inside the mask:
+   counting during the walk keeps the eligible-signal count (needed
+   for the [sig/filtered] statistic) O(|TFO|) instead of a per-target
+   sweep over the whole store. *)
+let tfo_with_signal_count circ store s =
+  let marked = Array.make (Circuit.num_nodes circ) false in
+  let cnt = ref 0 in
+  let rec visit id =
+    List.iter
+      (fun p ->
+        let s' = p.Circuit.sink in
+        if Circuit.is_live circ s' && not marked.(s') then begin
+          marked.(s') <- true;
+          if Sigstore.position store s' >= 0 then incr cnt;
+          visit s'
+        end)
+      (Circuit.fanouts circ id)
   in
-  go 0
+  visit s;
+  (marked, !cnt)
+
+let mark_self store marked cnt id =
+  if not marked.(id) then begin
+    marked.(id) <- true;
+    if Sigstore.position store id >= 0 then cnt + 1 else cnt
+  end
+  else cnt
+
+let stem_targets circ store =
+  List.filter_map
+    (fun id ->
+      if Circuit.num_fanouts circ id = 0 then None
+      else begin
+        let care = Sigstore.stem_care store id in
+        let forbidden, cnt = tfo_with_signal_count circ store id in
+        let cnt = mark_self store forbidden cnt id in
+        Some
+          { target = Subst.Stem id; a = id; care; forbidden;
+            forbidden_signals = cnt }
+      end)
+    (Circuit.live_gates circ)
 
 let is_signal_node circ id =
   Circuit.is_live circ id
@@ -64,172 +102,546 @@ let is_signal_node circ id =
   | Circuit.Pi | Circuit.Cell _ -> true
   | Circuit.Const _ | Circuit.Po _ -> false
 
-type target_info = {
-  target : Subst.target;
-  a : Circuit.node_id;         (* substituted signal *)
-  care : int64 array;
-  forbidden : bool array;      (* source base signals that risk a cycle *)
-}
-
-let stem_targets circ eng =
-  List.filter_map
-    (fun id ->
-      if Circuit.num_fanouts circ id = 0 then None
-      else begin
-        let care = Engine.stem_observability eng id in
-        let forbidden = Circuit.tfo circ id in
-        forbidden.(id) <- true;
-        Some { target = Subst.Stem id; a = id; care; forbidden }
-      end)
-    (Circuit.live_gates circ)
-
-let branch_targets circ eng =
+let branch_targets circ store =
   let out = ref [] in
   Circuit.iter_live circ (fun id ->
       if is_signal_node circ id && Circuit.num_fanouts circ id >= 2 then
         List.iter
           (fun p ->
             let sink = p.Circuit.sink and pin = p.Circuit.pin_index in
-            let care = Engine.branch_observability eng ~sink ~pin in
-            let forbidden =
+            let care = Sigstore.branch_care store ~sink ~pin in
+            let forbidden, forbidden_signals =
               if Circuit.is_po_node circ sink then
-                Array.make (Circuit.num_nodes circ) false
+                (Array.make (Circuit.num_nodes circ) false, 0)
               else begin
-                let f = Circuit.tfo circ sink in
-                f.(sink) <- true;
-                f
+                let f, cnt = tfo_with_signal_count circ store sink in
+                let cnt = mark_self store f cnt sink in
+                (f, cnt)
               end
             in
             out :=
-              { target = Subst.Branch { sink; pin }; a = id; care; forbidden }
+              { target = Subst.Branch { sink; pin }; a = id; care; forbidden;
+                forbidden_signals }
               :: !out)
           (Circuit.fanouts circ id));
   List.rev !out
 
-(* Sub-span names: the generate phase is the optimizer's dominant cost
-   (91% of CPU on the larger circuits), so its interior is attributed
-   to named spans a profile can diff — target/observability
-   enumeration, the 2-signal signature scan, the 3-signal pair scan,
-   and per-target selection. *)
+(* Total candidate order: gain descending, then purely structural keys.
+   Both index modes and every chunking of the parallel fan-out emit the
+   same candidate SET; this order makes the emitted LIST identical too,
+   so reports and netlists stay byte-identical across [--sig-index] and
+   [--jobs]. *)
+let target_key = function
+  | Subst.Stem a -> (0, a, 0)
+  | Subst.Branch { sink; pin } -> (1, sink, pin)
+
+let source_key = function
+  | Subst.Signal b -> (0, b, -1, "")
+  | Subst.Inverted b -> (1, b, -1, "")
+  | Subst.Gate2 (c, x, y) -> (2, x, y, c.Cell.name)
+
+let cand_compare (s1, g1) (s2, g2) =
+  let c = Float.compare (Subst.total_gain g2) (Subst.total_gain g1) in
+  if c <> 0 then c
+  else
+    let c = compare (target_key s1.Subst.target) (target_key s2.Subst.target) in
+    if c <> 0 then c
+    else compare (source_key s1.Subst.source) (source_key s2.Subst.source)
+
+(* Sub-span names: the generate phase is the optimizer's dominant cost,
+   so its interior is attributed to named spans a profile can diff —
+   target/observability enumeration, the (possibly parallel) signature
+   scans, and final selection.  The scan span wraps the whole fan-out
+   on the main domain: spans opened inside pool tasks would merge at
+   the root and make the profile tree depend on [--jobs]. *)
 let span_targets = "generate/targets"
 let span_targets_stem = "targets/stem-obs"
 let span_targets_branch = "targets/branch-obs"
-let span_scan2 = "generate/scan2"
-let span_scan3 = "generate/scan3"
+let span_scan = "generate/scan"
 let span_select = "generate/select"
 
-let generate ?(config = default_config) est =
+(* Runs a scan stage inline, without a span: [scan_target] may execute
+   in a pool task, where an opened span would surface at the root of
+   the merged profile tree and make it depend on [--jobs]. *)
+let unspanned f = f ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-target scans over a frozen store.  Pure reads of store/circuit/
+   estimator, so safe to fan out across pool tasks.                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded min-[limit] pool of (disagreement, position), lexicographic.
+   [limit] is small (default 16), so sorted-array insertion wins over
+   anything clever. *)
+type minpool = {
+  ds : int array;
+  ps : int array;
+  limit : int;
+  mutable n : int;
+}
+
+let minpool_create limit =
+  { ds = Array.make limit max_int; ps = Array.make limit max_int; limit;
+    n = 0 }
+
+(* worst disagreement still admissible (inclusive: position breaks ties) *)
+let minpool_threshold mp = if mp.n < mp.limit then max_int else mp.ds.(mp.limit - 1)
+
+let minpool_insert mp d p =
+  let enters =
+    mp.n < mp.limit
+    || d < mp.ds.(mp.limit - 1)
+    || (d = mp.ds.(mp.limit - 1) && p < mp.ps.(mp.limit - 1))
+  in
+  if enters then begin
+    let i = ref (min mp.n (mp.limit - 1)) in
+    while !i > 0 && (mp.ds.(!i - 1) > d || (mp.ds.(!i - 1) = d && mp.ps.(!i - 1) > p))
+    do
+      mp.ds.(!i) <- mp.ds.(!i - 1);
+      mp.ps.(!i) <- mp.ps.(!i - 1);
+      decr i
+    done;
+    mp.ds.(!i) <- d;
+    mp.ps.(!i) <- p;
+    if mp.n < mp.limit then mp.n <- mp.n + 1
+  end
+
+let scan_target ~config ~store ~est ~gates2 ti =
+  let want k = List.mem k config.classes in
+  let signals = Sigstore.signals store in
+  let nsig = Array.length signals in
+  let p_a = Sigstore.position store ti.a in
+  assert (p_a >= 0);
+  let care = ti.care in
+  (* All hot loops below run on the store's packed rows ([Sigstore.irow]
+     / [class_icanon]): 62-bit limbs in native ints, so xor / and /
+     popcount never box.  They walk [nzh] — the limb indices whose care
+     limb is nonzero, densest care first.  Zero-care limbs cannot
+     affect masked equality or Hamming distance, and visiting the
+     densest limbs first makes the partial distances (and with them
+     the pool's abort bounds) grow as fast as possible.  Any fixed
+     order yields the same results, so this is pure speed. *)
+  let isig = Sigstore.irow store p_a in
+  let icare = Bits.pack_words care in
+  let nzh =
+    let idx = ref [] in
+    for h = Array.length icare - 1 downto 0 do
+      if icare.(h) <> 0 then idx := h :: !idx
+    done;
+    let a = Array.of_list !idx in
+    (* densest care first, index ascending on ties; the arrays are
+       ~20 limbs, so insertion sort on plain ints beats a polymorphic
+       sort on key tuples *)
+    let pc = Array.map (fun h -> Bits.popcount62 icare.(h)) a in
+    for i = 1 to Array.length a - 1 do
+      let h = a.(i) and w = pc.(i) in
+      let j = ref i in
+      while !j > 0 && (pc.(!j - 1) < w || (pc.(!j - 1) = w && a.(!j - 1) > h))
+      do
+        a.(!j) <- a.(!j - 1);
+        pc.(!j) <- pc.(!j - 1);
+        decr j
+      done;
+      a.(!j) <- h;
+      pc.(!j) <- w
+    done;
+    a
+  in
+  let nh = Array.length nzh in
+  (* single pass deciding both polarities: eq ⟺ rows agree on every
+     care position, cq ⟺ they disagree on every care position.  [off]
+     lets the row live inside a flat concatenation
+     ({!Sigstore.icanon_flat}). *)
+  let eq_and_compl irow off =
+    let eq = ref true and cq = ref true in
+    let k = ref 0 in
+    while (!eq || !cq) && !k < nh do
+      let i = Array.unsafe_get nzh !k in
+      let m = Array.unsafe_get icare i in
+      let x =
+        (Array.unsafe_get isig i lxor Array.unsafe_get irow (off + i))
+        land m
+      in
+      if x <> 0 then eq := false;
+      if x <> m then cq := false;
+      incr k
+    done;
+    (!eq, !cq)
+  in
+  let eq_only irow =
+    let rec go k =
+      k >= nh
+      ||
+      let i = Array.unsafe_get nzh k in
+      (Array.unsafe_get isig i lxor Array.unsafe_get irow i)
+      land Array.unsafe_get icare i
+      = 0
+      && go (k + 1)
+    in
+    go 0
+  in
+  let hamming_prefix lp irow =
+    let d = ref 0 in
+    for k = 0 to lp - 1 do
+      let i = Array.unsafe_get nzh k in
+      d :=
+        !d
+        + Bits.popcount62
+            ((Array.unsafe_get isig i lxor Array.unsafe_get irow i)
+            land Array.unsafe_get icare i)
+    done;
+    !d
+  in
+  let eligible p =
+    p <> p_a && not ti.forbidden.(Array.unsafe_get signals p)
+  in
+  (* Every substitution against the same stem shares Dom(a); compute it
+     at most once per target and let [gain_ab] copy it. *)
+  let dom =
+    match ti.target with
+    | Subst.Stem _ ->
+      Some
+        (lazy
+          (let d = Circuit.dominated_region (Estimator.circuit est) ti.a in
+           let m = ref [] in
+           Array.iteri (fun i inside -> if inside then m := i :: !m) d;
+           (d, Array.of_list (List.rev !m))))
+    | Subst.Branch _ -> None
+  in
+  let margin = 1e-12 in
+  let acc = ref [] in
+  let consider subst =
+    let g =
+      match dom with
+      | Some d -> Subst.gain_ab ~dom:(Lazy.force d) est subst
+      | None -> Subst.gain_ab est subst
+    in
+    if (not config.require_positive) || Subst.total_gain g > margin then
+      acc := (subst, g) :: !acc
+  in
+  let two_signal_wanted =
+    match ti.target with
+    | Subst.Stem _ -> want Subst.Os2
+    | Subst.Branch _ -> want Subst.Is2
+  in
+  let three_signal_wanted =
+    match ti.target with
+    | Subst.Stem _ -> want Subst.Os3
+    | Subst.Branch _ -> want Subst.Is3
+  in
+  (* #{p <> p_a : not forbidden}: every store signal, minus the ones in
+     the forbidden set, minus [a] itself when it is not already there
+     (stems mark themselves forbidden; branch drivers never are). *)
+  let n_eligible =
+    nsig - ti.forbidden_signals - (if ti.forbidden.(ti.a) then 0 else 1)
+  in
+  let ti_is3 = ref 0 in
+  let hits2 = ref 0 in
+  if two_signal_wanted then
+    unspanned (fun () ->
+        let emit p ~direct ~inv =
+          let b = Array.unsafe_get signals p in
+          if direct then begin
+            incr hits2;
+            consider { Subst.target = ti.target; source = Subst.Signal b }
+          end;
+          if inv then begin
+            incr hits2;
+            consider { Subst.target = ti.target; source = Subst.Inverted b }
+          end
+        in
+        match config.index with
+        | Scan ->
+          (* reference path: test every signal row individually *)
+          for p = 0 to nsig - 1 do
+            if eligible p then begin
+              let direct, inv = eq_and_compl (Sigstore.irow store p) 0 in
+              emit p ~direct ~inv
+            end
+          done
+        | Hash ->
+          (* class path: one (eq, compl-eq) test per compatibility
+             class decides for every member at once *)
+          let flat = Sigstore.icanon_flat store in
+          let stride = Sigstore.icanon_stride store in
+          for c = 0 to Sigstore.num_classes store - 1 do
+            let eq, cq = eq_and_compl flat (c * stride) in
+            if eq || cq then
+              Array.iter
+                (fun p ->
+                  if eligible p then
+                    let f = Sigstore.member_complemented store p in
+                    emit p
+                      ~direct:(if f then cq else eq)
+                      ~inv:(if f then eq else cq))
+                (Sigstore.class_members store c)
+          done);
+  if three_signal_wanted && gates2 <> [] then
+    unspanned (fun () ->
+        (* pool: the signals closest to [a], by (masked disagreement,
+           position).  Disagreement is counted on a deterministic
+           prefix of the care set: the densest care limbs covering at
+           least [pool_rank_bits] care positions (all of them when the
+           care set is smaller).  Preselection is heuristic — exact
+           compatibility is still decided on the full care set by the
+           pair conflict scan and the ATPG check — and the prefix is a
+           pure function of the target, so both index modes and every
+           chunking rank identically. *)
+        let mp = minpool_create config.pool_limit in
+        let suffix = Array.make (nh + 1) 0 in
+        for k = nh - 1 downto 0 do
+          suffix.(k) <- suffix.(k + 1) + Bits.popcount62 icare.(nzh.(k))
+        done;
+        let care_pop = suffix.(0) in
+        let lp =
+          let want = min pool_rank_bits care_pop in
+          let l = ref 0 in
+          while care_pop - suffix.(!l) < want do incr l done;
+          !l
+        in
+        let covered = care_pop - suffix.(lp) in
+        (match config.index with
+        | Scan ->
+          for p = 0 to nsig - 1 do
+            if eligible p then
+              minpool_insert mp (hamming_prefix lp (Sigstore.irow store p)) p
+          done
+        | Hash ->
+          (* Score once per class; a complemented member\'s disagreement
+             is [covered - d].  The partial sum is monotone, so a class
+             aborts as soon as neither polarity can still reach the
+             pool: the plus side needs [d <= threshold], the minus side
+             needs its tight lower bound [prefix_care(k) - d] to stay
+             within it.  The polarity flags come from the store
+             (membership only); scoring a class whose relevant members
+             all turn out ineligible wastes a few limbs but inserts
+             nothing, so the pool is unchanged. *)
+          let flat = Sigstore.icanon_flat store in
+          let stride = Sigstore.icanon_stride store in
+          (* target rows gathered into prefix order once per target:
+             the scoring loops then walk three small contiguous arrays
+             plus one strided read of [flat] *)
+          let gidx = Array.sub nzh 0 lp in
+          let gsig = Array.map (fun i -> isig.(i)) gidx in
+          let gcare = Array.map (fun i -> icare.(i)) gidx in
+          for c = 0 to Sigstore.num_classes store - 1 do
+            let has_plus = Sigstore.class_has_plus store c in
+            let has_minus = Sigstore.class_has_minus store c in
+            if has_plus || has_minus then begin
+              let off = c * stride in
+              let thr = minpool_threshold mp in
+              let d = ref 0 in
+              let viable = ref true in
+              (if has_minus then begin
+                 (* two-sided abort; the minus side's tight lower bound
+                    is [prefix_care(k) - d] *)
+                 let k = ref 0 in
+                 while !viable && !k < lp do
+                   let i = Array.unsafe_get gidx !k in
+                   d :=
+                     !d
+                     + Bits.popcount62
+                         ((Array.unsafe_get gsig !k
+                          lxor Array.unsafe_get flat (off + i))
+                         land Array.unsafe_get gcare !k);
+                   incr k;
+                   let plus_ok = has_plus && !d <= thr in
+                   let minus_ok = care_pop - (!d + suffix.(!k)) <= thr in
+                   viable := plus_ok || minus_ok
+                 done
+               end
+               else begin
+                 (* plus-only class (the common case): the partial
+                    distance is monotone, so abort purely on
+                    [d > threshold] *)
+                 let k = ref 0 in
+                 while !d <= thr && !k < lp do
+                   let i = Array.unsafe_get gidx !k in
+                   d :=
+                     !d
+                     + Bits.popcount62
+                         ((Array.unsafe_get gsig !k
+                          lxor Array.unsafe_get flat (off + i))
+                         land Array.unsafe_get gcare !k);
+                   incr k
+                 done;
+                 viable := !d <= thr
+               end);
+              if !viable then
+                Array.iter
+                  (fun p ->
+                    if eligible p then
+                      let dm =
+                        if Sigstore.member_complemented store p then
+                          covered - !d
+                        else !d
+                      in
+                      minpool_insert mp dm p)
+                  (Sigstore.class_members store c)
+            end
+          done);
+        let pool = Array.sub mp.ps 0 mp.n in
+        (* rows compressed to the nonzero-care halves, plus the
+           target\'s required output per care position: f1 = care
+           positions where [a] is 1, f0 = where it is 0 *)
+        let compress src = Array.map (fun i -> Array.unsafe_get src i) nzh in
+        let crows = Array.map (fun p -> compress (Sigstore.irow store p)) pool in
+        let self2 = Array.map (fun p -> eq_only (Sigstore.irow store p)) pool in
+        let ones = Bits.limb_mask in
+        let f1 = Array.map (fun i -> isig.(i) land icare.(i)) nzh in
+        let f0 = Array.map (fun i -> (isig.(i) lxor ones) land icare.(i)) nzh in
+        let cells =
+          Array.of_list
+            (List.map
+               (fun (cell : Cell.t) ->
+                 (cell, Int64.to_int (Logic.Tt.word cell.Cell.func) land 0xF))
+               gates2)
+        in
+        let is_branch =
+          match ti.target with Subst.Branch _ -> true | Subst.Stem _ -> false
+        in
+        let is3 = ref 0 in
+        (* Conflict scan: a pair (x, y) partitions the care positions
+           into the four input classes k = x + 2y.  [seen1]/[seen0]
+           record which classes contain a care position where [a] is
+           1/0.  A class present on both sides rules out EVERY cell at
+           once (no single output bit fits), so the word loop aborts on
+           the first conflict; otherwise cell [code] matches exactly
+           when it outputs 1 on the seen-1 classes and 0 on the seen-0
+           ones: [code land (seen1 lor seen0) = seen1].  This decides
+           all [gates2] in one pass over the pair\'s words and emits, in
+           [gates2] order, the same matches as evaluating each cell. *)
+        for i = 0 to Array.length pool - 1 do
+          if not self2.(i) then
+            for j = 0 to Array.length pool - 1 do
+              if j <> i && not self2.(j) then begin
+                let ri = crows.(i) and rj = crows.(j) in
+                let seen1 = ref 0 and seen0 = ref 0 in
+                let k = ref 0 in
+                while !seen1 land !seen0 = 0 && !k < nh do
+                  let x = Array.unsafe_get ri !k
+                  and y = Array.unsafe_get rj !k in
+                  let f1w = Array.unsafe_get f1 !k
+                  and f0w = Array.unsafe_get f0 !k in
+                  let nx = x lxor ones and ny = y lxor ones in
+                  let c0 = nx land ny
+                  and c1 = x land ny
+                  and c2 = nx land y
+                  and c3 = x land y in
+                  let nonz m = if m = 0 then 0 else 1 in
+                  seen1 :=
+                    !seen1
+                    lor nonz (c0 land f1w)
+                    lor (nonz (c1 land f1w) lsl 1)
+                    lor (nonz (c2 land f1w) lsl 2)
+                    lor (nonz (c3 land f1w) lsl 3);
+                  seen0 :=
+                    !seen0
+                    lor nonz (c0 land f0w)
+                    lor (nonz (c1 land f0w) lsl 1)
+                    lor (nonz (c2 land f0w) lsl 2)
+                    lor (nonz (c3 land f0w) lsl 3);
+                  incr k
+                done;
+                if !seen1 land !seen0 = 0 then begin
+                  let pinned = !seen1 lor !seen0 in
+                  Array.iter
+                    (fun (cell, code) ->
+                      if code land pinned = !seen1 then begin
+                        if is_branch then incr is3;
+                        consider
+                          {
+                            Subst.target = ti.target;
+                            source =
+                              Subst.Gate2 (cell, signals.(pool.(i)),
+                                           signals.(pool.(j)));
+                          }
+                      end)
+                    cells
+                end
+              end
+            done
+        done;
+        Obs.Metrics.add m_is3_candidates !is3;
+        ti_is3 := !is3);
+  let best =
+    List.sort cand_compare !acc
+    |> List.filteri (fun k _ -> k < config.per_target)
+  in
+  let filtered =
+    if two_signal_wanted then max 0 ((2 * n_eligible) - !hits2) else 0
+  in
+  Obs.Metrics.add m_sig_hits !hits2;
+  Obs.Metrics.add m_sig_filtered filtered;
+  ( best,
+    { pairs_hit = !hits2; pairs_filtered = filtered; is3_candidates = !ti_is3 } )
+
+let generate_stats ?(config = default_config) ?pool ?store est =
   let circ = Estimator.circuit est in
   let eng = Estimator.engine est in
-  let want k = List.mem k config.classes in
-  let signals =
-    let acc = ref [] in
-    Circuit.iter_live circ (fun id ->
-        if is_signal_node circ id then acc := id :: !acc);
-    Array.of_list (List.rev !acc)
+  let store =
+    match store with
+    | Some s ->
+      Sigstore.sync s;
+      s
+    | None ->
+      (* transient store over the estimator's engine only: same scan
+         semantics, no counterexample folding *)
+      let s = Sigstore.create ~base:eng () in
+      Sigstore.rebuild s;
+      s
   in
-  let sigs = Array.map (fun id -> Engine.value eng id) signals in
+  let want k = List.mem k config.classes in
   let gates2 = Library.two_input_cells (Circuit.library circ) in
   let targets =
     Obs.Trace.with_span span_targets (fun () ->
         (if want Subst.Os2 || want Subst.Os3 then
            Obs.Trace.with_span span_targets_stem (fun () ->
-               stem_targets circ eng)
+               stem_targets circ store)
          else [])
         @
         if want Subst.Is2 || want Subst.Is3 then
           Obs.Trace.with_span span_targets_branch (fun () ->
-              branch_targets circ eng)
+              branch_targets circ store)
         else [])
   in
-  let margin = 1e-12 in
-  let results = ref [] in
-  let consider acc subst =
-    let g = Subst.gain_ab est subst in
-    if (not config.require_positive) || Subst.total_gain g > margin then
-      acc := (subst, g) :: !acc
+  let targets = Array.of_list targets in
+  let scan ti = scan_target ~config ~store ~est ~gates2 ti in
+  let results =
+    Obs.Trace.with_span span_scan (fun () ->
+    match pool with
+    | Some p
+      when Par.Pool.jobs p > 1
+           && Array.length targets > 1
+           && not (Par.Pool.in_task ()) ->
+      (* pre-warm the lazily memoized traversal order: worker tasks
+         read the circuit concurrently and must not race on the cache *)
+      ignore (Circuit.topo_order circ);
+      let jobs = Par.Pool.jobs p in
+      let chunk = max 1 (Array.length targets / (4 * jobs)) in
+      let nchunks = (Array.length targets + chunk - 1) / chunk in
+      let chunks =
+        Array.init nchunks (fun k ->
+            let lo = k * chunk in
+            Array.sub targets lo (min chunk (Array.length targets - lo)))
+      in
+      let per_chunk =
+        Par.Pool.map p ~f:(fun c -> Array.map scan c) chunks
+      in
+      Array.concat
+        (Array.to_list
+           (Array.map (function Some r -> r | None -> [||]) per_chunk))
+    | _ -> Array.map scan targets)
   in
-  List.iter
-    (fun ti ->
-      let sig_a = Engine.value eng ti.a in
-      let acc = ref [] in
-      let two_signal_wanted =
-        match ti.target with
-        | Subst.Stem _ -> want Subst.Os2
-        | Subst.Branch _ -> want Subst.Is2
-      in
-      let three_signal_wanted =
-        match ti.target with
-        | Subst.Stem _ -> want Subst.Os3
-        | Subst.Branch _ -> want Subst.Is3
-      in
-      if two_signal_wanted then
-        Obs.Trace.with_span span_scan2 (fun () ->
-            Array.iteri
-              (fun i b ->
-                if b <> ti.a && not ti.forbidden.(b) then begin
-                  if matches_on_care sig_a sigs.(i) ti.care then
-                    consider acc
-                      { Subst.target = ti.target; source = Subst.Signal b };
-                  if matches_compl_on_care sig_a sigs.(i) ti.care then
-                    consider acc
-                      { Subst.target = ti.target; source = Subst.Inverted b }
-                end)
-              signals);
-      if three_signal_wanted && gates2 <> [] then
-        Obs.Trace.with_span span_scan3 (fun () ->
-            (* pool: the signals closest to [a] on the care set *)
-            let scored = ref [] in
-            Array.iteri
-              (fun i b ->
-                if b <> ti.a && not ti.forbidden.(b) then
-                  scored := (disagreement sig_a sigs.(i) ti.care, i) :: !scored)
-              signals;
-            let pool =
-              List.sort compare !scored
-              |> List.filteri (fun k _ -> k < config.pool_limit)
-              |> List.map snd |> Array.of_list
-            in
-            Array.iter
-              (fun i ->
-                Array.iter
-                  (fun j ->
-                    if i <> j then
-                      List.iter
-                        (fun (cell : Cell.t) ->
-                          let g_words =
-                            Engine.apply_gate_words cell.Cell.func
-                              [| sigs.(i); sigs.(j) |]
-                          in
-                          if
-                            matches_on_care sig_a g_words ti.care
-                            (* skip pairs a plain 2-substitution already
-                               covers *)
-                            && not (matches_on_care sig_a sigs.(i) ti.care)
-                            && not (matches_on_care sig_a sigs.(j) ti.care)
-                          then
-                            consider acc
-                              {
-                                Subst.target = ti.target;
-                                source =
-                                  Subst.Gate2 (cell, signals.(i), signals.(j));
-                              })
-                        gates2)
-                  pool)
-              pool);
-      (* keep the best per_target candidates for this target *)
-      let best =
-        Obs.Trace.with_span span_select (fun () ->
-            List.sort
-              (fun (_, g1) (_, g2) ->
-                Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
-              !acc
-            |> List.filteri (fun k _ -> k < config.per_target))
-      in
-      results := best @ !results)
-    targets;
-  Obs.Trace.with_span span_select (fun () ->
-      List.sort
-        (fun (_, g1) (_, g2) ->
-          Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
-        !results)
+  let stats =
+    Array.fold_left (fun s (_, st) -> add_stats s st) zero_stats results
+  in
+  let all =
+    Array.fold_left (fun l (best, _) -> List.rev_append best l) [] results
+  in
+  let sorted =
+    Obs.Trace.with_span span_select (fun () -> List.sort cand_compare all)
+  in
+  (sorted, stats)
+
+let generate ?config ?pool ?store est = fst (generate_stats ?config ?pool ?store est)

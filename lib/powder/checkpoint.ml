@@ -1,7 +1,7 @@
 module J = Obs.Json
 
 (* Bump when the schema changes; load refuses other versions. *)
-let version = 1
+let version = 2
 
 let magic = "powder-checkpoint"
 
@@ -23,6 +23,10 @@ type t = {
   rejected_by_giveup : int;
   rejected_by_timeout : int;
   rejected_by_cex : int;
+  sig_hits : int;
+  sig_filtered : int;
+  sig_resim_nodes : int;
+  is3_candidates : int;
   rolled_back : int;
   verified_applies : int;
   giveup_breakdown : (string * int) list;
@@ -59,6 +63,10 @@ let to_json c =
       ("rejected_by_giveup", J.Int c.rejected_by_giveup);
       ("rejected_by_timeout", J.Int c.rejected_by_timeout);
       ("rejected_by_cex", J.Int c.rejected_by_cex);
+      ("sig_hits", J.Int c.sig_hits);
+      ("sig_filtered", J.Int c.sig_filtered);
+      ("sig_resim_nodes", J.Int c.sig_resim_nodes);
+      ("is3_candidates", J.Int c.is3_candidates);
       ("rolled_back", J.Int c.rolled_back);
       ("verified_applies", J.Int c.verified_applies);
       ( "giveup_breakdown",
@@ -175,6 +183,10 @@ let of_json j =
       let* rejected_by_giveup = field "rejected_by_giveup" J.get_int j in
       let* rejected_by_timeout = field "rejected_by_timeout" J.get_int j in
       let* rejected_by_cex = field "rejected_by_cex" J.get_int j in
+      let* sig_hits = field "sig_hits" J.get_int j in
+      let* sig_filtered = field "sig_filtered" J.get_int j in
+      let* sig_resim_nodes = field "sig_resim_nodes" J.get_int j in
+      let* is3_candidates = field "is3_candidates" J.get_int j in
       let* rolled_back = field "rolled_back" J.get_int j in
       let* verified_applies = field "verified_applies" J.get_int j in
       let* giveup_breakdown =
@@ -224,6 +236,10 @@ let of_json j =
           rejected_by_giveup;
           rejected_by_timeout;
           rejected_by_cex;
+          sig_hits;
+          sig_filtered;
+          sig_resim_nodes;
+          is3_candidates;
           rolled_back;
           verified_applies;
           giveup_breakdown;

@@ -28,6 +28,10 @@ type t = {
   rejected_by_giveup : int;
   rejected_by_timeout : int;
   rejected_by_cex : int;
+  sig_hits : int;
+  sig_filtered : int;
+  sig_resim_nodes : int;
+  is3_candidates : int;
   rolled_back : int;
   verified_applies : int;
   giveup_breakdown : (string * int) list;

@@ -30,6 +30,7 @@ type config = {
   checkpoint_every : int;
   checkpoint_file : string option;
   jobs : int;
+  sig_index : Candidates.index_mode;
 }
 
 let default_config =
@@ -56,6 +57,7 @@ let default_config =
     checkpoint_every = 0;
     checkpoint_file = None;
     jobs = 1;
+    sig_index = Candidates.Hash;
   }
 
 module Trace = Obs.Trace
@@ -82,6 +84,14 @@ type report = {
   rejected_by_cex : int;
       (** screened out by accumulated counterexample patterns, without
           running an exact proof *)
+  sig_hits : int;
+      (** 2-signal signature matches emitted by the store scans *)
+  sig_filtered : int;
+      (** 2-signal pairs the signature comparison ruled out *)
+  sig_resim_nodes : int;
+      (** nodes re-evaluated by incremental TFO re-simulation on accepts *)
+  is3_candidates : int;
+      (** 3-signal candidates generated on branch targets (IS3 funnel) *)
   rolled_back : int;
   verified_applies : int;
   giveup_breakdown : (string * int) list;
@@ -232,6 +242,10 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
   let rej_giveup = ref 0 in
   let rej_timeout = ref 0 in
   let rej_cex = ref 0 in
+  let sig_hits = ref 0 in
+  let sig_filtered = ref 0 in
+  let sig_resim_nodes = ref 0 in
+  let is3_cands = ref 0 in
   let rolled_back = ref 0 in
   let verified_applies = ref 0 in
   let substitutions = ref 0 in
@@ -268,10 +282,17 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
           Engine.set_value !cex_eng pi values)
       (Circuit.pis circ)
   in
+  (* Signature store over both engines: candidate generation reads it,
+     the accept path maintains it incrementally, and counterexample
+     injection invalidates it (a new cex rewrites one pattern column in
+     EVERY row, so the next generate rebuilds).  Recreated whenever the
+     engines themselves are recreated. *)
+  let sigstore = ref (Sim.Sigstore.create ~cex:!cex_eng ~base:!eng ()) in
   let inject_cex assignment =
     cex_log := assignment :: !cex_log;
     write_cex_bits assignment;
-    Engine.resim_all !cex_eng
+    Engine.resim_all !cex_eng;
+    Sim.Sigstore.invalidate !sigstore
   in
   let verify_seed = Sim.Rng.derive config.seed "powder/guard" in
   let guard =
@@ -305,6 +326,7 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
         Some
           (Guard.make_verifier ~words:config.verify_words ~seed:verify_seed
              ~input_probs:prob_of circ));
+    sigstore := Sim.Sigstore.create ~cex:!cex_eng ~base:!eng ();
     sta := analyze_timed ?required_time:constraint_ circ
   in
   (* Canonicalization barrier: serialize, reparse, and continue on the
@@ -335,6 +357,10 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
     rej_giveup := ck.Checkpoint.rejected_by_giveup;
     rej_timeout := ck.Checkpoint.rejected_by_timeout;
     rej_cex := ck.Checkpoint.rejected_by_cex;
+    sig_hits := ck.Checkpoint.sig_hits;
+    sig_filtered := ck.Checkpoint.sig_filtered;
+    sig_resim_nodes := ck.Checkpoint.sig_resim_nodes;
+    is3_cands := ck.Checkpoint.is3_candidates;
     rolled_back := ck.Checkpoint.rolled_back;
     verified_applies := ck.Checkpoint.verified_applies;
     List.iter (fun (k, n) -> Hashtbl.replace giveups k n)
@@ -552,14 +578,20 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
                   match Guard.transactional_apply v circ s with
                   | Guard.Applied src ->
                     incr verified_applies;
-                    Estimator.update_after_edit !est src;
-                    Engine.resim_tfo !cex_eng src;
+                    sig_resim_nodes :=
+                      !sig_resim_nodes
+                      + Estimator.update_after_edit !est src
+                      + Engine.resim_after_edit !cex_eng src;
+                    Sim.Sigstore.update_after_edit !sigstore src;
                     `Ok src
                   | Guard.Rolled_back err -> `Rolled_back err)
                 | None ->
                   let src = Subst.apply circ s in
-                  Estimator.update_after_edit !est src;
-                  Engine.resim_tfo !cex_eng src;
+                  sig_resim_nodes :=
+                    !sig_resim_nodes
+                    + Estimator.update_after_edit !est src
+                    + Engine.resim_after_edit !cex_eng src;
+                  Sim.Sigstore.update_after_edit !sigstore src;
                   `Ok src)
           in
           match outcome with
@@ -791,12 +823,20 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
           per_target = config.per_target;
           pool_limit = config.pool_limit;
           require_positive = true;
+          index = config.sig_index;
         }
       in
-      let pool =
+      let pool, gen_stats =
         Trace.with_span "generate" (fun () ->
-            Array.of_list (Candidates.generate ~config:cand_config !est))
+            let cands, st =
+              Candidates.generate_stats ~config:cand_config ?pool:dom_pool
+                ~store:!sigstore !est
+            in
+            (Array.of_list cands, st))
       in
+      sig_hits := !sig_hits + gen_stats.Candidates.pairs_hit;
+      sig_filtered := !sig_filtered + gen_stats.Candidates.pairs_filtered;
+      is3_cands := !is3_cands + gen_stats.Candidates.is3_candidates;
       candidates_generated := !candidates_generated + Array.length pool;
       Trace.event "round"
         [ ("round", Trace.Int !rounds); ("pool", Trace.Int (Array.length pool)) ];
@@ -867,6 +907,10 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
               rejected_by_giveup = !rej_giveup;
               rejected_by_timeout = !rej_timeout;
               rejected_by_cex = !rej_cex;
+              sig_hits = !sig_hits;
+              sig_filtered = !sig_filtered;
+              sig_resim_nodes = !sig_resim_nodes;
+              is3_candidates = !is3_cands;
               rolled_back = !rolled_back;
               verified_applies = !verified_applies;
               giveup_breakdown =
@@ -923,6 +967,10 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
     rejected_by_giveup = !rej_giveup;
     rejected_by_timeout = !rej_timeout;
     rejected_by_cex = !rej_cex;
+    sig_hits = !sig_hits;
+    sig_filtered = !sig_filtered;
+    sig_resim_nodes = !sig_resim_nodes;
+    is3_candidates = !is3_cands;
     rolled_back = !rolled_back;
     verified_applies = !verified_applies;
     giveup_breakdown =
@@ -952,6 +1000,7 @@ let pp_report fmt r =
      delay: %.2f -> %.2f%s@,funnel: %d generated -> %d checked -> %d accepted@,\
      substitutions: %d (checks %d, rej delay %d, rej atpg %d, rej giveup %d, \
      rej timeout %d, rej cex %d, rolled back %d, rounds %d)@,\
+     signatures: %d hits, %d filtered, %d is3 candidates, %d resim nodes@,\
      guard: %d verified applies, degradation level %d, stopped by %s@,"
     r.initial_power r.final_power (power_reduction_percent r) r.initial_area
     r.final_area (area_reduction_percent r) r.initial_delay r.final_delay
@@ -961,6 +1010,7 @@ let pp_report fmt r =
     r.candidates_generated r.checks_run r.substitutions r.substitutions
     r.checks_run r.rejected_by_delay r.rejected_by_atpg r.rejected_by_giveup
     r.rejected_by_timeout r.rejected_by_cex r.rolled_back r.rounds
+    r.sig_hits r.sig_filtered r.is3_candidates r.sig_resim_nodes
     r.verified_applies r.degradation_level r.stopped_by;
   (match r.giveup_breakdown with
   | [] -> ()
@@ -1017,6 +1067,10 @@ let report_to_json r =
             ("rejected_by_giveup", Int r.rejected_by_giveup);
             ("rejected_by_timeout", Int r.rejected_by_timeout);
             ("rejected_by_cex", Int r.rejected_by_cex);
+            ("sig_hits", Int r.sig_hits);
+            ("sig_filtered", Int r.sig_filtered);
+            ("sig_resim_nodes", Int r.sig_resim_nodes);
+            ("is3_candidates", Int r.is3_candidates);
             ("rolled_back", Int r.rolled_back);
           ] );
       ( "guard",

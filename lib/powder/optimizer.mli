@@ -58,6 +58,11 @@ type config = {
           and spawns nothing.  Any value produces byte-identical
           reports, substitutions and final BLIF — see the determinism
           contract in [Par.Pool]. *)
+  sig_index : Candidates.index_mode;
+      (** how candidate generation matches signatures: [Hash] scans the
+          store's compatibility classes (fast path), [Scan] tests every
+          signal row (auditable reference).  Both emit byte-identical
+          results. *)
 }
 
 val default_config : config
@@ -92,6 +97,18 @@ type report = {
   rejected_by_cex : int;
       (** screened out by accumulated counterexample patterns before
           any exact proof was attempted *)
+  sig_hits : int;
+      (** 2-signal signature matches emitted by the store scans
+          (pre-gain-filter), summed over rounds *)
+  sig_filtered : int;
+      (** 2-signal pairs the signature comparison ruled out — the work
+          the funnel's downstream never sees *)
+  sig_resim_nodes : int;
+      (** nodes re-evaluated by incremental (levelized, change-pruned)
+          re-simulation on the accept path, both engines *)
+  is3_candidates : int;
+      (** 3-signal candidates generated on branch targets, before gain
+          filtering — diagnoses the IS3 leg of Table 2 *)
   rolled_back : int;
       (** applies reverted by the {!Guard} transaction (verification
           mismatch or validation failure) *)

@@ -165,7 +165,7 @@ let source_words_on eng s =
 
 let source_words est s = source_words_on (Estimator.engine est) s
 
-let gain_ab est s =
+let gain_ab ?dom est s =
   let circ = Estimator.circuit est in
   let eng = Estimator.engine est in
   let moved = moved_load circ s in
@@ -174,12 +174,36 @@ let gain_ab est s =
     | Stem a ->
       (* The removed region is Dom(a) minus whatever still feeds the
          substituting signal(s): those cones survive the sweep. *)
-      let dom = Circuit.dominated_region circ a in
+      let dom, members =
+        match dom with
+        | Some (d, m) -> (Array.copy d, m)
+        | None ->
+          let d = Circuit.dominated_region circ a in
+          let m = ref [] in
+          Array.iteri (fun i inside -> if inside then m := i :: !m) d;
+          (d, Array.of_list (List.rev !m))
+      in
+      (* Strip TFI(root) ∩ Dom(a) by a backward walk restricted to the
+         region: any region node with a path to [root] has all the
+         path's intermediate nodes in the region too (an intermediate
+         escaping to a PO without passing [a] would give the ancestor
+         the same escape), so the restricted walk reaches exactly
+         TFI(root) ∩ Dom(a).  Overlapping cones compose: a node cleared
+         by an earlier cone was reached through fanins that were also
+         cleared, so nothing a later walk is blocked from was kept. *)
       let keep_cone root =
         if dom.(root) then begin
-          let tfi = Circuit.tfi circ root in
-          Array.iteri (fun i inside -> if inside then dom.(i) <- false) tfi;
-          dom.(root) <- false
+          dom.(root) <- false;
+          let rec strip id =
+            Array.iter
+              (fun f ->
+                if dom.(f) then begin
+                  dom.(f) <- false;
+                  strip f
+                end)
+              (Circuit.fanins circ id)
+          in
+          strip root
         end
       in
       (match plan_of circ s with
@@ -188,7 +212,8 @@ let gain_ab est s =
       | P_new_gate (_, b, d) ->
         keep_cone b;
         keep_cone d);
-      Estimator.region_power est dom +. Estimator.region_input_relief est dom
+      Estimator.region_power_members est dom members
+      +. Estimator.region_input_relief_members est dom members
     | Branch _ ->
       moved *. Estimator.transition_prob est (substituted_signal circ s)
   in

@@ -63,9 +63,14 @@ type gain = {
 
 val total_gain : gain -> float
 
-val gain_ab : Power.Estimator.t -> t -> gain
+val gain_ab : ?dom:bool array * int array -> Power.Estimator.t -> t -> gain
 (** The cheap part: [pg_a] and [pg_b] only ([pg_c = 0]); no
-    re-estimation (the paper's pre-selection metric). *)
+    re-estimation (the paper's pre-selection metric).  [?dom], when
+    given for a stem target, must be [Circuit.dominated_region] of the
+    target stem together with its member ids in ascending order —
+    callers scoring many substitutions against the same stem compute
+    both once and pass them here; the function copies the mask before
+    carving out the surviving source cones. *)
 
 val gain_full : Power.Estimator.t -> t -> gain
 (** Adds [pg_c] by re-simulating the target's transitive fanout under

@@ -54,32 +54,27 @@ let refresh_all t =
 let m_update_calls = Obs.Metrics.counter "power.update.calls"
 let m_update_nodes = Obs.Metrics.counter "power.update.nodes"
 
+(* Incremental: the levelized engine update reports exactly the nodes
+   whose words changed, and a node's probability is a pure function of
+   its words — so refreshing only those (plus the seed) leaves [p]
+   identical to a full refresh.  A brand-new node whose simulated
+   words happen to be all zero reports unchanged, but its default
+   [p = 0.0] already equals the probability of an all-zero signature. *)
 let update_after_edit t s =
   ensure_capacity t;
-  let circ = circuit t in
-  Engine.resim_tfo t.eng s;
-  let tfo = Circuit.tfo circ s in
-  t.p.(s) <- signal_prob_of_node t.eng s;
   let refreshed = ref 1 in
-  Circuit.iter_live circ (fun id ->
-      if tfo.(id) then begin
+  let evaluated =
+    Engine.resim_after_edit t.eng s ~on_change:(fun id ->
         t.p.(id) <- signal_prob_of_node t.eng id;
-        incr refreshed
-      end);
+        incr refreshed)
+  in
+  t.p.(s) <- signal_prob_of_node t.eng s;
   Obs.Metrics.incr m_update_calls;
-  Obs.Metrics.add m_update_nodes !refreshed
+  Obs.Metrics.add m_update_nodes !refreshed;
+  evaluated
 
 let transition_of_words words ~total_patterns =
-  let ones =
-    Array.fold_left
-      (fun acc w ->
-        let rec pop x acc =
-          if Int64.equal x 0L then acc
-          else pop (Int64.logand x (Int64.sub x 1L)) (acc + 1)
-        in
-        pop w acc)
-      0 words
-  in
+  let ones = Logic.Bits.popcount_words words in
   let p = float_of_int ones /. float_of_int total_patterns in
   2.0 *. p *. (1.0 -. p)
 
@@ -103,4 +98,39 @@ let region_input_relief t region =
       in
       acc := !acc +. (inside_cap *. transition_prob t id))
     (Circuit.inputs_of_region circ region);
+  !acc
+
+(* Member-list variants: [members] must cover every node of [region]
+   (a superset is fine — extra ids are filtered by the mask) in
+   ascending id order, so the float accumulation order is identical to
+   the full-circuit scans above. *)
+
+let region_power_members t region members =
+  let acc = ref 0.0 in
+  Array.iter (fun id -> if region.(id) then acc := !acc +. node_power t id) members;
+  !acc
+
+let region_input_relief_members t region members =
+  let circ = circuit t in
+  let inputs = ref [] in
+  Array.iter
+    (fun m ->
+      if region.(m) then
+        Array.iter
+          (fun f -> if not region.(f) then inputs := f :: !inputs)
+          (Circuit.fanins circ m))
+    members;
+  let inputs = List.sort_uniq compare !inputs in
+  let acc = ref 0.0 in
+  List.iter
+    (fun id ->
+      let inside_cap =
+        List.fold_left
+          (fun c pin ->
+            if region.(pin.Circuit.sink) then c +. Circuit.pin_cap circ pin
+            else c)
+          0.0 (Circuit.fanouts circ id)
+      in
+      acc := !acc +. (inside_cap *. transition_prob t id))
+    inputs;
   !acc

@@ -32,10 +32,13 @@ val watts : ?vdd:float -> ?freq:float -> t -> float
 val refresh_all : t -> unit
 (** Recompute all probabilities from current engine values. *)
 
-val update_after_edit : t -> Netlist.Circuit.node_id -> unit
+val update_after_edit : t -> Netlist.Circuit.node_id -> int
 (** After a structural edit whose functional effect starts at node [s]:
-    re-simulate [s] and its TFO and refresh their probabilities (the
-    paper's [power_estimate_update]). *)
+    incrementally re-simulate from [s] (levelized, change-pruned — see
+    {!Sim.Engine.resim_after_edit}) and refresh the probabilities of
+    the nodes whose words changed (the paper's
+    [power_estimate_update]).  Returns the number of nodes the engine
+    re-evaluated. *)
 
 val transition_of_words : int64 array -> total_patterns:int -> float
 (** Transition probability a signature implies. *)
@@ -48,3 +51,14 @@ val region_input_relief : t -> bool array -> float
 (** Second term of [PG_A]: [sum_{i in inputs(Dom)} C'(i) * E(i)], where
     [C'(i)] is the part of [i]'s load presented by pins inside the
     region. *)
+
+val region_power_members : t -> bool array -> int array -> float
+(** {!region_power} over an explicit member list instead of a
+    full-circuit sweep.  [members] must include every node of the mask,
+    in ascending id order; the result (including float rounding) is
+    identical to {!region_power}. *)
+
+val region_input_relief_members : t -> bool array -> int array -> float
+(** {!region_input_relief} driven from the region's member list: the
+    region's inputs are recovered from the members' fanins instead of a
+    full-circuit sweep.  Same result, including float rounding. *)

@@ -6,6 +6,18 @@ type t = {
   circ : Circuit.t;
   w : int;
   mutable values : int64 array array; (* per node id *)
+  (* persistent scratch for perturb-and-restore observability: saved
+     rows are pooled per node (no per-call copies), [obs_changed] is
+     cleared on exit by walking the touched list *)
+  mutable obs_saved : int64 array array;
+  mutable obs_changed : Bytes.t;
+  (* rank-ordered worklist scratch: topo rank per node (rebuilt when
+     the memoized order changes identity), a binary min-heap of node
+     ids keyed by rank, and its membership flags *)
+  mutable obs_rank : int array;
+  mutable obs_rank_key : Circuit.node_id array;
+  mutable obs_heap : int array;
+  mutable obs_inq : Bytes.t;
 }
 
 let create circ ~words =
@@ -14,6 +26,12 @@ let create circ ~words =
     circ;
     w = words;
     values = Array.init (Circuit.num_nodes circ) (fun _ -> Array.make words 0L);
+    obs_saved = [||];
+    obs_changed = Bytes.empty;
+    obs_rank = [||];
+    obs_rank_key = [||];
+    obs_heap = [||];
+    obs_inq = Bytes.empty;
   }
 
 let circuit t = t.circ
@@ -138,6 +156,99 @@ let resim_all ?pool t =
   Obs.Metrics.incr m_resim_all_calls;
   Obs.Metrics.add m_resim_nodes (Array.length order + List.length pos)
 
+let m_resim_edit_calls = Obs.Metrics.counter "sim.resim_edit.calls"
+let m_sig_resim_nodes = Obs.Metrics.counter "sig/resim_nodes"
+
+(* Incremental re-simulation after a structural edit at [s]: a levelized
+   update queue seeded with [s] and its direct fanout sinks (the nodes
+   whose fanins a substitution rewires), draining in topological order
+   and enqueueing a node's fanouts only when its words actually changed.
+   Equivalent to [resim_tfo] word for word — the pruning only skips
+   nodes whose inputs are provably unchanged — but touches the changed
+   cone instead of the whole transitive fanout, which is what makes
+   per-accept signature maintenance cheap.  [on_change] fires once per
+   node whose words changed, in topological order. *)
+let resim_after_edit ?on_change t s =
+  ensure_capacity t;
+  let order = Circuit.topo_order t.circ in
+  let n_order = Array.length order in
+  let pos_list = Circuit.pos t.circ in
+  let level = Array.make (Array.length t.values) (-1) in
+  Array.iteri (fun i id -> level.(id) <- i) order;
+  List.iteri (fun i po -> level.(po) <- n_order + i) pos_list;
+  (* binary min-heap of node ids keyed by topological position *)
+  let heap = ref (Array.make 64 (-1)) in
+  let hn = ref 0 in
+  let queued = Array.make (Array.length t.values) false in
+  let swap i j =
+    let h = !heap in
+    let tmp = h.(i) in
+    h.(i) <- h.(j);
+    h.(j) <- tmp
+  in
+  let push id =
+    if level.(id) >= 0 && not queued.(id) then begin
+      queued.(id) <- true;
+      if !hn >= Array.length !heap then begin
+        let bigger = Array.make (2 * Array.length !heap) (-1) in
+        Array.blit !heap 0 bigger 0 !hn;
+        heap := bigger
+      end;
+      !heap.(!hn) <- id;
+      incr hn;
+      let i = ref (!hn - 1) in
+      while !i > 0 && level.(!heap.((!i - 1) / 2)) > level.(!heap.(!i)) do
+        swap ((!i - 1) / 2) !i;
+        i := (!i - 1) / 2
+      done
+    end
+  in
+  let pop () =
+    let h = !heap in
+    let top = h.(0) in
+    decr hn;
+    h.(0) <- h.(!hn);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < !hn && level.(h.(l)) < level.(h.(!m)) then m := l;
+      if r < !hn && level.(h.(r)) < level.(h.(!m)) then m := r;
+      if !m <> !i then begin
+        swap !i !m;
+        i := !m
+      end
+      else continue_ := false
+    done;
+    top
+  in
+  push s;
+  List.iter (fun p -> push p.Circuit.sink) (Circuit.fanouts t.circ s);
+  let scratch = Array.make t.w 0L in
+  let evaluated = ref 0 in
+  while !hn > 0 do
+    let id = pop () in
+    Array.blit t.values.(id) 0 scratch 0 t.w;
+    eval_node t id;
+    incr evaluated;
+    let changed =
+      let v = t.values.(id) in
+      let rec differs j =
+        j < t.w && (not (Int64.equal v.(j) scratch.(j)) || differs (j + 1))
+      in
+      differs 0
+    in
+    if changed then begin
+      (match on_change with None -> () | Some f -> f id);
+      List.iter (fun p -> push p.Circuit.sink) (Circuit.fanouts t.circ id)
+    end
+  done;
+  Obs.Metrics.incr m_resim_edit_calls;
+  Obs.Metrics.add m_resim_nodes !evaluated;
+  Obs.Metrics.add m_sig_resim_nodes !evaluated;
+  !evaluated
+
 let resim_tfo t s =
   ensure_capacity t;
   let tfo = Circuit.tfo t.circ s in
@@ -235,14 +346,7 @@ let exhaustive t =
     pis;
   resim_all t
 
-let popcount64 x =
-  let rec go x acc =
-    if Int64.equal x 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1)
-  in
-  go x 0
-
-let count_ones t id =
-  Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.values.(id)
+let count_ones t id = Logic.Bits.popcount_words t.values.(id)
 
 let prob_one t id = float_of_int (count_ones t id) /. float_of_int (num_patterns t)
 
@@ -260,30 +364,153 @@ let complement_signature t a b =
 
 (* Flip-and-resimulate machinery for observability masks.  Saves the
    affected slice, perturbs, replays, diffs the POs, restores. *)
+(* Event-driven perturb-diff-restore: after perturbing [first], a node
+   is re-evaluated only when one of its direct fanins actually changed
+   — unchanged fanins reproduce the old words exactly, so the wave
+   dies where the perturbation is logically masked.  The frontier is a
+   binary min-heap on topo rank: a node is pushed when a fanin
+   changes, and popping in rank order guarantees every fanin is final
+   before the node re-evaluates, exactly like the topo sweep it
+   replaces — without visiting the untouched rest of the circuit.
+   Saved rows come from a per-engine pool and all flags are cleared on
+   exit by walking the touched list, so a call allocates nothing
+   proportional to the circuit. *)
 let observability_core t ~first ~perturb =
-  let tfo = Circuit.tfo t.circ first in
+  let circ = t.circ in
+  let n = Circuit.num_nodes circ in
+  if Array.length t.obs_saved < n then begin
+    let bigger = Array.make (max n (2 * Array.length t.obs_saved)) [||] in
+    Array.blit t.obs_saved 0 bigger 0 (Array.length t.obs_saved);
+    t.obs_saved <- bigger
+  end;
+  if Bytes.length t.obs_changed < n then begin
+    let bigger = Bytes.make (max n (2 * Bytes.length t.obs_changed)) '\000' in
+    Bytes.blit t.obs_changed 0 bigger 0 (Bytes.length t.obs_changed);
+    t.obs_changed <- bigger
+  end;
+  if Array.length t.obs_heap < n then t.obs_heap <- Array.make n 0;
+  if Bytes.length t.obs_inq < n then begin
+    let bigger = Bytes.make n '\000' in
+    Bytes.blit t.obs_inq 0 bigger 0 (Bytes.length t.obs_inq);
+    t.obs_inq <- bigger
+  end;
   let order = Circuit.topo_order t.circ in
-  let affected =
-    first
-    :: (Array.to_list order |> List.filter (fun id -> tfo.(id) && id <> first))
+  if not (t.obs_rank_key == order) then begin
+    let rank = Array.make n max_int in
+    Array.iteri (fun r id -> rank.(id) <- r) order;
+    t.obs_rank <- rank;
+    t.obs_rank_key <- order
+  end;
+  let rank = t.obs_rank in
+  let heap = t.obs_heap in
+  let inq = t.obs_inq in
+  let hn = ref 0 in
+  let push id =
+    if Bytes.unsafe_get inq id = '\000' then begin
+      Bytes.unsafe_set inq id '\001';
+      let i = ref !hn in
+      incr hn;
+      Array.unsafe_set heap !i id;
+      let continue_ = ref true in
+      while !continue_ && !i > 0 do
+        let p = (!i - 1) / 2 in
+        if rank.(Array.unsafe_get heap p) > rank.(Array.unsafe_get heap !i)
+        then begin
+          let tmp = Array.unsafe_get heap p in
+          Array.unsafe_set heap p (Array.unsafe_get heap !i);
+          Array.unsafe_set heap !i tmp;
+          i := p
+        end
+        else continue_ := false
+      done
+    end
   in
-  let saved = List.map (fun id -> (id, Array.copy t.values.(id))) affected in
+  let pop () =
+    let top = Array.unsafe_get heap 0 in
+    decr hn;
+    Array.unsafe_set heap 0 (Array.unsafe_get heap !hn);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < !hn
+         && rank.(Array.unsafe_get heap l) < rank.(Array.unsafe_get heap !m)
+      then m := l;
+      if r < !hn
+         && rank.(Array.unsafe_get heap r) < rank.(Array.unsafe_get heap !m)
+      then m := r;
+      if !m = !i then continue_ := false
+      else begin
+        let tmp = Array.unsafe_get heap !m in
+        Array.unsafe_set heap !m (Array.unsafe_get heap !i);
+        Array.unsafe_set heap !i tmp;
+        i := !m
+      end
+    done;
+    Bytes.unsafe_set inq top '\000';
+    top
+  in
+  let changed = t.obs_changed in
+  let save id =
+    let row =
+      let r = t.obs_saved.(id) in
+      if Array.length r < t.w then begin
+        let r = Array.make t.w 0L in
+        t.obs_saved.(id) <- r;
+        r
+      end
+      else r
+    in
+    Array.blit t.values.(id) 0 row 0 t.w
+  in
+  let differs id =
+    let old = t.obs_saved.(id) and v = t.values.(id) in
+    let rec go j =
+      j < t.w && ((not (Int64.equal v.(j) old.(j))) || go (j + 1))
+    in
+    go 0
+  in
+  let touched = ref [] in
+  let push_fanouts id =
+    List.iter
+      (fun p ->
+        if Circuit.is_live circ p.Circuit.sink then push p.Circuit.sink)
+      (Circuit.fanouts circ id)
+  in
+  save first;
+  touched := first :: !touched;
   perturb ();
-  List.iter (fun id -> if id <> first then eval_node t id) affected;
+  if differs first then begin
+    Bytes.unsafe_set changed first '\001';
+    push_fanouts first
+  end;
+  while !hn > 0 do
+    let id = pop () in
+    save id;
+    touched := id :: !touched;
+    eval_node t id;
+    if differs id then begin
+      Bytes.unsafe_set changed id '\001';
+      push_fanouts id
+    end
+  done;
   let diff = Array.make t.w 0L in
   List.iter
     (fun po ->
-      let d = Circuit.po_driver t.circ po in
-      let old_d =
-        match List.assoc_opt d saved with
-        | Some v -> v
-        | None -> t.values.(d) (* unaffected: diff is zero *)
-      in
-      for j = 0 to t.w - 1 do
-        diff.(j) <- Int64.logor diff.(j) (Int64.logxor t.values.(d).(j) old_d.(j))
-      done)
-    (Circuit.pos t.circ);
-  List.iter (fun (id, v) -> Array.blit v 0 t.values.(id) 0 t.w) saved;
+      let d = Circuit.po_driver circ po in
+      if Bytes.unsafe_get changed d = '\001' then begin
+        let old = t.obs_saved.(d) and v = t.values.(d) in
+        for j = 0 to t.w - 1 do
+          diff.(j) <- Int64.logor diff.(j) (Int64.logxor v.(j) old.(j))
+        done
+      end)
+    (Circuit.pos circ);
+  List.iter
+    (fun id ->
+      Array.blit t.obs_saved.(id) 0 t.values.(id) 0 t.w;
+      Bytes.unsafe_set changed id '\000')
+    !touched;
   diff
 
 let stem_observability t s =

@@ -51,6 +51,17 @@ val resim_tfo : t -> Netlist.Circuit.node_id -> unit
 (** Recompute only the transitive fanout of a node (the node itself is
     re-evaluated too). *)
 
+val resim_after_edit :
+  ?on_change:(Netlist.Circuit.node_id -> unit) -> t -> Netlist.Circuit.node_id -> int
+(** Incremental re-simulation after a structural edit at the given
+    node: a levelized update queue seeded with the node and its direct
+    fanout sinks, draining in topological order and propagating only
+    through nodes whose words actually changed.  Produces exactly the
+    values of {!resim_tfo} (and hence of a full {!resim_all}) but
+    touches only the changed cone.  [on_change] fires once per
+    changed node, in topological order.  Returns the number of nodes
+    re-evaluated (counted on the ["sig/resim_nodes"] metric). *)
+
 val value : t -> Netlist.Circuit.node_id -> int64 array
 (** Current signature of a node (shared array; do not mutate). *)
 

@@ -1,0 +1,282 @@
+module Circuit = Netlist.Circuit
+module Bits = Logic.Bits
+
+(* A class groups the live signals whose signatures are equal up to
+   complement.  [canon] is the polarity-canonical signature (lowest bit
+   of word 0 forced to 0); a member whose signature is the complement
+   of [canon] carries [compl = true]. *)
+type cls = {
+  canon : int64 array;
+  icanon : int array; (* canon packed as 62-bit limbs (Bits.pack_words) *)
+  mutable members : int list; (* positions, descending while building *)
+  mutable member_arr : int array; (* ascending, frozen after build *)
+  mutable has_plus : bool; (* some member carries canon's polarity *)
+  mutable has_minus : bool; (* some member is complemented wrt canon *)
+}
+
+type t = {
+  base : Engine.t;
+  cex : Engine.t option;
+  mutable dirty : bool;
+  mutable signals : Circuit.node_id array;
+  mutable pos_of : int array; (* node id -> position in [signals], -1 *)
+  mutable rows : int64 array array; (* per position: base words @ cex words *)
+  mutable irows : int array array; (* rows packed as 62-bit limbs *)
+  mutable compl_ : bool array; (* per position: complemented wrt canon *)
+  mutable cls_of : int array; (* per position -> class index *)
+  mutable classes : cls array;
+  (* all class canons side by side ([icanon_stride] limbs each): the
+     per-target class sweep reads them contiguously instead of chasing
+     one small array per class *)
+  mutable icanon_flat : int array;
+  mutable icanon_stride : int;
+  index : (int, int list ref) Hashtbl.t; (* signature hash -> class ids *)
+}
+
+let m_rebuilds = Obs.Metrics.counter "sig/store.rebuilds"
+let m_refreshed = Obs.Metrics.counter "sig/store.refreshed_rows"
+
+let base_words t = Engine.words t.base
+
+let words t =
+  base_words t + match t.cex with None -> 0 | Some e -> Engine.words e
+
+let base_engine t = t.base
+let cex_engine t = t.cex
+
+let create ?cex ~base () =
+  if
+    match cex with
+    | Some e -> Engine.circuit e != Engine.circuit base
+    | None -> false
+  then invalid_arg "Sigstore.create: engines simulate different circuits";
+  {
+    base;
+    cex;
+    dirty = true;
+    signals = [||];
+    pos_of = [||];
+    rows = [||];
+    irows = [||];
+    compl_ = [||];
+    cls_of = [||];
+    classes = [||];
+    icanon_flat = [||];
+    icanon_stride = 0;
+    index = Hashtbl.create 1024;
+  }
+
+let circuit t = Engine.circuit t.base
+
+let is_signal_node circ id =
+  Circuit.is_live circ id
+  &&
+  match Circuit.kind circ id with
+  | Circuit.Pi | Circuit.Cell _ -> true
+  | Circuit.Const _ | Circuit.Po _ -> false
+
+(* signature row of a node: base engine words then cex engine words,
+   copied out so later engine updates cannot mutate a frozen snapshot *)
+let snapshot_row t id =
+  let bw = base_words t in
+  let row = Array.make (words t) 0L in
+  Array.blit (Engine.value t.base id) 0 row 0 bw;
+  (match t.cex with
+  | None -> ()
+  | Some e -> Array.blit (Engine.value e id) 0 row bw (Engine.words e));
+  row
+
+let hash_words (a : int64 array) =
+  let h = ref 0x9E3779B97F4A7C15L in
+  for j = 0 to Array.length a - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h
+           (Int64.add (Array.unsafe_get a j)
+              (Int64.shift_left !h 6)))
+        0xFF51AFD7ED558CCDL
+  done;
+  Int64.to_int !h land max_int
+
+let complemented_canon (row : int64 array) =
+  Int64.equal (Int64.logand row.(0) 1L) 1L
+
+let canon_of row =
+  if complemented_canon row then Array.map Int64.lognot row
+  else Array.copy row
+
+(* Find (or create) the class of [row]; returns (class id, complemented). *)
+let intern t nclasses_ref row =
+  let comp = complemented_canon row in
+  let canon = if comp then Array.map Int64.lognot row else row in
+  let h = hash_words canon in
+  let bucket =
+    match Hashtbl.find_opt t.index h with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.add t.index h b;
+      b
+  in
+  let rec find = function
+    | [] ->
+      let id = !nclasses_ref in
+      incr nclasses_ref;
+      let c =
+        { canon; icanon = Bits.pack_words canon; members = [];
+          member_arr = [||]; has_plus = false; has_minus = false }
+      in
+      if id >= Array.length t.classes then begin
+        let bigger =
+          Array.make (max 64 (2 * Array.length t.classes)) c
+        in
+        Array.blit t.classes 0 bigger 0 id;
+        t.classes <- bigger
+      end;
+      t.classes.(id) <- c;
+      bucket := id :: !bucket;
+      (id, comp)
+    | id :: rest ->
+      if Bits.equal_words t.classes.(id).canon canon then (id, comp)
+      else find rest
+  in
+  find !bucket
+
+(* Rebuild membership, rows and the class index from the engines.
+   [refresh] decides, per node, whether its previous row snapshot can
+   be reused (membership is recomputed either way — the circuit may
+   have grown or swept nodes). *)
+let resync t ~refresh =
+  let circ = circuit t in
+  let acc = ref [] in
+  Circuit.iter_live circ (fun id ->
+      if is_signal_node circ id then acc := id :: !acc);
+  let signals = Array.of_list (List.rev !acc) in
+  let n = Array.length signals in
+  let old_pos_of = t.pos_of and old_rows = t.rows and old_irows = t.irows in
+  let rows = Array.make n [||] in
+  let irows = Array.make n [||] in
+  let refreshed = ref 0 in
+  Array.iteri
+    (fun p id ->
+      let old =
+        if id < Array.length old_pos_of && old_pos_of.(id) >= 0 then
+          Some (old_pos_of.(id))
+        else None
+      in
+      match old with
+      | Some op when not (refresh id) ->
+        rows.(p) <- old_rows.(op);
+        irows.(p) <- old_irows.(op)
+      | _ ->
+        rows.(p) <- snapshot_row t id;
+        irows.(p) <- Bits.pack_words rows.(p);
+        incr refreshed)
+    signals;
+  let pos_of = Array.make (Circuit.num_nodes circ) (-1) in
+  Array.iteri (fun p id -> pos_of.(id) <- p) signals;
+  Hashtbl.reset t.index;
+  t.classes <- [||];
+  let nclasses = ref 0 in
+  let cls_of = Array.make n (-1) in
+  let compl_ = Array.make n false in
+  for p = 0 to n - 1 do
+    let id, comp = intern t nclasses rows.(p) in
+    cls_of.(p) <- id;
+    compl_.(p) <- comp;
+    let c = t.classes.(id) in
+    if comp then c.has_minus <- true else c.has_plus <- true;
+    c.members <- p :: c.members
+  done;
+  let classes = Array.sub t.classes 0 !nclasses in
+  Array.iter
+    (fun c -> c.member_arr <- Array.of_list (List.rev c.members))
+    classes;
+  let stride =
+    if !nclasses = 0 then 0 else Array.length classes.(0).icanon
+  in
+  let flat = Array.make (!nclasses * stride) 0 in
+  Array.iteri (fun c cl -> Array.blit cl.icanon 0 flat (c * stride) stride)
+    classes;
+  t.icanon_flat <- flat;
+  t.icanon_stride <- stride;
+  t.signals <- signals;
+  t.pos_of <- pos_of;
+  t.rows <- rows;
+  t.irows <- irows;
+  t.compl_ <- compl_;
+  t.cls_of <- cls_of;
+  t.classes <- classes;
+  t.dirty <- false;
+  Obs.Metrics.add m_refreshed !refreshed
+
+let rebuild t =
+  Obs.Metrics.incr m_rebuilds;
+  resync t ~refresh:(fun _ -> true)
+
+let invalidate t = t.dirty <- true
+let sync t = if t.dirty then rebuild t
+
+(* After an accepted substitution rooted at [src], only [src] and its
+   transitive fanout can have changed words (both engines were already
+   re-simulated by the caller); every other row snapshot is still
+   valid and is carried over. *)
+let update_after_edit t src =
+  if t.dirty then rebuild t
+  else begin
+    let circ = circuit t in
+    let tfo = Circuit.tfo circ src in
+    resync t ~refresh:(fun id ->
+        id = src
+        || (id < Array.length tfo && tfo.(id))
+        || id >= Array.length t.pos_of
+        || t.pos_of.(id) < 0)
+  end
+
+let signals t = t.signals
+let num_signals t = Array.length t.signals
+let position t id = if id < Array.length t.pos_of then t.pos_of.(id) else -1
+let row t p = t.rows.(p)
+let irow t p = t.irows.(p)
+let num_classes t = Array.length t.classes
+let class_canon t c = t.classes.(c).canon
+let class_icanon t c = t.classes.(c).icanon
+let icanon_flat t = t.icanon_flat
+let icanon_stride t = t.icanon_stride
+let class_has_plus t c = t.classes.(c).has_plus
+let class_has_minus t c = t.classes.(c).has_minus
+let class_members t c = t.classes.(c).member_arr
+let member_complemented t p = t.compl_.(p)
+let class_of t p = t.cls_of.(p)
+
+let lookup t sig_ =
+  if Array.length sig_ <> words t then invalid_arg "Sigstore.lookup";
+  let comp = complemented_canon sig_ in
+  let canon = canon_of sig_ in
+  let h = hash_words canon in
+  match Hashtbl.find_opt t.index h with
+  | None -> None
+  | Some bucket ->
+    let rec find = function
+      | [] -> None
+      | id :: rest ->
+        if Bits.equal_words t.classes.(id).canon canon then Some (id, comp)
+        else find rest
+    in
+    find !bucket
+
+(* Care masks extended over the folded words: observability computed
+   pattern-by-pattern on each engine independently (each pattern column
+   is independent), concatenated in row order.  Mutates and restores
+   engine state, so these must be called sequentially. *)
+let stem_care t id =
+  let base = Engine.stem_observability t.base id in
+  match t.cex with
+  | None -> base
+  | Some e -> Array.append base (Engine.stem_observability e id)
+
+let branch_care t ~sink ~pin =
+  let base = Engine.branch_observability t.base ~sink ~pin in
+  match t.cex with
+  | None -> base
+  | Some e -> Array.append base (Engine.branch_observability e ~sink ~pin)

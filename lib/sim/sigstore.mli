@@ -1,0 +1,120 @@
+(** Signature store: per-node simulation signatures with a hash index
+    of complement-canonical compatibility classes.
+
+    The store snapshots, for every live signal node, a row of
+    signature words: the base engine's Monte-Carlo pattern words
+    followed by the counterexample engine's words — so every
+    counterexample the exact checker ever produced is folded into the
+    signature a candidate must match on, and a refuted pair can never
+    re-enter the funnel (its distinguishing pattern now splits the
+    signatures).  Rows are grouped into {e classes} of signals whose
+    signatures are equal up to complement, via a hash index keyed on
+    the polarity-canonical signature: class lookup is O(1) amortized,
+    and a candidate scan that decides per class instead of per signal
+    skips every duplicate/inverter-image signal for free.
+
+    {b Maintenance.} The store is a snapshot: engine updates do not
+    flow in automatically.  After an accepted substitution (both
+    engines already re-simulated) call {!update_after_edit} — only the
+    rows of the edit's transitive fanout are re-copied and the class
+    index is re-interned.  After a counterexample injection (which
+    rewrites pattern columns globally) call {!invalidate}; the next
+    {!sync} rebuilds every row.  {!sync} is cheap when clean.
+
+    {b Determinism.} All orders are structural: signals ascend by node
+    id, class members ascend by position, and class identity is a pure
+    function of signature content — so any two stores built over equal
+    engine states are observably identical, independent of job count. *)
+
+type t
+
+val create : ?cex:Engine.t -> base:Engine.t -> unit -> t
+(** A new (dirty) store over the given engines; call {!sync} before
+    reading.  Both engines must simulate the same circuit.
+    @raise Invalid_argument otherwise. *)
+
+val base_engine : t -> Engine.t
+val cex_engine : t -> Engine.t option
+val circuit : t -> Netlist.Circuit.t
+
+val words : t -> int
+(** Row width: base words + counterexample words. *)
+
+val rebuild : t -> unit
+(** Re-snapshot every row and re-intern all classes. *)
+
+val invalidate : t -> unit
+(** Mark stale (e.g. after counterexample injection); the next {!sync}
+    rebuilds. *)
+
+val sync : t -> unit
+(** Rebuild if stale; no-op otherwise. *)
+
+val update_after_edit : t -> Netlist.Circuit.node_id -> unit
+(** Incremental maintenance after an accepted substitution rooted at
+    the given node: membership is recomputed, but only rows in the
+    node's transitive fanout (plus any new nodes) are re-snapshot. *)
+
+(** {2 Read side} — valid only between maintenance calls. *)
+
+val signals : t -> Netlist.Circuit.node_id array
+(** Live signal nodes (PIs and cells), ascending by id.  Positions
+    into this array index {!row}, {!class_of}, {!member_complemented}. *)
+
+val num_signals : t -> int
+
+val position : t -> Netlist.Circuit.node_id -> int
+(** Position of a node in {!signals}, or -1. *)
+
+val row : t -> int -> int64 array
+(** Signature row by position (shared array; do not mutate). *)
+
+val irow : t -> int -> int array
+(** {!row} packed into 62-bit limbs ({!Logic.Bits.pack_words}):
+    unboxed-int mirror for the scan hot loops. *)
+
+val num_classes : t -> int
+
+val class_canon : t -> int -> int64 array
+(** Polarity-canonical signature of a class (bit 0 of word 0 is 0). *)
+
+val class_icanon : t -> int -> int array
+(** {!class_canon} packed into 62-bit limbs. *)
+
+val icanon_flat : t -> int array
+(** Every class's packed canon side by side, {!icanon_stride} limbs
+    per class: class [c]'s limbs live at [c * stride .. ] — contiguous
+    reads for the per-target class sweeps. *)
+
+val icanon_stride : t -> int
+
+val class_has_plus : t -> int -> bool
+(** Some member carries the canon's polarity (membership only — the
+    caller still filters member eligibility). *)
+
+val class_has_minus : t -> int -> bool
+(** Some member is complemented with respect to the canon. *)
+
+val class_members : t -> int -> int array
+(** Member positions, ascending. *)
+
+val member_complemented : t -> int -> bool
+(** Whether the signal at this position is the complement of its
+    class canon. *)
+
+val class_of : t -> int -> int
+
+val lookup : t -> int64 array -> (int * bool) option
+(** O(1) amortized compatibility-class lookup of an arbitrary
+    signature: [(class id, complemented wrt canon)] if some live
+    signal carries this signature up to complement.
+    @raise Invalid_argument on a width mismatch. *)
+
+(** {2 Care masks} — computed on the engines (perturb-and-restore), so
+    call sequentially, never from a pool task. *)
+
+val stem_care : t -> Netlist.Circuit.node_id -> int64 array
+(** Stem observability over the folded words: base-engine mask followed
+    by counterexample-engine mask. *)
+
+val branch_care : t -> sink:Netlist.Circuit.node_id -> pin:int -> int64 array

@@ -126,7 +126,8 @@ let test_oracle_agrees_on_fuzzed () =
       Powder.Candidates.generate
         ~config:
           { Powder.Candidates.classes = Powder.Subst.all_klasses;
-            per_target = 2; pool_limit = 16; require_positive = false }
+            per_target = 2; pool_limit = 16; require_positive = false;
+            index = Powder.Candidates.Hash }
         est
     in
     List.iteri

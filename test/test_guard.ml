@@ -241,6 +241,10 @@ let test_checkpoint_roundtrip () =
       rejected_by_giveup = 3;
       rejected_by_timeout = 4;
       rejected_by_cex = 5;
+      sig_hits = 120;
+      sig_filtered = 4500;
+      sig_resim_nodes = 321;
+      is3_candidates = 2;
       rolled_back = 1;
       verified_applies = 6;
       giveup_breakdown = [ ("sat/conflicts", 2); ("check/deadline", 4) ];
@@ -285,6 +289,10 @@ let sample_ck () =
     rejected_by_giveup = 0;
     rejected_by_timeout = 0;
     rejected_by_cex = 0;
+    sig_hits = 0;
+    sig_filtered = 0;
+    sig_resim_nodes = 0;
+    is3_candidates = 0;
     rolled_back = 0;
     verified_applies = 0;
     giveup_breakdown = [];

@@ -48,7 +48,7 @@ let test_gain_matches_measurement () =
   let predicted = Subst.total_gain (Subst.gain_full est s) in
   let before = Estimator.total est in
   let src = Subst.apply c s in
-  Estimator.update_after_edit est src;
+  ignore (Estimator.update_after_edit est src);
   let measured = before -. Estimator.total est in
   Alcotest.(check (float 1e-9)) "gain prediction" measured predicted
 
@@ -177,7 +177,7 @@ let prop_gain_prediction_exact =
             let predicted = Subst.total_gain (Subst.gain_full est s) in
             let before = Estimator.total est in
             let src = Subst.apply c s in
-            Estimator.update_after_edit est src;
+            ignore (Estimator.update_after_edit est src);
             let measured = before -. Estimator.total est in
             Float.abs (predicted -. measured) < 1e-6
           end

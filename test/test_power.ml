@@ -31,7 +31,7 @@ let test_update_after_edit_matches_full () =
   let c, _, _, _, d, e, _ = Build.fig2_a () in
   let est = make_estimator c in
   Circuit.set_fanin c d 0 e;
-  Estimator.update_after_edit est d;
+  ignore (Estimator.update_after_edit est d);
   let incremental = Estimator.total est in
   Estimator.refresh_all est;
   let full = Estimator.total est in
@@ -98,7 +98,7 @@ let prop_incremental_equals_full =
         if Circuit.would_cycle_pin c g 0 pi then true
         else begin
           Circuit.set_fanin c g 0 pi;
-          Estimator.update_after_edit est g;
+          ignore (Estimator.update_after_edit est g);
           let incr = Estimator.total est in
           Estimator.refresh_all est;
           Float.abs (incr -. Estimator.total est) < 1e-9

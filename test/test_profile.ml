@@ -283,8 +283,7 @@ let test_generate_subspans_present () =
     [
       "generate";
       "generate;generate/targets";
-      "generate;generate/scan2";
-      "generate;generate/scan3";
+      "generate;generate/scan";
       "generate;generate/select";
       "sta";
     ]
