@@ -57,16 +57,86 @@ let compare_reports a b =
     exit 1
   end
 
+(* Structural validation of one optimizer report: the window funnel
+   must be internally coherent.  [window_checks] counts candidates that
+   entered the windowed check, each of which either proved or
+   escalated; every escalation is classified in the guard's give-up
+   breakdown under a [window/] key without touching
+   [rejected_by_giveup] (an escalation is not a rejection — the global
+   engine still decides).  A report violating any of these identities
+   means the funnel accounting regressed. *)
+let check_report path =
+  let j = parse_file path in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "%s: %s\n" path m;
+        exit 1)
+      fmt
+  in
+  let member_or_fail obj k =
+    match Obs.Json.member k obj with
+    | Some v -> v
+    | None -> fail "missing field %s" k
+  in
+  let int_field obj k =
+    match member_or_fail obj k with
+    | Obs.Json.Int n ->
+      if n < 0 then fail "negative %s (%d)" k n;
+      n
+    | _ -> fail "field %s is not an integer" k
+  in
+  let funnel = member_or_fail j "funnel" in
+  let checks = int_field funnel "window_checks" in
+  let proved = int_field funnel "window_proved" in
+  let escalated = int_field funnel "window_escalated" in
+  if checks <> proved + escalated then
+    fail "window_checks %d <> window_proved %d + window_escalated %d" checks
+      proved escalated;
+  let checks_run = int_field funnel "checks_run" in
+  if checks > checks_run then
+    fail "window_checks %d exceeds checks_run %d" checks checks_run;
+  let accepted = int_field funnel "accepted" in
+  if accepted > checks_run then
+    fail "accepted %d exceeds checks_run %d" accepted checks_run;
+  let guard = member_or_fail j "guard" in
+  let window_breakdown_total =
+    match Obs.Json.member "giveup_breakdown" guard with
+    | Some (Obs.Json.Obj entries) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let n =
+            match v with
+            | Obs.Json.Int n -> n
+            | _ -> fail "giveup_breakdown %s is not an integer" k
+          in
+          if n < 0 then fail "negative giveup_breakdown %s (%d)" k n;
+          if String.length k > 7 && String.sub k 0 7 = "window/" then acc + n
+          else acc)
+        0 entries
+    | _ -> fail "missing or malformed guard.giveup_breakdown"
+  in
+  if window_breakdown_total <> escalated then
+    fail "window/* breakdown total %d <> window_escalated %d"
+      window_breakdown_total escalated;
+  Printf.printf "%s: window funnel OK (%d checks = %d proved + %d escalated)\n"
+    path checks proved escalated
+
 let () =
   let jsonl, path =
     match Array.to_list Sys.argv with
     | [ _; "--compare-reports"; a; b ] ->
       compare_reports a b;
       exit 0
+    | [ _; "--check-report"; p ] ->
+      check_report p;
+      exit 0
     | [ _; "--jsonl"; p ] -> (true, p)
     | [ _; p ] -> (false, p)
     | _ ->
-      prerr_endline "usage: json_check [--jsonl] FILE | json_check --compare-reports A B";
+      prerr_endline
+        "usage: json_check [--jsonl] FILE | json_check --compare-reports A B \
+         | json_check --check-report REPORT";
       exit 2
   in
   let content = read_file path in

@@ -62,6 +62,30 @@ let sig_index_arg =
                  (linear reference scan).  Candidates, reports and netlists \
                  are byte-identical across modes; only speed differs.")
 
+(* Unlike --jobs / --sig-index, the window size CAN change results (a
+   window may prove a candidate the global engine gives up on), so it
+   goes into the hashed run-manifest options. *)
+let window_arg =
+  let parse = function
+    | "off" -> Ok None
+    | s -> (
+      match int_of_string_opt s with
+      | Some k when k > 0 -> Ok (Some k)
+      | Some _ | None -> Error (`Msg "expected a positive cut size or off"))
+  in
+  let print fmt = function
+    | None -> Format.pp_print_string fmt "off"
+    | Some k -> Format.pp_print_int fmt k
+  in
+  Arg.(value
+       & opt (conv (parse, print)) None
+       & info [ "window" ] ~docv:"K"
+           ~doc:"Windowed permissibility checking: try a local miter over a \
+                 cut of at most K signals before the global miter (off by \
+                 default).  Window proofs are globally sound; anything \
+                 inconclusive escalates to the global check, so verdicts \
+                 stay exact.")
+
 let delay_mode =
   let parse s =
     if s = "none" then Ok Optimizer.Unconstrained
@@ -114,6 +138,25 @@ let classes =
        & info [ "classes" ] ~docv:"LIST"
            ~doc:"Enabled substitution classes, e.g. os2,is2.")
 
+(* Synthetic scale-benchmark circuits: synth10k, synth100k, or
+   synth:GATES[:SEED] for arbitrary sizes. *)
+let synth_circuit name =
+  let build ~seed ~gates = Some (Circuits.Generators.synth ~seed ~gates) in
+  match name with
+  | "synth10k" -> build ~seed:1 ~gates:10_000
+  | "synth100k" -> build ~seed:1 ~gates:100_000
+  | _ -> (
+    match String.split_on_char ':' name with
+    | [ "synth"; g ] -> (
+      match int_of_string_opt g with
+      | Some gates when gates > 0 -> build ~seed:1 ~gates
+      | _ -> failwith ("bad gate count in " ^ name))
+    | [ "synth"; g; s ] -> (
+      match (int_of_string_opt g, int_of_string_opt s) with
+      | Some gates, Some seed when gates > 0 -> build ~seed ~gates
+      | _ -> failwith ("bad gate count or seed in " ^ name))
+    | _ -> None)
+
 let load_circuit in_file circuit_name =
   match (in_file, circuit_name) with
   | Some file, None -> (
@@ -121,9 +164,12 @@ let load_circuit in_file circuit_name =
     | Ok c -> c
     | Error e -> failwith ("cannot read " ^ file ^ ": " ^ Blif.Blif_io.error_to_string e))
   | None, Some name -> (
-    match Circuits.Suite.find name with
-    | Some spec -> Circuits.Suite.mapped spec
-    | None -> failwith ("unknown benchmark circuit " ^ name))
+    match synth_circuit name with
+    | Some c -> c
+    | None -> (
+      match Circuits.Suite.find name with
+      | Some spec -> Circuits.Suite.mapped spec
+      | None -> failwith ("unknown benchmark circuit " ^ name)))
   | Some _, Some _ -> failwith "give either --in or --circuit, not both"
   | None, None -> failwith "an input is required: --in FILE or --circuit NAME"
 
@@ -166,7 +212,7 @@ let optimize_cmd =
   let run in_file circuit_name out_file words seed delay classes engine verify
       trace_file json_file profile_dir metrics time_budget check_seconds
       round_seconds max_rounds checkpoint resume verify_applies
-      checkpoint_every jobs sig_index =
+      checkpoint_every jobs sig_index window =
     let circ = load_circuit in_file circuit_name in
     let original = Circuit.clone circ in
     (* Resume: pick the checkpoint up before building the config so the
@@ -213,6 +259,7 @@ let optimize_cmd =
            else 0);
         jobs;
         sig_index;
+        window;
       }
     in
     (* The run manifest: identity of this run (host, toolchain, every
@@ -234,6 +281,8 @@ let optimize_cmd =
             ( "engine",
               match engine with `Sat -> "sat" | `Podem -> "podem" | `Bdd -> "bdd"
             );
+            ( "window",
+              match window with None -> "off" | Some k -> string_of_int k );
             ("verify_applies", string_of_bool verify_applies);
             ("max_rounds", opt_str string_of_int max_rounds);
             ("time_budget", opt_str string_of_float time_budget);
@@ -398,7 +447,7 @@ let optimize_cmd =
           $ delay_mode $ classes $ engine_arg $ verify $ trace_file
           $ json_file $ profile_dir $ metrics $ time_budget $ check_seconds
           $ round_seconds $ max_rounds $ checkpoint $ resume $ verify_applies
-          $ checkpoint_every $ jobs_arg $ sig_index_arg)
+          $ checkpoint_every $ jobs_arg $ sig_index_arg $ window_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Profile report: human-readable view of a --profile directory.       *)
@@ -674,16 +723,19 @@ let fuzz_cmd =
         Printf.printf "FUZZ REPLAY failed: %s\n" msg;
         exit 2)
     | None ->
+      let forge_window = inject = Some "forge_window" in
       let inject =
         match inject with
         | None -> None
+        | Some _ when forge_window -> None
         | Some name -> (
           match Fuzz.Bundle.fault_of_name name with
           | Some f -> Some f
           | None ->
             failwith
               ("unknown fault " ^ name
-             ^ " (expected forge_verdict, corrupt_apply or expire_deadline)"))
+             ^ " (expected forge_verdict, corrupt_apply, expire_deadline or \
+                forge_window)"))
       in
       let config =
         {
@@ -695,6 +747,7 @@ let fuzz_cmd =
           candidates_per_case = candidates;
           out_dir;
           inject;
+          forge_window;
           jobs;
         }
       in
@@ -708,15 +761,18 @@ let fuzz_cmd =
         report.Fuzz.Harness.failures;
       (* an injected fault is *supposed* to surface as a caught
          injected_corruption failure; anything else is a defect *)
-      let expected f = f.Fuzz.Harness.kind = "injected_corruption" in
+      let expected f =
+        f.Fuzz.Harness.kind
+        = (if forge_window then "window_forge" else "injected_corruption")
+      in
+      let injecting = inject <> None || forge_window in
       let clean =
-        match inject with
-        | None -> report.Fuzz.Harness.failures = []
-        | Some _ ->
+        if not injecting then report.Fuzz.Harness.failures = []
+        else
           report.Fuzz.Harness.injected_caught
           && List.for_all expected report.Fuzz.Harness.failures
       in
-      if inject <> None then
+      if injecting then
         Printf.printf "FUZZ INJECT caught=%b\n"
           report.Fuzz.Harness.injected_caught;
       if not clean then exit 2
@@ -743,9 +799,11 @@ let fuzz_cmd =
   in
   let inject =
     Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT"
-           ~doc:"Arm a one-shot Guard fault (forge_verdict, corrupt_apply or \
-                 expire_deadline) with the transactional guard disabled; the \
-                 harness must catch, shrink and bundle the corruption.")
+           ~doc:"Arm a one-shot fault: a Guard fault (forge_verdict, \
+                 corrupt_apply or expire_deadline) with the transactional \
+                 guard disabled, or forge_window (a lying windowed \
+                 permissibility proof); the harness must catch, shrink and \
+                 bundle the corruption.")
   in
   let replay =
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"BUNDLE"
@@ -909,6 +967,7 @@ let serve_cmd =
           $ chaos_seed)
 
 let () =
+  Obs.Runtime.tune_gc ();
   let default =
     Term.(ret (const (`Help (`Pager, None))))
   in

@@ -9,6 +9,8 @@
 #     fuzz    differential fuzz campaign + injected-fault catch
 #     serve   batch service drain + crash/kill chaos legs
 #     perf    bench self-consistency + committed-baseline perf gate
+#     scale   synthetic large-netlist bench: windowed-vs-global check
+#             agreement + throughput gate vs the committed baseline
 #     all     every stage above, in that order (the default)
 #
 # Every leg runs under a hard wall-clock cap so a hang fails the build
@@ -77,8 +79,20 @@ stage_smoke() {
   hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
     --json "$tmp_json" --trace "$tmp_trace" --metrics
   dune exec bin/json_check.exe -- "$tmp_json"
+  # funnel identities must hold in the degenerate (windowing off) case too
+  dune exec bin/json_check.exe -- --check-report "$tmp_json"
   dune exec bin/json_check.exe -- --jsonl "$tmp_trace"
   rm -f "$tmp_json" "$tmp_trace"
+
+  echo "== smoke: windowed check funnel is coherent =="
+  # window_checks = proved + escalated, every escalation classified
+  # under a window/* give-up key, and none of them counted as a
+  # rejection — validated structurally from the emitted report
+  win_json=$(mktemp /tmp/powder_ci_win_XXXXXX.json)
+  hard_timeout 300 dune exec bin/powder_cli.exe -- optimize --circuit rd84 \
+    --window 16 --json "$win_json" >/dev/null
+  dune exec bin/json_check.exe -- --check-report "$win_json"
+  rm -f "$win_json"
 
   echo "== smoke: deep profile (call tree, flamegraph, Chrome trace) =="
   prof_dir=$(mktemp -d /tmp/powder_ci_prof_XXXXXX)
@@ -277,6 +291,36 @@ stage_perf() {
 }
 
 # ------------------------------------------------------------------ #
+# scale                                                              #
+# ------------------------------------------------------------------ #
+stage_scale() {
+  echo "== scale: synthetic netlist, windowed vs global checking =="
+  # The bench itself fails if the windowed and global legs disagree on
+  # the final power (windowing must never change the verdict, only the
+  # cost of reaching it); bench_diff then gates throughput and phase
+  # times against the committed trajectory point.  The baseline's scale
+  # runs are recorded from a scale-only process to match this stage's
+  # execution shape (see --merge in bench/main.ml); regenerate with
+  #   dune exec bench/main.exe -- quick table1 glitch guard parallel serve
+  #   dune exec bench/main.exe -- scale --merge
+  # The 10k-gate circuit is the real target; the cap is generous
+  # because single-core CI machines spend minutes in candidate
+  # generation alone at this size.
+  scale_json=$(mktemp /tmp/powder_ci_scale_XXXXXX.json)
+  hard_timeout 900 dune exec bench/main.exe -- scale \
+    --out "$scale_json"
+  dune exec bin/json_check.exe -- "$scale_json"
+  # Tolerance sized from measured cold-run variance on a single-core
+  # box: the GC-bound generate/rank phases swing ~1.7x between
+  # identical runs and CPU steal has produced ~3.5x outliers, so the
+  # gate allows 3.5x and catches order-of-magnitude regressions —
+  # losing the windowed check-phase win (>=18x here) still trips it.
+  dune exec bin/bench_diff.exe -- BENCH_powder.json "$scale_json" \
+    --rel-tol 2.5 --abs-floor 0.5
+  rm -f "$scale_json"
+}
+
+# ------------------------------------------------------------------ #
 # driver                                                             #
 # ------------------------------------------------------------------ #
 if [ "$#" -eq 0 ]; then
@@ -285,12 +329,12 @@ fi
 for s in "$@"; do
   case "$s" in
     all)
-      for t in build test smoke fuzz serve perf; do run_stage "$t"; done ;;
-    build|test|smoke|fuzz|serve|perf)
+      for t in build test smoke fuzz serve perf scale; do run_stage "$t"; done ;;
+    build|test|smoke|fuzz|serve|perf|scale)
       run_stage "$s" ;;
     *)
       echo "ci.sh: unknown stage '$s'" >&2
-      echo "usage: ./ci.sh [build|test|smoke|fuzz|serve|perf|all]..." >&2
+      echo "usage: ./ci.sh [build|test|smoke|fuzz|serve|perf|scale|all]..." >&2
       exit 2 ;;
   esac
 done

@@ -1,0 +1,81 @@
+(** Cut-based local verification windows.
+
+    A window is a small region of the netlist around a candidate edit:
+    the truncated transitive fanout of the edit's entry points plus a
+    greedily grown slice of shared fanin logic, bounded by a {e cut} of
+    at most [max_cut]-ish signals that become free inputs.  Proving
+    inside the window that every {e escape} — a changed signal with a
+    fanout leaving the window — keeps its value under all cut
+    assignments is sound for global equivalence: the cut inputs are
+    free (a superset of their reachable behaviour) and any real
+    difference would have to cross a silent escape.  A window
+    counterexample is {e not} a sound refutation (the cut assignment
+    may be unreachable, the boundary difference unobservable), so
+    callers must escalate it to a global check. *)
+
+type t = {
+  internal : (Netlist.Circuit.node_id, unit) Hashtbl.t;
+      (** window membership *)
+  changed : (Netlist.Circuit.node_id, unit) Hashtbl.t;
+      (** internal nodes downstream of the edit (to be duplicated) *)
+  order : Netlist.Circuit.node_id array;
+      (** internal nodes, fanins first *)
+  cut : Netlist.Circuit.node_id array;
+      (** window inputs, ascending ids; every internal fanin is
+          internal or in the cut *)
+  escapes : Netlist.Circuit.node_id array;
+      (** changed nodes with a fanout outside the window (POs count),
+          ascending ids *)
+}
+
+val is_internal : t -> Netlist.Circuit.node_id -> bool
+val is_changed : t -> Netlist.Circuit.node_id -> bool
+val cut_size : t -> int
+val volume : t -> int
+
+val extract :
+  Netlist.Circuit.t ->
+  roots:Netlist.Circuit.node_id list ->
+  support:Netlist.Circuit.node_id list ->
+  max_cut:int ->
+  max_volume:int ->
+  t option
+(** [extract circ ~roots ~support ~max_cut ~max_volume] builds the
+    window: truncated TFO of [roots] (live cells; roots are always
+    admitted), then greedy lowest-id-first fanin growth while the cut
+    stays within [max_cut] and the volume within [max_volume].
+    [support] signals (the substitution's source operands and target)
+    are guaranteed an image in the window (cut or internal).  Returns
+    [None] — escalate to a global check — when the final cut exceeds
+    [2 * max_cut].  Deterministic for a given circuit state. *)
+
+type verdict =
+  | Proved  (** the output is constant 0 — globally sound *)
+  | Refuted of (Netlist.Circuit.node_id * bool) list
+      (** a window-local distinguishing assignment over the window's
+          PIs — NOT a sound global refutation *)
+  | Gave_up of string  (** "conflicts" or "deadline" *)
+
+val prove :
+  ?exhaustive_limit:int ->
+  ?conflict_limit:int ->
+  ?deadline:Obs.Deadline.t ->
+  Netlist.Circuit.t ->
+  Netlist.Circuit.node_id ->
+  verdict
+(** Prove a (window-sized) circuit's node constant 0: exhaustive
+    simulation when the circuit has at most [exhaustive_limit] (default
+    12) primary inputs, otherwise SAT with a modest [conflict_limit]
+    (default 2000). *)
+
+val inject_forge : unit -> unit
+(** Arm the fault-injection hook: the next {!prove} whose honest
+    verdict is [Refuted] returns a forged [Proved] instead (one-shot).
+    Exists so the windowed-vs-global differential fuzz leg can assert
+    it catches a lying window checker. *)
+
+val forge_armed : unit -> bool
+(** True while an {!inject_forge} fault is armed but not yet consumed. *)
+
+val clear_forge : unit -> unit
+(** Disarm any pending {!inject_forge} fault. *)

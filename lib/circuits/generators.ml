@@ -438,6 +438,184 @@ let pla ~seed ~ins ~outs ~cubes ~lit_lo ~lit_hi =
     terms_per_out;
   g
 
+(* Synthetic mapped circuits for scale benchmarking: built directly on
+   [lib2] (no AIG or tech-mapping pass, which would dominate setup time
+   at 100k gates).  Locality-biased fanin selection keeps cones shaped
+   like real netlists; deliberate duplicate gates and re-derived
+   AND/OR-vs-NAND/NOR pairs seed the functional redundancy POWDER's
+   signature matching hunts for; dangling signals are folded into
+   OR-reduction trees so the whole netlist is live. *)
+let synth ~seed ~gates =
+  let module Circuit = Netlist.Circuit in
+  let module Library = Gatelib.Library in
+  let lib = Library.lib2 in
+  let cell n = Library.find lib n in
+  let base = [| cell "nand2"; cell "nor2"; cell "and2"; cell "or2" |] in
+  let xor2 = cell "xor2" in
+  let inv = cell "inv1" in
+  let rand = make_rand (seed * 37 + gates) in
+  let c = Circuit.create lib in
+  let n_pis = max 32 (gates / 25) in
+  let signals = ref [] in
+  let push id = signals := id :: !signals in
+  let pis =
+    Array.init n_pis (fun i ->
+        let id = Circuit.add_pi c ~name:(Printf.sprintf "pi%d" i) in
+        push id;
+        id)
+  in
+  (* Layered, like a mapped combinational benchmark: logic depth stays
+     roughly constant as [gates] grows.  A depth-proportional circuit
+     (e.g. locality-chained construction) drives internal observability
+     — and with it the care bits of the optimizer's signature masks —
+     exponentially towards zero, which collapses most signals into a
+     few giant compatibility classes and makes candidate generation
+     quadratic in circuit size.  Wide-and-shallow keeps the candidate
+     funnel realistic at 100k gates. *)
+  let n_layers = 12 in
+  let per_layer = max 8 (gates / n_layers) in
+  let prev1 = ref pis and prev2 = ref [||] in
+  let pick () =
+    (* mostly the previous layer, sometimes the one before, and a
+       steady trickle of PIs to keep support sets overlapping *)
+    match rand 8 with
+    | 0 -> pis.(rand (Array.length pis))
+    | 1 | 2 when Array.length !prev2 > 0 -> !prev2.(rand (Array.length !prev2))
+    | _ -> !prev1.(rand (Array.length !prev1))
+  in
+  (* Functional-alias tracking.  Replayed duplicates and inverter
+     chains make some signals provably equal (or complementary) to
+     older ones; a 2-input gate fed two aliases of one signal collapses
+     to a constant or a buffer, and constants cascade (and2(0,x) = 0,
+     xor2(0,x) = x) into huge constant cones whose zero observability
+     empties the optimizer's signature care masks — every such target
+     then "matches" the entire store and candidate generation drowns.
+     Requiring distinct representatives keeps every gate
+     non-degenerate. *)
+  let alias = Hashtbl.create 64 in
+  let rep id =
+    match Hashtbl.find_opt alias id with Some r -> r | None -> id
+  in
+  (* Structural hashing (phase-insensitive): replayed duplicates AND
+     chance duplicates — two gates independently drawing the same cell
+     and fanin pair, which at layer widths of hundreds happens
+     constantly — map to one representative, so the distinctness check
+     below also catches xor2(a,b) meeting xor2(b,a) three layers
+     later. *)
+  let struct_tbl = Hashtbl.create 256 in
+  let register id (cl : Gatelib.Cell.t) fs =
+    let k =
+      if Array.length fs = 1 then (cl.Gatelib.Cell.name, rep fs.(0), -1)
+      else begin
+        let ra = rep fs.(0) and rb = rep fs.(1) in
+        (cl.Gatelib.Cell.name, min ra rb, max ra rb)
+      end
+    in
+    match Hashtbl.find_opt struct_tbl k with
+    | Some r -> Hashtbl.replace alias id r
+    | None -> Hashtbl.replace struct_tbl k (rep id)
+  in
+  (* Output taps: a sample of every layer feeds the final xor fold
+     directly, the way real mapped benchmarks have primary outputs at
+     every logic depth.  Without them observability decays
+     multiplicatively over the layers, and the heavy tail of
+     near-zero-care signals matches most of the signature store by
+     chance — quadratic candidate generation again. *)
+  let taps = Hashtbl.create 64 in
+  let budget = ref gates in
+  while !budget > 0 do
+    let width = min per_layer !budget in
+    let recent = ref [] in
+    let layer =
+      Array.init width (fun _ ->
+          let f1 = pick () in
+          let f2 =
+            let rec distinct tries =
+              let f = pick () in
+              if rep f <> rep f1 || tries > 16 then f else distinct (tries + 1)
+            in
+            distinct 0
+          in
+          let id =
+            (* xor-dominated mix, for two scale-bench reasons: and/or
+               gates drift signal probabilities towards 0/1 (saturating
+               signatures into huge compatibility classes) AND
+               attenuate observability along every path (draining the
+               care masks, so unrelated signals match by chance); both
+               effects make candidate generation quadratic with a large
+               constant.  xor/inv propagate unconditionally, keeping
+               probabilities centred and care masks dense, so the
+               signature hits are dominated by the deliberately
+               replayed duplicates. *)
+            match rand 16 with
+            | 0 | 1 -> Circuit.add_cell c inv [| f1 |]
+            | 2 | 3 | 4 | 5 | 6 | 7 -> Circuit.add_cell c xor2 [| f1; f2 |]
+            | 8 | 9 -> (
+              (* replay a recent gate verbatim: a guaranteed
+                 equivalent pair for signature matching to find *)
+              match !recent with
+              | (cl, fs) :: _ -> Circuit.add_cell c cl (Array.copy fs)
+              | [] -> Circuit.add_cell c base.(rand 4) [| f1; f2 |])
+            | _ -> Circuit.add_cell c base.(rand 4) [| f1; f2 |]
+          in
+          (match Circuit.kind c id with
+          | Circuit.Cell (cl, fs) ->
+            (* an inverter is a pure phase change: same representative *)
+            if Array.length fs = 1 then Hashtbl.replace alias id (rep fs.(0));
+            register id cl fs;
+            recent := (cl, fs) :: (if rand 4 = 0 then [] else !recent);
+            if List.length !recent > 8 then
+              recent := List.filteri (fun i _ -> i < 8) !recent
+          | _ -> ());
+          if rand 8 = 0 then Hashtbl.replace taps id ();
+          push id;
+          decr budget;
+          id)
+    in
+    prev2 := !prev1;
+    prev1 := layer
+  done;
+  (* fold every dangling signal, plus the per-layer taps, into XOR
+     trees and emit them as POs; xor (not or) so the fold neither
+     saturates signatures nor creates provably-equivalent wide cones a
+     single substitution could kill *)
+  (* one fold leaf per representative: folding two aliases (equal or
+     complementary signals) into the same xor tree would cancel them
+     into a constant cone *)
+  let folded = Hashtbl.create 64 in
+  let dangling =
+    List.filter
+      (fun id ->
+        (Circuit.num_fanouts c id = 0 || Hashtbl.mem taps id)
+        && (match Circuit.kind c id with
+           | Circuit.Cell _ -> true
+           | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> false)
+        &&
+        let r = rep id in
+        if Hashtbl.mem folded r then false
+        else begin
+          Hashtbl.replace folded r ();
+          true
+        end)
+      (List.rev !signals)
+  in
+  let n_pos = max 8 (gates / 200) in
+  let rec reduce = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | l when List.length l <= n_pos -> l
+    | l ->
+      let rec pair = function
+        | x :: y :: rest -> Circuit.add_cell c xor2 [| x; y |] :: pair rest
+        | tail -> tail
+      in
+      reduce (pair l)
+  in
+  List.iteri
+    (fun i root -> ignore (Circuit.add_po c ~name:(Printf.sprintf "po%d" i) root))
+    (reduce dangling);
+  c
+
 let multilevel ~seed ~ins ~outs ~layers ~per_layer ~fanin =
   let rand = make_rand seed in
   let g = G.create () in

@@ -73,6 +73,15 @@ val pla :
 (** Seeded random two-level network: shared cube pool, each cube feeds
     one to three outputs. *)
 
+val synth : seed:int -> gates:int -> Netlist.Circuit.t
+(** Synthetic mapped circuit of roughly [gates] live cells, built
+    directly on {!Gatelib.Library.lib2} (no tech-mapping pass): layered
+    two-input gates with locality-biased fanins, deliberately seeded
+    duplicate gates (so POWDER's signature matching finds work), and
+    OR-reduction trees folding every dangling signal into the primary
+    outputs.  Pure and deterministic in [(seed, gates)].  This is the
+    10k/100k-gate scale-benchmark family. *)
+
 val multilevel :
   seed:int -> ins:int -> outs:int -> layers:int -> per_layer:int -> fanin:int ->
   Aig.Graph.t

@@ -15,6 +15,7 @@ type config = {
   words : int;
   out_dir : string option;
   inject : Guard.fault option;
+  forge_window : bool;
   shrink_max_steps : int;
   jobs : int;
 }
@@ -29,6 +30,7 @@ let default_config =
     words = 4;
     out_dir = None;
     inject = None;
+    forge_window = false;
     shrink_max_steps = 400;
     jobs = 1;
   }
@@ -46,6 +48,7 @@ type report = {
   cases_run : int;
   checks : int;
   oracle_splits : int;
+  window_checks : int;
   accepts : int;
   failures : failure list;
   shrink_steps : int;
@@ -62,6 +65,7 @@ let failures_c = Metrics.counter "fuzz/failures"
    the campaign config. *)
 let pred_words = 4
 let pred_candidates = 6
+let pred_window_cut = 8
 
 (* PO equivalence of two same-interface circuits: exhaustive whenever
    the pattern set can enumerate the input space, Monte-Carlo with a
@@ -194,6 +198,30 @@ let oracle_split_fails ~case_seed c =
       (not (Powder.Subst.creates_cycle c s)) && (Oracle.check c s).Oracle.split)
     cands
 
+(* The windowed-vs-global differential: a window proof claims global
+   soundness, so it must never contradict a decided global refutation
+   (the oracle's three-backend consensus).  With [forge] the window
+   prover is armed to lie once — the same comparison must then catch
+   the forged proof. *)
+let window_differs ~case_seed ?(forge = false) c =
+  let _, cands = candidates_of ~case_seed ~words:pred_words c pred_candidates in
+  if forge then Atpg.Window.inject_forge ();
+  let hit =
+    List.exists
+      (fun (s, _) ->
+        (not (Powder.Subst.creates_cycle c s))
+        &&
+        match Powder.Check.windowed ~max_cut:pred_window_cut c s with
+        | Powder.Check.W_proved ->
+          let r = Oracle.check c s in
+          r.Oracle.final = Oracle.No && not r.Oracle.split
+        | Powder.Check.W_escalated _ -> false
+        | exception _ -> false)
+      cands
+  in
+  Atpg.Window.clear_forge ();
+  hit
+
 let predicate_for ~case_seed ~kind ~injected =
   match (kind, injected) with
   | "injected_corruption", Some fault -> Some (injected_fails ~case_seed ~fault)
@@ -201,6 +229,8 @@ let predicate_for ~case_seed ~kind ~injected =
     Some (optimizer_breaks ~case_seed ~words:pred_words)
   | "gain_identity", _ -> Some (gain_identity_fails ~case_seed)
   | "oracle_split", _ -> Some (oracle_split_fails ~case_seed)
+  | "window_vs_global", _ -> Some (window_differs ~case_seed)
+  | "window_forge", _ -> Some (window_differs ~case_seed ~forge:true)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -211,6 +241,7 @@ type case_outcome = {
   co_failures : failure list;
   co_checks : int;
   co_splits : int;
+  co_window_checks : int;
   co_accepts : int;
   co_shrink_steps : int;
   co_consumed : bool;  (** the armed fault was consumed by this case *)
@@ -258,7 +289,7 @@ let record_failure ~config ~case_seed ~case ~kind ~detail ~injected circ =
     bundle_path;
   }
 
-let run_case ~config ~deadline ~inject i =
+let run_case ~config ~deadline ~inject ~forge i =
   let case_seed = Rng.derive config.seed (Printf.sprintf "case-%d" i) in
   let spec = Gen.spec_of_seed ~max_ins:config.max_ins case_seed in
   let base = Gen.base spec in
@@ -278,10 +309,14 @@ let run_case ~config ~deadline ~inject i =
         (Printf.sprintf "mutations [%s] changed the I/O function"
            (String.concat "; " (List.map Gen.mutation_name spec.mutations))));
   (* differential oracle *)
-  let checks = ref 0 and splits = ref 0 in
+  let checks = ref 0 and splits = ref 0 and wchecks = ref 0 in
+  let detected = ref false in
   let eng, cands =
     candidates_of ~case_seed ~words:pred_words circ config.candidates_per_case
   in
+  (* armed once per case: the forge fires on the first windowed check
+     whose honest verdict is a refutation *)
+  if forge then Atpg.Window.inject_forge ();
   List.iter
     (fun (s, _) ->
       if not (Powder.Subst.creates_cycle circ s) then begin
@@ -300,9 +335,36 @@ let run_case ~config ~deadline ~inject i =
         then
           fail "proof_vs_patterns"
             (Printf.sprintf "proven permissible yet refuted on patterns: %s"
+               (Powder.Subst.describe circ s));
+        (* windowed-vs-global differential: a window proof must never
+           contradict a decided global refutation; escalations carry no
+           claim, so there is nothing to compare *)
+        match
+          Powder.Check.windowed ~deadline ~max_cut:pred_window_cut circ s
+        with
+        | Powder.Check.W_escalated _ -> incr wchecks
+        | Powder.Check.W_proved ->
+          incr wchecks;
+          if r.Oracle.final = Oracle.No && not r.Oracle.split then
+            if forge then begin
+              detected := true;
+              fail "window_forge"
+                (Printf.sprintf "forged window proof caught on %s"
+                   (Powder.Subst.describe circ s))
+            end
+            else
+              fail "window_vs_global"
+                (Printf.sprintf "window proved but global refuted: %s"
+                   (Powder.Subst.describe circ s))
+        | exception e ->
+          fail "window_crash"
+            (Printf.sprintf "windowed check raised %s on %s"
+               (Printexc.to_string e)
                (Powder.Subst.describe circ s))
       end)
     cands;
+  let forge_consumed = forge && not (Atpg.Window.forge_armed ()) in
+  Atpg.Window.clear_forge ();
   (* optimizer metamorphic run *)
   let pre = Circuit.clone circ in
   let opt = Circuit.clone circ in
@@ -322,7 +384,6 @@ let run_case ~config ~deadline ~inject i =
   in
   Guard.clear_injection ();
   let accepts = ref 0 in
-  let detected = ref false in
   (match opt_result with
   | Error msg -> fail "optimizer_crash" ("optimizer raised: " ^ msg)
   | Ok r -> (
@@ -362,10 +423,11 @@ let run_case ~config ~deadline ~inject i =
     co_failures = List.rev !failures;
     co_checks = !checks;
     co_splits = !splits;
+    co_window_checks = !wchecks;
     co_accepts = !accepts;
     co_shrink_steps =
       List.fold_left (fun a (f : failure) -> a + f.shrink_steps) 0 !failures;
-    co_consumed = consumed;
+    co_consumed = consumed || forge_consumed;
     co_detected = !detected;
   }
 
@@ -379,16 +441,24 @@ let run config =
     else 50
   in
   let pending = ref config.inject in
+  (* a forged window verdict can be consumed harmlessly (the lie lands
+     on a spurious window cex whose candidate was globally permissible
+     anyway), so the forge re-arms until the differential actually
+     catches it *)
+  let pending_forge = ref config.forge_window in
   let caught = ref false in
   let failures = ref [] in
   let cases_run = ref 0 in
   let checks = ref 0 and splits = ref 0 and accepts = ref 0 in
+  let window_checks = ref 0 in
   let shrink_steps = ref 0 in
-  (* Injection campaigns race on the process-global one-shot fault in
-     [Guard], so they stay sequential; so does a harness nested inside
-     a pool task (the pool rejects nested submission). *)
+  (* Injection campaigns race on the process-global one-shot faults in
+     [Guard] / [Atpg.Window], so they stay sequential; so does a
+     harness nested inside a pool task (the pool rejects nested
+     submission). *)
   let jobs =
-    if config.inject <> None || Par.Pool.in_task () then 1
+    if config.inject <> None || config.forge_window || Par.Pool.in_task () then
+      1
     else max 1 config.jobs
   in
   let consume o =
@@ -397,17 +467,26 @@ let run config =
     failures := !failures @ o.co_failures;
     checks := !checks + o.co_checks;
     splits := !splits + o.co_splits;
+    window_checks := !window_checks + o.co_window_checks;
     accepts := !accepts + o.co_accepts;
     shrink_steps := !shrink_steps + o.co_shrink_steps;
-    if o.co_consumed then begin
-      pending := None;
-      if o.co_detected then caught := true
-    end
+    if o.co_consumed then
+      if config.forge_window then begin
+        if o.co_detected then begin
+          caught := true;
+          pending_forge := false
+        end
+      end
+      else begin
+        pending := None;
+        if o.co_detected then caught := true
+      end
   in
   (if jobs = 1 then (
      let i = ref 0 in
      while !i < case_cap && not (Obs.Deadline.expired deadline) do
-       consume (run_case ~config ~deadline ~inject:!pending !i);
+       consume
+         (run_case ~config ~deadline ~inject:!pending ~forge:!pending_forge !i);
        incr i
      done)
    else
@@ -427,7 +506,8 @@ let run config =
            let base = !i in
            let outs =
              Par.Pool.map pool ~deadline
-               ~f:(fun idx -> run_case ~config ~deadline ~inject:None idx)
+               ~f:(fun idx ->
+                 run_case ~config ~deadline ~inject:None ~forge:false idx)
                (Array.init wave (fun k -> base + k))
            in
            Array.iter
@@ -442,6 +522,7 @@ let run config =
     cases_run = !cases_run;
     checks = !checks;
     oracle_splits = !splits;
+    window_checks = !window_checks;
     accepts = !accepts;
     failures = !failures;
     shrink_steps = !shrink_steps;
@@ -454,10 +535,11 @@ let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>fuzz: %d cases in %.1fs (jobs %d)@,\
      oracle: %d checks, %d splits@,\
+     window: %d differential checks@,\
      optimizer: %d accepted substitutions@,\
      failures: %d (shrink steps %d)@,"
-    r.cases_run r.elapsed_seconds r.jobs r.checks r.oracle_splits r.accepts
-    (List.length r.failures) r.shrink_steps;
+    r.cases_run r.elapsed_seconds r.jobs r.checks r.oracle_splits
+    r.window_checks r.accepts (List.length r.failures) r.shrink_steps;
   List.iter
     (fun f ->
       Format.fprintf fmt "  case %d: %s (%d gates%s)%s@," f.case f.kind f.gates
@@ -474,6 +556,7 @@ let report_to_json r =
       ("cases_run", Json.Int r.cases_run);
       ("checks", Json.Int r.checks);
       ("oracle_splits", Json.Int r.oracle_splits);
+      ("window_checks", Json.Int r.window_checks);
       ("accepts", Json.Int r.accepts);
       ("shrink_steps", Json.Int r.shrink_steps);
       ("injected_caught", Json.Bool r.injected_caught);

@@ -10,6 +10,10 @@
     - {b oracle}: the three proof backends agree on every candidate
       substitution's verdict ({!Oracle}), and no proven-permissible
       candidate is refuted by the simulated pattern set;
+    - {b window}: a windowed permissibility proof ({!Powder.Check.windowed})
+      never contradicts a decided global refutation — window proofs
+      claim global soundness, so the comparison is a hard equality on
+      the [Proved] side (escalations carry no claim);
     - {b optimizer}: a bounded POWDER run preserves PO signatures and
       [Circuit.validate], and the per-class measured power gains sum to
       the estimator's total delta (the [PG_A+PG_B+PG_C] telescoping
@@ -33,6 +37,12 @@ type config = {
       (** arm this fault during one case's optimizer run (retrying on
           later cases until it is actually consumed), with the guard
           disabled, so the end-to-end properties must catch it *)
+  forge_window : bool;
+      (** arm {!Atpg.Window.inject_forge} so the window prover lies
+          once (a forged [Proved] on a real window refutation); the
+          windowed-vs-global differential must catch the lie.  A forge
+          consumed on a spurious window counterexample is harmless by
+          luck, so it re-arms every case until caught. *)
   shrink_max_steps : int;
   jobs : int;
       (** run cases on a [Par.Pool], one case per domain, consumed in
@@ -58,6 +68,7 @@ type report = {
   cases_run : int;
   checks : int;           (** oracle cross-checks performed *)
   oracle_splits : int;
+  window_checks : int;    (** windowed-vs-global differential checks *)
   accepts : int;          (** substitutions applied across optimizer runs *)
   failures : failure list;
   shrink_steps : int;

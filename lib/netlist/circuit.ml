@@ -41,6 +41,13 @@ type t = {
   mutable version : int;
   mutable topo_cache : (int * node_id array) option;
   mutable journal : journal option;
+  (* Edit log: every structural mutation appends the ids whose local
+     timing/power inputs (fanins, fanout loads, cell, liveness) may have
+     changed.  Consumers hold a cursor and pull the suffix; a wholesale
+     [overwrite] bumps the generation, invalidating all cursors. *)
+  mutable edits : node_id list;
+  mutable edits_len : int;
+  mutable edits_gen : int;
 }
 
 let dummy_node = { id = -1; name = ""; kind = Pi; fanouts = []; live = false }
@@ -57,10 +64,32 @@ let create lib =
     version = 0;
     topo_cache = None;
     journal = None;
+    edits = [];
+    edits_len = 0;
+    edits_gen = 0;
   }
 
 let record t op =
   match t.journal with None -> () | Some j -> j.ops <- op :: j.ops
+
+let log_edit t id =
+  t.edits <- id :: t.edits;
+  t.edits_len <- t.edits_len + 1
+
+type edit_cursor = { cur_gen : int; cur_len : int }
+
+let edit_cursor t = { cur_gen = t.edits_gen; cur_len = t.edits_len }
+
+let edits_since t cur =
+  if cur.cur_gen <> t.edits_gen then None
+  else begin
+    let n = t.edits_len - cur.cur_len in
+    let rec take acc k l =
+      if k = 0 then acc
+      else match l with [] -> acc | x :: rest -> take (x :: acc) (k - 1) rest
+    in
+    Some (take [] n t.edits)
+  end
 
 let library t = t.lib
 let num_nodes t = t.count
@@ -101,6 +130,7 @@ let alloc t ~name kind =
   t.nodes.(id) <- { id; name; kind; fanouts = []; live = true };
   t.count <- t.count + 1;
   record t (U_alloc id);
+  log_edit t id;
   id
 
 let add_pi t ~name =
@@ -118,10 +148,12 @@ let add_const t ?name b =
 
 let add_fanout t driver pin =
   let d = node t driver in
+  log_edit t driver;
   d.fanouts <- pin :: d.fanouts
 
 let remove_fanout t driver pin =
   let d = node t driver in
+  log_edit t driver;
   let rec drop_one = function
     | [] -> invalid_arg "Circuit: fanout pin not found"
     | p :: rest ->
@@ -355,6 +387,7 @@ let set_fanin t sink pin b =
       if would_cycle_pin t sink pin b then
         invalid_arg "Circuit.set_fanin: would create a cycle";
       record t (U_set_fanin { sink; pin; old_driver = fs.(pin) });
+      log_edit t sink;
       remove_fanout t fs.(pin) { sink; pin_index = pin };
       fs.(pin) <- b;
       n.kind <- Cell (c, fs);
@@ -365,6 +398,7 @@ let set_fanin t sink pin b =
     if d = b then ()
     else begin
       record t (U_set_fanin { sink; pin = 0; old_driver = d });
+      log_edit t sink;
       remove_fanout t d { sink; pin_index = 0 };
       n.kind <- Po b;
       add_fanout t b { sink; pin_index = 0 }
@@ -379,10 +413,12 @@ let replace_stem t a b =
     invalid_arg "Circuit.replace_stem: would create a cycle";
   let moved = (node t a).fanouts in
   record t (U_replace_stem { a; moved });
+  log_edit t a;
   (node t a).fanouts <- [];
   List.iter
     (fun p ->
       let s = node t p.sink in
+      log_edit t p.sink;
       (match s.kind with
       | Cell (c, fs) ->
         fs.(p.pin_index) <- b;
@@ -400,6 +436,8 @@ let set_cell t id cell =
     if Cell.arity cell <> Cell.arity old_cell then
       invalid_arg "Circuit.set_cell: arity mismatch";
     record t (U_set_cell { id; old_cell });
+    log_edit t id;
+    Array.iter (fun f -> log_edit t f) fs;
     n.kind <- Cell (cell, fs)
   | Pi | Const _ | Po _ -> invalid_arg "Circuit.set_cell: not a cell"
 
@@ -414,6 +452,7 @@ let sweep t =
         n.live <- false;
         Hashtbl.remove t.names n.name;
         record t (U_kill id);
+        log_edit t id;
         killed := id :: !killed;
         Array.iteri
           (fun i f ->
@@ -424,6 +463,7 @@ let sweep t =
         n.live <- false;
         Hashtbl.remove t.names n.name;
         record t (U_kill id);
+        log_edit t id;
         killed := id :: !killed
       | Pi | Po _ -> ()
   in
@@ -453,6 +493,7 @@ let journal_commit t =
 let undo_alloc t id =
   if id <> t.count - 1 then
     invalid_arg "Circuit journal: alloc undo out of order";
+  log_edit t id;
   let n = t.nodes.(id) in
   (match n.kind with
   | Cell (_, fs) ->
@@ -474,6 +515,7 @@ let undo_alloc t id =
 let resurrect t id =
   let n = t.nodes.(id) in
   n.live <- true;
+  log_edit t id;
   register_name t n.name id;
   match n.kind with
   | Cell (_, fs) ->
@@ -485,6 +527,7 @@ let unreplace_stem t a moved =
   List.iter
     (fun p ->
       let s = node t p.sink in
+      log_edit t p.sink;
       (match s.kind with
       | Cell (c, fs) ->
         remove_fanout t fs.(p.pin_index) p;
@@ -527,6 +570,9 @@ let overwrite dst src =
   Hashtbl.reset dst.names;
   Hashtbl.iter (fun k v -> Hashtbl.add dst.names k v) src.names;
   dst.fresh <- src.fresh;
+  dst.edits <- [];
+  dst.edits_len <- 0;
+  dst.edits_gen <- dst.edits_gen + 1;
   touch dst
 
 (* ------------------------------------------------------------------ *)

@@ -144,6 +144,30 @@ val overwrite : t -> t -> unit
     @raise Invalid_argument if [dst] has an open journal or the
     libraries differ. *)
 
+(** {1 Edit log}
+
+    Every structural mutation ([set_fanin], [replace_stem], [set_cell],
+    [add_cell], [add_po], [sweep], journal rollback, …) appends to a
+    per-circuit edit log the ids of the nodes whose {e local} derived
+    quantities — fanins, fanout load, cell parameters, liveness — may
+    have changed.  Incremental consumers (STA, the power estimator) hold
+    a cursor and pull the suffix after each edit burst instead of
+    rescanning the netlist.  The log is a conservative superset: an id
+    may appear more than once, and a logged node whose values turn out
+    unchanged is harmless. *)
+
+type edit_cursor
+
+val edit_cursor : t -> edit_cursor
+(** Position at the current end of the edit log. *)
+
+val edits_since : t -> edit_cursor -> node_id list option
+(** Node ids logged since the cursor was taken (oldest first, possibly
+    with duplicates; ids may be dead or — after a rolled-back alloc —
+    out of range).  [None] means the log was invalidated by a wholesale
+    {!overwrite}: the consumer must recompute from scratch and take a
+    fresh cursor. *)
+
 val would_cycle_stem : t -> node_id -> node_id -> bool
 (** Would [replace_stem a b] create a cycle? *)
 

@@ -1,0 +1,7 @@
+val tune_gc : unit -> unit
+(** Raise the minor-heap size and major-heap space overhead to values
+    suited to circuit-scale allocation (traversal masks and signature
+    rows are short-lived but large, and the 256k-word default minor
+    heap forces constant promotion).  Never lowers a value the user
+    already raised via [OCAMLRUNPARAM]; idempotent.  Call once at
+    binary startup — libraries must not call it. *)

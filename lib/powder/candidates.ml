@@ -296,7 +296,8 @@ let scan_target ~config ~store ~est ~gates2 ti =
     p <> p_a && not ti.forbidden.(Array.unsafe_get signals p)
   in
   (* Every substitution against the same stem shares Dom(a); compute it
-     at most once per target and let [gain_ab] copy it. *)
+     at most once per target; [gain_ab] mutates the mask in place and
+     restores it before returning. *)
   let dom =
     match ti.target with
     | Subst.Stem _ ->
@@ -309,15 +310,76 @@ let scan_target ~config ~store ~est ~gates2 ti =
     | Subst.Branch _ -> None
   in
   let margin = 1e-12 in
+  (* Upper bound on any candidate's gain against this target, used to
+     skip the full [gain_ab] region walk for 1-signal sources that
+     positive-gain filtering would discard anyway.  PG_A for a stem is
+     the power of Dom(a) minus the kept source cones plus the boundary
+     relief; every subtracted term is non-negative, so full-region
+     power plus a relief over-count (every fanin edge into the region,
+     whatever drives it) bounds PG_A from above.  For a branch PG_A is
+     exactly [moved * E(old fanin)], source-independent.  PG_B is at
+     most [-moved * E(b)] for a [Signal]/[Inverted] source over [b]
+     (a new inverter only adds pin and output load; an existing one
+     has the same transition density as [b] up to rounding, absorbed
+     by the relative slack below).  So a hit can clear the positive-
+     gain margin only when [moved * E(b) < bound] — one cached
+     multiply-compare per hit.  Unobservable targets match the whole
+     store, and without this test each of those floods pays a region
+     walk per hit, which is what made generation quadratic on large
+     netlists.  [Gate2] sources keep the exact path (their source
+     density is not a cached lookup), and the fast path is off when
+     [require_positive] is, since only the final filter makes the
+     skip sound. *)
+  let circ = Estimator.circuit est in
+  let pos_bound =
+    lazy
+      (let dummy = { Subst.target = ti.target; source = Subst.Signal ti.a } in
+       let moved = Subst.moved_load circ dummy in
+       let pa =
+         match ti.target with
+         | Subst.Branch _ ->
+           moved
+           *. Estimator.transition_prob est
+                (Subst.substituted_signal circ dummy)
+         | Subst.Stem _ ->
+           let d, m =
+             match dom with Some l -> Lazy.force l | None -> assert false
+           in
+           let relief_over = ref 0.0 in
+           Array.iter
+             (fun v ->
+               Array.iteri
+                 (fun j f ->
+                   relief_over :=
+                     !relief_over
+                     +. Circuit.pin_cap circ
+                          { Circuit.sink = v; pin_index = j }
+                        *. Estimator.transition_prob est f)
+                 (Circuit.fanins circ v))
+             m;
+           Estimator.region_power_members est d m +. !relief_over
+       in
+       (moved, (pa *. (1.0 +. 1e-9)) +. 1e-9))
+  in
   let acc = ref [] in
   let consider subst =
-    let g =
-      match dom with
-      | Some d -> Subst.gain_ab ~dom:(Lazy.force d) est subst
-      | None -> Subst.gain_ab est subst
+    let skip =
+      config.require_positive
+      && (match subst.Subst.source with
+         | Subst.Signal b | Subst.Inverted b ->
+           let moved, bound = Lazy.force pos_bound in
+           moved *. Estimator.transition_prob est b >= bound
+         | Subst.Gate2 _ -> false)
     in
-    if (not config.require_positive) || Subst.total_gain g > margin then
-      acc := (subst, g) :: !acc
+    if not skip then begin
+      let g =
+        match dom with
+        | Some d -> Subst.gain_ab ~dom:(Lazy.force d) est subst
+        | None -> Subst.gain_ab est subst
+      in
+      if (not config.require_positive) || Subst.total_gain g > margin then
+        acc := (subst, g) :: !acc
+    end
   in
   let two_signal_wanted =
     match ti.target with
@@ -360,22 +422,42 @@ let scan_target ~config ~store ~est ~gates2 ti =
             end
           done
         | Hash ->
-          (* class path: one (eq, compl-eq) test per compatibility
-             class decides for every member at once *)
-          let flat = Sigstore.icanon_flat store in
-          let stride = Sigstore.icanon_stride store in
-          for c = 0 to Sigstore.num_classes store - 1 do
-            let eq, cq = eq_and_compl flat (c * stride) in
-            if eq || cq then
-              Array.iter
-                (fun p ->
-                  if eligible p then
-                    let f = Sigstore.member_complemented store p in
-                    emit p
-                      ~direct:(if f then cq else eq)
-                      ~inv:(if f then eq else cq))
-                (Sigstore.class_members store c)
-          done);
+          let care_pop =
+            Array.fold_left (fun a w -> a + Bits.popcount62 w) 0 icare
+          in
+          if care_pop = 64 * Sigstore.words store then begin
+            (* full care: masked equality is exact row equality, so
+               the only class that can match (either polarity —
+               classes unify complements) is the target's own.  Every
+               other class is decided without a row test, which is
+               what keeps fully observable targets O(|class|). *)
+            let tf = Sigstore.member_complemented store p_a in
+            Array.iter
+              (fun p ->
+                if eligible p then begin
+                  let f = Sigstore.member_complemented store p in
+                  emit p ~direct:(f = tf) ~inv:(f <> tf)
+                end)
+              (Sigstore.class_members store (Sigstore.class_of store p_a))
+          end
+          else begin
+            (* class path: one (eq, compl-eq) test per compatibility
+               class decides for every member at once *)
+            let flat = Sigstore.icanon_flat store in
+            let stride = Sigstore.icanon_stride store in
+            for c = 0 to Sigstore.num_classes store - 1 do
+              let eq, cq = eq_and_compl flat (c * stride) in
+              if eq || cq then
+                Array.iter
+                  (fun p ->
+                    if eligible p then
+                      let f = Sigstore.member_complemented store p in
+                      emit p
+                        ~direct:(if f then cq else eq)
+                        ~inv:(if f then eq else cq))
+                  (Sigstore.class_members store c)
+            done
+          end);
   if three_signal_wanted && gates2 <> [] then
     unspanned (fun () ->
         (* pool: the signals closest to [a], by (masked disagreement,

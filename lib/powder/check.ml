@@ -170,6 +170,158 @@ let permissible ?(backtrack_limit = 20_000) ?(exhaustive_limit = 12)
           | Atpg.Bddcheck.Gave_up _ -> Gave_up { engine = "bdd"; limit = "nodes" })
       end
 
+type window_verdict =
+  | W_proved
+  | W_escalated of [ `Overflow | `Cex | `Gave_up ]
+
+let escalation_name = function
+  | `Overflow -> "overflow"
+  | `Cex -> "cex"
+  | `Gave_up -> "giveup"
+
+(* Windowed permissibility (the --window K path).  Instead of cloning
+   the whole circuit, build a fresh window-sized miter: cut signals
+   become free PIs, the shared slice is copied once, the changed cone is
+   duplicated with the substitution applied, and every escape is XORed
+   old-vs-new.  Window-UNSAT is globally sound (free cut inputs
+   over-approximate reachable behaviour; silent escapes mean nothing
+   outside the window can change); window-SAT or give-up is
+   inconclusive and must escalate to the global miter. *)
+let windowed ?(exhaustive_limit = 12) ?(deadline = Obs.Deadline.never)
+    ~max_cut circ s =
+  if Obs.Deadline.expired deadline then W_escalated `Gave_up
+  else begin
+    let module W = Atpg.Window in
+    let a = Subst.substituted_signal circ s in
+    let plan = Subst.plan_of circ s in
+    let support =
+      a
+      ::
+      (match plan with
+      | Subst.P_existing v -> [ v ]
+      | Subst.P_new_inv b -> [ b ]
+      | Subst.P_new_gate (_, b, d) -> [ b; d ])
+    in
+    let roots =
+      match s.Subst.target with
+      | Subst.Stem t ->
+        List.filter_map
+          (fun p ->
+            let sk = p.Circuit.sink in
+            if Circuit.is_po_node circ sk then None else Some sk)
+          (Circuit.fanouts circ t)
+        |> List.sort_uniq compare
+      | Subst.Branch { sink; _ } ->
+        if Circuit.is_po_node circ sink then [] else [ sink ]
+    in
+    match
+      W.extract circ ~roots ~support ~max_cut ~max_volume:(16 * max_cut)
+    with
+    | None -> W_escalated `Overflow
+    | Some w ->
+      let lib = Circuit.library circ in
+      let m = Circuit.create lib in
+      let map = Hashtbl.create 64 in
+      let img id = Hashtbl.find map id in
+      Array.iter
+        (fun id ->
+          let n =
+            match Circuit.kind circ id with
+            | Circuit.Const b ->
+              Circuit.add_const m ~name:("w_" ^ Circuit.name circ id) b
+            | _ -> Circuit.add_pi m ~name:("w_" ^ Circuit.name circ id)
+          in
+          Hashtbl.replace map id n)
+        w.W.cut;
+      Array.iter
+        (fun id ->
+          match Circuit.kind circ id with
+          | Circuit.Cell (c, fs) ->
+            Hashtbl.replace map id (Circuit.add_cell m c (Array.map img fs))
+          | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> ())
+        w.W.order;
+      let src =
+        match plan with
+        | Subst.P_existing v -> img v
+        | Subst.P_new_inv b ->
+          Circuit.add_cell m (Library.inverter lib) [| img b |]
+        | Subst.P_new_gate (c, b, d) -> Circuit.add_cell m c [| img b; img d |]
+      in
+      let stem_target =
+        match s.Subst.target with Subst.Stem t -> Some t | Subst.Branch _ -> None
+      in
+      let branch_target =
+        match s.Subst.target with
+        | Subst.Branch { sink; pin } -> Some (sink, pin)
+        | Subst.Stem _ -> None
+      in
+      let dup = Hashtbl.create 64 in
+      Array.iter
+        (fun id ->
+          if W.is_changed w id then
+            match Circuit.kind circ id with
+            | Circuit.Cell (c, fs) ->
+              let fs' =
+                Array.mapi
+                  (fun pin f ->
+                    let substituted =
+                      (match stem_target with
+                      | Some t -> f = t
+                      | None -> false)
+                      ||
+                      match branch_target with
+                      | Some (sk, p) -> id = sk && pin = p
+                      | None -> false
+                    in
+                    if substituted then src
+                    else
+                      match Hashtbl.find_opt dup f with
+                      | Some d -> d
+                      | None -> img f)
+                  fs
+              in
+              Hashtbl.replace dup id (Circuit.add_cell m c fs')
+            | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> ())
+        w.W.order;
+      let diffs = ref [] in
+      Array.iter
+        (fun e ->
+          match Hashtbl.find_opt dup e with
+          | Some d ->
+            diffs := Circuit.add_cell m Equiv.xor_cell [| img e; d |] :: !diffs
+          | None -> ())
+        w.W.escapes;
+      (* the target signal itself escaping: a retargeted use outside the
+         window (truncated stem fanout, or a PO) sees a -> src directly *)
+      let target_escapes =
+        match s.Subst.target with
+        | Subst.Stem t ->
+          List.exists
+            (fun p ->
+              let sk = p.Circuit.sink in
+              Circuit.is_po_node circ sk || not (W.is_internal w sk))
+            (Circuit.fanouts circ t)
+        | Subst.Branch { sink; _ } -> Circuit.is_po_node circ sink
+      in
+      if target_escapes then
+        diffs := Circuit.add_cell m Equiv.xor_cell [| img a; src |] :: !diffs;
+      (match List.rev !diffs with
+      | [] -> W_proved
+      | ds ->
+        let rec or_tree = function
+          | [ x ] -> x
+          | x :: y :: rest ->
+            or_tree (Circuit.add_cell m Equiv.or_cell [| x; y |] :: rest)
+          | [] -> assert false
+        in
+        let out = or_tree ds in
+        ignore (Circuit.add_po m ~name:"window_miter_out" out);
+        (match Atpg.Window.prove ~exhaustive_limit ~deadline m out with
+        | Atpg.Window.Proved -> W_proved
+        | Atpg.Window.Refuted _ -> W_escalated `Cex
+        | Atpg.Window.Gave_up _ -> W_escalated `Gave_up))
+  end
+
 (* Exact refutation on the engine's pattern set: perturb the target to
    carry the source's values, re-simulate the fanout, and look for any
    primary-output difference. *)

@@ -33,6 +33,30 @@ val permissible :
     [deadline] rejects immediately with [Gave_up] before building the
     miter; otherwise it is threaded into the SAT/PODEM search. *)
 
+type window_verdict =
+  | W_proved
+      (** proved inside the window — globally sound, no global check
+          needed *)
+  | W_escalated of [ `Overflow | `Cex | `Gave_up ]
+      (** inconclusive: the window overflowed its bounds, found a
+          window-local counterexample (possibly spurious), or its
+          engine gave up — re-check with {!permissible} *)
+
+val escalation_name : [ `Overflow | `Cex | `Gave_up ] -> string
+
+val windowed :
+  ?exhaustive_limit:int ->
+  ?deadline:Obs.Deadline.t ->
+  max_cut:int ->
+  Netlist.Circuit.t ->
+  Subst.t ->
+  window_verdict
+(** Windowed permissibility check: build a window-sized miter around
+    the substitution (see {!Atpg.Window}) instead of cloning the whole
+    circuit.  [max_cut] is the --window K knob: the window's free-input
+    budget.  [W_proved] implies the substitution is globally
+    permissible; any [W_escalated] verdict says nothing either way. *)
+
 val refuted_on_patterns : Sim.Engine.t -> Subst.t -> bool
 (** Cheap exact refutation on an engine's current pattern set: true iff
     applying the substitution would flip some primary output on at

@@ -1,7 +1,7 @@
 module J = Obs.Json
 
 (* Bump when the schema changes; load refuses other versions. *)
-let version = 2
+let version = 3
 
 let magic = "powder-checkpoint"
 
@@ -29,6 +29,9 @@ type t = {
   is3_candidates : int;
   rolled_back : int;
   verified_applies : int;
+  window_checks : int;
+  window_proved : int;
+  window_escalated : int;
   giveup_breakdown : (string * int) list;
   by_class : (string * (int * float * float)) list;
       (** class name -> (accepted, power_gain, area_gain) *)
@@ -69,6 +72,9 @@ let to_json c =
       ("is3_candidates", J.Int c.is3_candidates);
       ("rolled_back", J.Int c.rolled_back);
       ("verified_applies", J.Int c.verified_applies);
+      ("window_checks", J.Int c.window_checks);
+      ("window_proved", J.Int c.window_proved);
+      ("window_escalated", J.Int c.window_escalated);
       ( "giveup_breakdown",
         J.Obj (List.map (fun (k, n) -> (k, J.Int n)) c.giveup_breakdown) );
       ( "by_class",
@@ -189,6 +195,9 @@ let of_json j =
       let* is3_candidates = field "is3_candidates" J.get_int j in
       let* rolled_back = field "rolled_back" J.get_int j in
       let* verified_applies = field "verified_applies" J.get_int j in
+      let* window_checks = field "window_checks" J.get_int j in
+      let* window_proved = field "window_proved" J.get_int j in
+      let* window_escalated = field "window_escalated" J.get_int j in
       let* giveup_breakdown =
         match J.member "giveup_breakdown" j with
         | Some (J.Obj fields) ->
@@ -242,6 +251,9 @@ let of_json j =
           is3_candidates;
           rolled_back;
           verified_applies;
+          window_checks;
+          window_proved;
+          window_escalated;
           giveup_breakdown;
           by_class;
           initial_power;

@@ -34,6 +34,9 @@ type t = {
   is3_candidates : int;
   rolled_back : int;
   verified_applies : int;
+  window_checks : int;
+  window_proved : int;
+  window_escalated : int;
   giveup_breakdown : (string * int) list;
   by_class : (string * (int * float * float)) list;
       (** class name -> (accepted, power_gain, area_gain) *)

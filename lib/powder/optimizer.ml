@@ -31,6 +31,7 @@ type config = {
   checkpoint_file : string option;
   jobs : int;
   sig_index : Candidates.index_mode;
+  window : int option;
 }
 
 let default_config =
@@ -58,6 +59,7 @@ let default_config =
     checkpoint_file = None;
     jobs = 1;
     sig_index = Candidates.Hash;
+    window = None;
   }
 
 module Trace = Obs.Trace
@@ -94,6 +96,14 @@ type report = {
       (** 3-signal candidates generated on branch targets (IS3 funnel) *)
   rolled_back : int;
   verified_applies : int;
+  window_checks : int;
+      (** candidates sent through the windowed check (--window K) *)
+  window_proved : int;
+      (** proved permissible inside the window, no global miter needed *)
+  window_escalated : int;
+      (** escalated to the global miter; reasons appear in
+          [giveup_breakdown] under [window/overflow], [window/cex],
+          [window/giveup] without touching [rejected_by_giveup] *)
   giveup_breakdown : (string * int) list;
   degradation_level : int;
   stopped_by : string;
@@ -116,6 +126,9 @@ let m_rej_timeout = Metrics.counter "powder.rejected.timeout"
 let m_rej_cex = Metrics.counter "powder.rejected.cex"
 let m_rolled_back = Metrics.counter "powder.rolled_back"
 let m_rounds = Metrics.counter "powder.rounds"
+let m_window_checks = Metrics.counter "powder.window.checks"
+let m_window_proved = Metrics.counter "powder.window.proved"
+let m_window_escalated = Metrics.counter "powder.window.escalated"
 
 (* Per-round GC telemetry.  [Gc.quick_stat] reads counters without
    walking the heap, so sampling every round is free.  Gauges keep the
@@ -231,6 +244,19 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
     | Absolute d -> Some d
   in
   let sta = ref (analyze_timed ?required_time:constraint_ circ) in
+  (* Incremental STA: the cursor marks the edit-log position the current
+     [!sta] snapshot reflects; each accept pulls the suffix and updates
+     only the affected cone.  Rolled-back applies leave unchanged-value
+     edits in the log — harmless, the update prunes them. *)
+  let sta_cursor = ref (Circuit.edit_cursor circ) in
+  let update_sta () =
+    Trace.with_span "sta" (fun () ->
+        (match Circuit.edits_since circ !sta_cursor with
+        | Some dirty ->
+          sta := Timing.update ?required_time:constraint_ !sta ~dirty
+        | None -> sta := Timing.analyze ?required_time:constraint_ circ);
+        sta_cursor := Circuit.edit_cursor circ)
+  in
   let stats = Hashtbl.create 4 in
   List.iter
     (fun k -> Hashtbl.add stats k { accepted = 0; power_gain = 0.0; area_gain = 0.0 })
@@ -248,6 +274,9 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
   let is3_cands = ref 0 in
   let rolled_back = ref 0 in
   let verified_applies = ref 0 in
+  let window_checks = ref 0 in
+  let window_proved = ref 0 in
+  let window_escalated = ref 0 in
   let substitutions = ref 0 in
   let rounds = ref 0 in
   let giveups : (string, int) Hashtbl.t = Hashtbl.create 8 in
@@ -327,7 +356,8 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
           (Guard.make_verifier ~words:config.verify_words ~seed:verify_seed
              ~input_probs:prob_of circ));
     sigstore := Sim.Sigstore.create ~cex:!cex_eng ~base:!eng ();
-    sta := analyze_timed ?required_time:constraint_ circ
+    sta := analyze_timed ?required_time:constraint_ circ;
+    sta_cursor := Circuit.edit_cursor circ
   in
   (* Canonicalization barrier: serialize, reparse, and continue on the
      reparsed circuit.  A BLIF round trip renumbers nodes, and candidate
@@ -363,6 +393,9 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
     is3_cands := ck.Checkpoint.is3_candidates;
     rolled_back := ck.Checkpoint.rolled_back;
     verified_applies := ck.Checkpoint.verified_applies;
+    window_checks := ck.Checkpoint.window_checks;
+    window_proved := ck.Checkpoint.window_proved;
+    window_escalated := ck.Checkpoint.window_escalated;
     List.iter (fun (k, n) -> Hashtbl.replace giveups k n)
       ck.Checkpoint.giveup_breakdown;
     List.iter
@@ -434,7 +467,27 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
      [`Stop] (run budget expired or the ladder topped out). *)
   let try_pick pool used ranked_cache =
     let compute_ranked () =
-      (* rank the still-valid unused candidates by fresh PG_A+PG_B *)
+      (* rank the still-valid unused candidates by fresh PG_A+PG_B;
+         pool entries against the same stem share one dominated-region
+         mask (the pool holds up to [per_target] candidates per
+         target, so recomputing it per entry multiplies the O(circuit)
+         traversal cost for nothing) *)
+      let doms = Hashtbl.create 64 in
+      let dom_for s =
+        match s.Subst.target with
+        | Subst.Branch _ -> None
+        | Subst.Stem a ->
+          Some
+            (match Hashtbl.find_opt doms a with
+            | Some d -> d
+            | None ->
+              let d = Circuit.dominated_region circ a in
+              let m = ref [] in
+              Array.iteri (fun i inside -> if inside then m := i :: !m) d;
+              let v = (d, Array.of_list (List.rev !m)) in
+              Hashtbl.add doms a v;
+              v)
+      in
       Trace.with_span "rank" (fun () ->
           let ranked = ref [] in
           Array.iteri
@@ -442,7 +495,11 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
               if (not used.(i)) && still_valid circ s
                  && not (Subst.creates_cycle circ s)
               then begin
-                let g = Subst.gain_ab !est s in
+                let g =
+                  match dom_for s with
+                  | Some d -> Subst.gain_ab ~dom:d !est s
+                  | None -> Subst.gain_ab !est s
+                in
                 if Subst.total_gain g > 0.0 then ranked := (i, s, g) :: !ranked
                 else used.(i) <- true
               end
@@ -542,21 +599,52 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
         end
       in
       (* The exact proof itself: reads the (frozen) circuit only, so it
-         is safe to run speculatively in a worker domain. *)
+         is safe to run speculatively in a worker domain.  With --window
+         the windowed check runs first; a window proof is globally sound
+         and skips the global miter, anything inconclusive escalates to
+         it.  Counter updates are deferred to [consume_verdict] (main
+         domain), so the returned value carries the window outcome. *)
       let run_check ~backtrack_limit ~deadline s =
-        match
-          Check.permissible ~backtrack_limit
-            ~exhaustive_limit:config.exhaustive_limit
-            ~engine:config.check_engine ~deadline circ s
-        with
-        | v -> v
-        | exception Invalid_argument _ ->
-          Check.Gave_up { engine = "check"; limit = "invalid" }
+        let global () =
+          match
+            Check.permissible ~backtrack_limit
+              ~exhaustive_limit:config.exhaustive_limit
+              ~engine:config.check_engine ~deadline circ s
+          with
+          | v -> v
+          | exception Invalid_argument _ ->
+            Check.Gave_up { engine = "check"; limit = "invalid" }
+        in
+        match config.window with
+        | None -> (global (), `Window_off)
+        | Some k -> (
+          match
+            Check.windowed ~exhaustive_limit:config.exhaustive_limit
+              ~deadline ~max_cut:k circ s
+          with
+          | Check.W_proved -> (Check.Permissible, `Window_proved)
+          | Check.W_escalated r ->
+            (global (), `Window_escalated (Check.escalation_name r))
+          | exception Invalid_argument _ ->
+            (global (), `Window_escalated "invalid"))
       in
       (* Everything downstream of a verdict — apply, stats, cex
          injection, ladder — runs on the main domain at consumption
          time. *)
-      let consume_verdict rank s g verdict =
+      let consume_verdict rank s g (verdict, window_outcome) =
+        (* window funnel accounting, on the main domain in rank order;
+           escalations are classified under window/* in the give-up
+           breakdown but are NOT give-up rejections — the candidate was
+           re-checked globally and its global verdict is what counts *)
+        (match window_outcome with
+        | `Window_off -> ()
+        | `Window_proved ->
+          incr window_checks;
+          incr window_proved
+        | `Window_escalated r ->
+          incr window_checks;
+          incr window_escalated;
+          bump_giveup ("window/" ^ r));
         (* test-only fault: report a refuted candidate as permissible
            so the transactional apply must catch it downstream *)
         let verdict =
@@ -608,7 +696,7 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
                   (Guard.error_name err));
             `Continue
           | `Ok _src ->
-            sta := analyze_timed ?required_time:constraint_ circ;
+            update_sta ();
             incr substitutions;
             let realized = power_before -. Estimator.total !est in
             let area_delta = area_before -. Circuit.area circ in
@@ -913,6 +1001,9 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
               is3_candidates = !is3_cands;
               rolled_back = !rolled_back;
               verified_applies = !verified_applies;
+              window_checks = !window_checks;
+              window_proved = !window_proved;
+              window_escalated = !window_escalated;
               giveup_breakdown =
                 List.sort compare
                   (Hashtbl.fold (fun k v acc -> (k, v) :: acc) giveups []);
@@ -947,6 +1038,9 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
   Metrics.add m_rej_cex !rej_cex;
   Metrics.add m_rolled_back !rolled_back;
   Metrics.add m_rounds !rounds;
+  Metrics.add m_window_checks !window_checks;
+  Metrics.add m_window_proved !window_proved;
+  Metrics.add m_window_escalated !window_escalated;
   let phase_seconds =
     List.map (fun (n, base) -> (n, Trace.span_seconds n -. base)) phase_base
   in
@@ -973,6 +1067,9 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
     is3_candidates = !is3_cands;
     rolled_back = !rolled_back;
     verified_applies = !verified_applies;
+    window_checks = !window_checks;
+    window_proved = !window_proved;
+    window_escalated = !window_escalated;
     giveup_breakdown =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) giveups []);
     degradation_level = !degradation;
@@ -1001,6 +1098,7 @@ let pp_report fmt r =
      substitutions: %d (checks %d, rej delay %d, rej atpg %d, rej giveup %d, \
      rej timeout %d, rej cex %d, rolled back %d, rounds %d)@,\
      signatures: %d hits, %d filtered, %d is3 candidates, %d resim nodes@,\
+     window: %d checks, %d proved, %d escalated@,\
      guard: %d verified applies, degradation level %d, stopped by %s@,"
     r.initial_power r.final_power (power_reduction_percent r) r.initial_area
     r.final_area (area_reduction_percent r) r.initial_delay r.final_delay
@@ -1011,6 +1109,7 @@ let pp_report fmt r =
     r.checks_run r.rejected_by_delay r.rejected_by_atpg r.rejected_by_giveup
     r.rejected_by_timeout r.rejected_by_cex r.rolled_back r.rounds
     r.sig_hits r.sig_filtered r.is3_candidates r.sig_resim_nodes
+    r.window_checks r.window_proved r.window_escalated
     r.verified_applies r.degradation_level r.stopped_by;
   (match r.giveup_breakdown with
   | [] -> ()
@@ -1072,6 +1171,9 @@ let report_to_json r =
             ("sig_resim_nodes", Int r.sig_resim_nodes);
             ("is3_candidates", Int r.is3_candidates);
             ("rolled_back", Int r.rolled_back);
+            ("window_checks", Int r.window_checks);
+            ("window_proved", Int r.window_proved);
+            ("window_escalated", Int r.window_escalated);
           ] );
       ( "guard",
         Obj

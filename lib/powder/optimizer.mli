@@ -63,6 +63,15 @@ type config = {
           store's compatibility classes (fast path), [Scan] tests every
           signal row (auditable reference).  Both emit byte-identical
           results. *)
+  window : int option;
+      (** [Some k]: try a windowed permissibility check (cut budget [k],
+          see {!Check.windowed}) before the global miter; window proofs
+          are globally sound, anything inconclusive escalates to the
+          global check, so final verdicts stay exact.  [None] (default)
+          always uses the global miter.  NOTE: unlike [jobs] /
+          [sig_index], windowing can change results — a window can
+          prove a candidate the global engine gives up on — so the
+          window size belongs in a run's manifest. *)
 }
 
 val default_config : config
@@ -114,9 +123,24 @@ type report = {
           mismatch or validation failure) *)
   verified_applies : int;
       (** applies that passed independent re-verification *)
+  window_checks : int;
+      (** candidates that went through the windowed check ([--window K]);
+          0 with windowing off *)
+  window_proved : int;
+      (** proved permissible inside the window — the global miter was
+          skipped entirely *)
+  window_escalated : int;
+      (** windowed checks that escalated to the global miter
+          ([window_checks = window_proved + window_escalated]); the
+          reasons are in [giveup_breakdown] under [window/overflow],
+          [window/cex] and [window/giveup], and do NOT count toward
+          [rejected_by_giveup] — the escalated candidate got a full
+          global verdict *)
   giveup_breakdown : (string * int) list;
       (** give-up counts keyed ["engine/limit"], e.g. ["sat/conflicts"],
-          ["podem/deadline"]; covers both giveup and timeout buckets *)
+          ["podem/deadline"]; covers both giveup and timeout buckets,
+          plus the [window/*] escalation reasons (which are not
+          rejections) *)
   degradation_level : int;
       (** final ladder level: 0 full effort, 1 shrunk proof budgets,
           2 also OS3/IS3 skipped, 3 stopped *)

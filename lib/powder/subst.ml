@@ -173,16 +173,22 @@ let gain_ab ?dom est s =
     match s.target with
     | Stem a ->
       (* The removed region is Dom(a) minus whatever still feeds the
-         substituting signal(s): those cones survive the sweep. *)
-      let dom, members =
+         substituting signal(s): those cones survive the sweep.  A
+         shared [dom] mask is mutated in place and restored afterwards
+         — [keep_cone] clears at most |TFI(root) ∩ Dom(a)| entries, so
+         the undo list keeps the per-candidate cost proportional to
+         the region instead of the whole circuit (copying the mask per
+         candidate made generation quadratic on large netlists). *)
+      let dom, members, shared =
         match dom with
-        | Some (d, m) -> (Array.copy d, m)
+        | Some (d, m) -> (d, m, true)
         | None ->
           let d = Circuit.dominated_region circ a in
           let m = ref [] in
           Array.iteri (fun i inside -> if inside then m := i :: !m) d;
-          (d, Array.of_list (List.rev !m))
+          (d, Array.of_list (List.rev !m), false)
       in
+      let cleared = ref [] in
       (* Strip TFI(root) ∩ Dom(a) by a backward walk restricted to the
          region: any region node with a path to [root] has all the
          path's intermediate nodes in the region too (an intermediate
@@ -194,11 +200,13 @@ let gain_ab ?dom est s =
       let keep_cone root =
         if dom.(root) then begin
           dom.(root) <- false;
+          cleared := root :: !cleared;
           let rec strip id =
             Array.iter
               (fun f ->
                 if dom.(f) then begin
                   dom.(f) <- false;
+                  cleared := f :: !cleared;
                   strip f
                 end)
               (Circuit.fanins circ id)
@@ -212,8 +220,12 @@ let gain_ab ?dom est s =
       | P_new_gate (_, b, d) ->
         keep_cone b;
         keep_cone d);
-      Estimator.region_power_members est dom members
-      +. Estimator.region_input_relief_members est dom members
+      let pg =
+        Estimator.region_power_members est dom members
+        +. Estimator.region_input_relief_members est dom members
+      in
+      if shared then List.iter (fun id -> dom.(id) <- true) !cleared;
+      pg
     | Branch _ ->
       moved *. Estimator.transition_prob est (substituted_signal circ s)
   in

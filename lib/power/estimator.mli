@@ -24,7 +24,15 @@ val node_power : t -> Netlist.Circuit.node_id -> float
 (** [C(i) * E(i)] of one stem; 0 for PO nodes and dead nodes. *)
 
 val total : t -> float
-(** Circuit switched capacitance (the paper's "power" column). *)
+(** Circuit switched capacitance (the paper's "power" column).
+
+    Maintained incrementally: the per-node terms are summed by a
+    fixed-association pairwise tree, and each call first folds the
+    circuit's edit-log suffix (see {!Netlist.Circuit.edits_since}) into
+    the affected leaves, so the cost is O(edits since the last call),
+    not O(netlist).  The fixed association makes the result bit-equal
+    to a from-scratch estimator on the same engine state, regardless of
+    the edit history. *)
 
 val watts : ?vdd:float -> ?freq:float -> t -> float
 (** [1/2 Vdd^2 f * total]; defaults Vdd = 3.3, f = 20 MHz. *)

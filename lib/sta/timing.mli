@@ -20,6 +20,20 @@ val analyze : ?required_time:float -> Netlist.Circuit.t -> t
     circuit delay) is imposed on every primary output and propagated
     backwards. *)
 
+val update :
+  ?required_time:float -> t -> dirty:Netlist.Circuit.node_id list -> t
+(** [update ?required_time t ~dirty] re-analyzes incrementally after
+    structural edits: [dirty] must cover every node id the circuit's
+    edit log recorded since [t] was produced
+    (see {!Netlist.Circuit.edits_since}), and [required_time] must be
+    the same constraint option passed to the original {!analyze}.  Only
+    the affected cone is recomputed (change-pruned forward and backward
+    sweeps); the result is bit-equal over live nodes to a from-scratch
+    [analyze ?required_time] on the edited circuit.  In unconstrained
+    mode a bitwise change of the circuit delay moves the implicit PO
+    deadline, forcing one full (but cheap) backward pass.  Dead nodes
+    retain stale entries. *)
+
 val circuit : t -> Netlist.Circuit.t
 val arrival : t -> Netlist.Circuit.node_id -> float
 val required : t -> Netlist.Circuit.node_id -> float

@@ -5,5 +5,6 @@ let () =
    @ Test_atpg.suite @ Test_aig.suite @ Test_bitvec.suite @ Test_mapper.suite @ Test_blif.suite
    @ Test_redundancy.suite @ Test_resize.suite @ Test_glitch.suite @ Test_circuits.suite @ Test_check.suite @ Test_powder.suite
    @ Test_sigstore.suite
+   @ Test_window.suite
    @ Test_obs.suite @ Test_profile.suite @ Test_par.suite @ Test_guard.suite @ Test_fuzz.suite
    @ Test_serve.suite @ Test_integration.suite)

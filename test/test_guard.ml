@@ -247,7 +247,11 @@ let test_checkpoint_roundtrip () =
       is3_candidates = 2;
       rolled_back = 1;
       verified_applies = 6;
-      giveup_breakdown = [ ("sat/conflicts", 2); ("check/deadline", 4) ];
+      window_checks = 9;
+      window_proved = 5;
+      window_escalated = 4;
+      giveup_breakdown =
+        [ ("sat/conflicts", 2); ("check/deadline", 4); ("window/overflow", 4) ];
       by_class = [ ("OS2", (1, 1.5, 32.0)); ("IS2", (6, 0.25, -3.0)) ];
       initial_power = 61.15178050994873;
       initial_area = 91408.0;
@@ -295,6 +299,9 @@ let sample_ck () =
     is3_candidates = 0;
     rolled_back = 0;
     verified_applies = 0;
+    window_checks = 0;
+    window_proved = 0;
+    window_escalated = 0;
     giveup_breakdown = [];
     by_class = [];
     initial_power = 1.0;

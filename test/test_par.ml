@@ -5,6 +5,7 @@
 
 module Circuit = Netlist.Circuit
 module Optimizer = Powder.Optimizer
+module Candidates = Powder.Candidates
 
 exception Boom of int
 
@@ -208,6 +209,35 @@ let optimizer_determinism name () =
   Alcotest.(check string) "report identical" j1 j4;
   Alcotest.(check string) "final netlist identical" b1 b4
 
+(* Windowed runs carry the same guarantee: the window verdict is a
+   deterministic function of (circuit, substitution, cut budget), so
+   neither the job width nor the signature-index strategy may change a
+   single byte of the result — only [--window] itself may. *)
+let windowed_optimize ~jobs ~sig_index name =
+  let c = mapped name in
+  let config =
+    {
+      Optimizer.default_config with
+      words = 8;
+      max_rounds = 3;
+      jobs;
+      sig_index;
+      window = Some 16;
+    }
+  in
+  let r = Optimizer.optimize ~config c in
+  ( Obs.Json.to_string (strip_volatile (Optimizer.report_to_json r)),
+    Blif.Blif_io.circuit_to_string c )
+
+let windowed_determinism name () =
+  let j1, b1 = windowed_optimize ~jobs:1 ~sig_index:Candidates.Hash name in
+  let j4, b4 = windowed_optimize ~jobs:4 ~sig_index:Candidates.Hash name in
+  let js, bs = windowed_optimize ~jobs:1 ~sig_index:Candidates.Scan name in
+  Alcotest.(check string) "windowed report identical across jobs" j1 j4;
+  Alcotest.(check string) "windowed netlist identical across jobs" b1 b4;
+  Alcotest.(check string) "windowed report identical across sig-index" j1 js;
+  Alcotest.(check string) "windowed netlist identical across sig-index" b1 bs
+
 let fuzz_at jobs =
   let config =
     { Fuzz.Harness.default_config with
@@ -304,6 +334,10 @@ let suite =
           (optimizer_determinism "comp");
         Alcotest.test_case "optimizer deterministic: f51m" `Quick
           (optimizer_determinism "f51m");
+        Alcotest.test_case "windowed deterministic: rd84" `Quick
+          (windowed_determinism "rd84");
+        Alcotest.test_case "windowed deterministic: comp" `Quick
+          (windowed_determinism "comp");
         Alcotest.test_case "fuzz deterministic across jobs" `Quick
           test_fuzz_determinism;
         Alcotest.test_case "raising task contained at jobs=1" `Quick

@@ -105,6 +105,57 @@ let prop_incremental_equals_full =
         end
       | _ -> true)
 
+(* The pairwise-tree total must be bit-equal — not within a tolerance —
+   to a from-scratch estimator on the same engine state, after every
+   optimizer-style edit burst (substitution apply + sweep + incremental
+   resim).  This is the fixed-association guarantee [Estimator.total]
+   documents. *)
+let test_total_bitequal_incremental () =
+  let bits = Int64.bits_of_float in
+  for seed = 0 to 5 do
+    let c = Build.random_circuit ~seed:(500 + seed) ~n_pis:6 ~n_gates:40 in
+    let eng = Engine.create c ~words:2 in
+    let stream () =
+      Sim.Rng.stream (Int64.of_int (909 + seed)) "test/power-inc"
+    in
+    Engine.randomize eng (stream ());
+    let est = Estimator.create eng in
+    let applied = ref 0 in
+    let progress = ref true in
+    while !applied < 5 && !progress do
+      let cands =
+        Powder.Candidates.generate
+          ~config:
+            {
+              Powder.Candidates.default_config with
+              Powder.Candidates.require_positive = false;
+            }
+          est
+      in
+      match
+        List.find_opt
+          (fun (s, _) -> not (Powder.Subst.creates_cycle c s))
+          cands
+      with
+      | None -> progress := false
+      | Some (s, _) ->
+        let src = Powder.Subst.apply c s in
+        ignore (Estimator.update_after_edit est src);
+        incr applied;
+        let fresh_eng = Engine.create c ~words:2 in
+        Engine.randomize fresh_eng (stream ());
+        let fresh = Estimator.create fresh_eng in
+        let a = Estimator.total est and b = Estimator.total fresh in
+        if not (Int64.equal (bits a) (bits b)) then
+          Alcotest.failf
+            "seed %d edit %d: incremental total %.17g <> fresh %.17g" seed
+            !applied a b
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: edits actually applied" seed)
+      true (!applied >= 3)
+  done
+
 let suite =
   [
     ( "power",
@@ -112,6 +163,8 @@ let suite =
         Alcotest.test_case "transition prob" `Quick test_transition_prob;
         Alcotest.test_case "total by hand" `Quick test_total_by_hand;
         Alcotest.test_case "incremental update" `Quick test_update_after_edit_matches_full;
+        Alcotest.test_case "incremental total bit-equal" `Quick
+          test_total_bitequal_incremental;
         Alcotest.test_case "po nodes not counted" `Quick test_po_nodes_not_counted;
         Alcotest.test_case "region power" `Quick test_region_power;
         Alcotest.test_case "region input relief" `Quick test_region_input_relief;

@@ -87,6 +87,104 @@ let prop_slack_consistency =
           < 1e-12)
         (Circuit.live_gates c))
 
+(* Incremental re-analysis ([Timing.update] fed from the circuit's
+   edit log) must be bit-equal — not merely close — to a from-scratch
+   [analyze] after every edit burst.  The bursts are real optimizer
+   edits: signature-matched substitutions applied with [Subst.apply]
+   (which also sweeps), exactly the path the optimizer drives. *)
+let test_update_bitequal_after_substitutions () =
+  let bits = Int64.bits_of_float in
+  for seed = 0 to 5 do
+    let c = Build.random_circuit ~seed:(300 + seed) ~n_pis:6 ~n_gates:40 in
+    let eng = Sim.Engine.create c ~words:2 in
+    Sim.Engine.randomize eng
+      (Sim.Rng.stream (Int64.of_int (77 + seed)) "test/sta-inc");
+    let est = Power.Estimator.create eng in
+    let t = ref (Timing.analyze c) in
+    let cursor = ref (Circuit.edit_cursor c) in
+    let applied = ref 0 in
+    let progress = ref true in
+    while !applied < 5 && !progress do
+      let cands =
+        Powder.Candidates.generate
+          ~config:
+            {
+              Powder.Candidates.default_config with
+              Powder.Candidates.require_positive = false;
+            }
+          est
+      in
+      match
+        List.find_opt
+          (fun (s, _) -> not (Powder.Subst.creates_cycle c s))
+          cands
+      with
+      | None -> progress := false
+      | Some (s, _) ->
+        let src = Powder.Subst.apply c s in
+        ignore (Power.Estimator.update_after_edit est src);
+        (match Circuit.edits_since c !cursor with
+        | Some dirty -> t := Timing.update !t ~dirty
+        | None -> Alcotest.fail "edit log unexpectedly invalidated");
+        cursor := Circuit.edit_cursor c;
+        incr applied;
+        let fresh = Timing.analyze c in
+        Circuit.iter_live c (fun id ->
+            let same name a b =
+              if not (Int64.equal (bits a) (bits b)) then
+                Alcotest.failf
+                  "seed %d edit %d node %d: incremental %s %.17g <> fresh %.17g"
+                  seed !applied id name a b
+            in
+            same "arrival" (Timing.arrival !t id) (Timing.arrival fresh id);
+            same "required" (Timing.required !t id) (Timing.required fresh id);
+            same "slack" (Timing.slack !t id) (Timing.slack fresh id))
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: edits actually applied" seed)
+      true (!applied >= 3)
+  done
+
+(* Same burst, constrained mode: a fixed required time must survive
+   incremental updates bit-exactly too. *)
+let test_update_bitequal_constrained () =
+  let bits = Int64.bits_of_float in
+  let c = Build.random_circuit ~seed:808 ~n_pis:6 ~n_gates:40 in
+  let rt = Timing.required_time (Timing.analyze c) *. 1.1 in
+  let eng = Sim.Engine.create c ~words:2 in
+  Sim.Engine.randomize eng (Sim.Rng.stream 5050L "test/sta-inc-rt");
+  let est = Power.Estimator.create eng in
+  let t = ref (Timing.analyze ~required_time:rt c) in
+  let cursor = ref (Circuit.edit_cursor c) in
+  let cands =
+    Powder.Candidates.generate
+      ~config:
+        {
+          Powder.Candidates.default_config with
+          Powder.Candidates.require_positive = false;
+        }
+      est
+  in
+  (match
+     List.find_opt (fun (s, _) -> not (Powder.Subst.creates_cycle c s)) cands
+   with
+  | None -> Alcotest.fail "no applicable substitution"
+  | Some (s, _) ->
+    let src = Powder.Subst.apply c s in
+    ignore (Power.Estimator.update_after_edit est src);
+    (match Circuit.edits_since c !cursor with
+    | Some dirty -> t := Timing.update ~required_time:rt !t ~dirty
+    | None -> Alcotest.fail "edit log unexpectedly invalidated"));
+  let fresh = Timing.analyze ~required_time:rt c in
+  Circuit.iter_live c (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d bit-equal" id)
+        true
+        (Int64.equal (bits (Timing.arrival !t id))
+           (bits (Timing.arrival fresh id))
+        && Int64.equal (bits (Timing.required !t id))
+             (bits (Timing.required fresh id))))
+
 let suite =
   [
     ( "sta",
@@ -96,6 +194,10 @@ let suite =
         Alcotest.test_case "required and slack" `Quick test_required_and_slack;
         Alcotest.test_case "critical path is a path" `Quick test_critical_path_is_path;
         Alcotest.test_case "arrival monotone" `Quick test_arrival_monotone_along_path;
+        Alcotest.test_case "incremental bit-equal after substitutions" `Quick
+          test_update_bitequal_after_substitutions;
+        Alcotest.test_case "incremental bit-equal constrained" `Quick
+          test_update_bitequal_constrained;
         QCheck_alcotest.to_alcotest prop_load_increases_delay;
         QCheck_alcotest.to_alcotest prop_slack_consistency;
       ] );
