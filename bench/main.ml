@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks
      dune exec bench/main.exe -- parallel -- exact-check scaling vs --jobs
      dune exec bench/main.exe -- serve   -- powder_serve load generator
+     dune exec bench/main.exe -- pareto  -- frontier sweep, both cost models
      dune exec bench/main.exe -- quick   -- fast subset of everything
 
    [--jobs N] runs the table1 circuits on a domain pool of N executors
@@ -52,6 +53,9 @@ let serve_section : Obs.Json.t option ref = ref None
 
 (* Filled in by the [scale] section; merged into BENCH_powder.json. *)
 let scale_section : Obs.Json.t option ref = ref None
+
+(* Filled in by the [pareto] section; merged into BENCH_powder.json. *)
+let pareto_section : Obs.Json.t option ref = ref None
 
 let out_file = ref "BENCH_powder.json"
 
@@ -108,6 +112,9 @@ let write_bench_json () =
       @ (match !serve_section with
         | Some s -> [ ("serve", s) ]
         | None -> [])
+      @ (match !pareto_section with
+        | Some s -> [ ("pareto", s) ]
+        | None -> [])
       @ match !scale_section with
         | Some s -> [ ("scale", s) ]
         | None -> [])
@@ -132,7 +139,7 @@ let write_bench_json () =
       let kept_sections =
         List.filter
           (fun (k, _) ->
-            List.mem k [ "parallel"; "serve"; "scale" ]
+            List.mem k [ "parallel"; "serve"; "pareto"; "scale" ]
             && not (List.mem_assoc k new_fields))
           old_fields
       in
@@ -810,6 +817,86 @@ let serve_bench () =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* Pareto: the frontier sweep driver, both cost models.                *)
+(* ------------------------------------------------------------------ *)
+
+(* One default-constraint sweep per cost model on a suite circuit:
+   tracks the sweep's wall clock (it runs one optimizer per
+   constraint), the frontier it finds, and the glitch-cost sweep's
+   total timed-power reduction. *)
+let pareto_bench () =
+  let circuit_name = "rd84" in
+  let spec = Option.get (Suite.find circuit_name) in
+  let config =
+    { base_config with
+      Optimizer.seed = Sim.Rng.next (section_rng "pareto");
+      max_rounds = (if !quick then 4 else 16)
+    }
+  in
+  let sweep cost =
+    let config = Pareto.Cost.apply cost config in
+    let t0 = Obs.Clock.now () in
+    let r =
+      Pareto.Sweep.run ~config ~jobs:!jobs ~name:circuit_name (fun () ->
+          Suite.mapped spec)
+    in
+    (r, Obs.Clock.now () -. t0)
+  in
+  Printf.eprintf "[pareto] %s, %d constraints x 2 cost models...\n%!"
+    circuit_name
+    (List.length Pareto.Sweep.default_specs);
+  let zd, zd_wall = sweep Pareto.Cost.Zero_delay in
+  let gl, gl_wall =
+    sweep (Pareto.Cost.Glitch { pairs = Pareto.Cost.default_glitch_pairs })
+  in
+  (* per-point runs land in the runs object so bench_diff gates the
+     sweep's wall clock phase by phase, like every other section *)
+  List.iter
+    (fun (lbl, rep) ->
+      record_run (Printf.sprintf "pareto/%s/zero-delay/%s" circuit_name lbl) rep)
+    zd.Pareto.Sweep.reports;
+  List.iter
+    (fun (lbl, rep) ->
+      record_run (Printf.sprintf "pareto/%s/glitch/%s" circuit_name lbl) rep)
+    gl.Pareto.Sweep.reports;
+  Format.printf "%s (zero-delay cost, %.2fs):@,%a@." circuit_name zd_wall
+    Pareto.Sweep.pp zd;
+  Format.printf "%s (glitch cost, %.2fs):@,%a@." circuit_name gl_wall
+    Pareto.Sweep.pp gl;
+  let glitch_delta =
+    List.fold_left
+      (fun acc (_, (rep : Optimizer.report)) ->
+        match (rep.initial_glitch_power, rep.final_glitch_power) with
+        | Some gi, Some gf -> acc +. (gi -. gf)
+        | _ -> acc)
+      0.0 gl.Pareto.Sweep.reports
+  in
+  let section_of (r : Pareto.Sweep.report) wall =
+    Obs.Json.Obj
+      [
+        ("wall_seconds", Obs.Json.Float wall);
+        ("points", Obs.Json.Int (List.length r.Pareto.Sweep.points));
+        ("frontier", Obs.Json.Int (List.length r.Pareto.Sweep.frontier));
+        ("dominated", Obs.Json.Int r.Pareto.Sweep.dominated);
+        ( "substitutions",
+          Obs.Json.Int
+            (List.fold_left
+               (fun acc (p : Pareto.Frontier.point) -> acc + p.substitutions)
+               0 r.Pareto.Sweep.points) );
+      ]
+  in
+  pareto_section :=
+    Some
+      (Obs.Json.Obj
+         [
+           ("circuit", Obs.Json.String circuit_name);
+           ("constraints", Obs.Json.Int (List.length Pareto.Sweep.default_specs));
+           ("zero_delay", section_of zd zd_wall);
+           ("glitch", section_of gl gl_wall);
+           ("glitch_delta", Obs.Json.Float glitch_delta);
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Scale: synthetic netlists, windowed vs global checking.             *)
 (* ------------------------------------------------------------------ *)
 
@@ -954,4 +1041,5 @@ let () =
   if want "micro" then micro ();
   if want "parallel" then parallel ();
   if want "serve" then serve_bench ();
+  if want "pareto" then pareto_bench ();
   if want "scale" then scale ()

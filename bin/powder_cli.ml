@@ -86,6 +86,31 @@ let window_arg =
                  inconclusive escalates to the global check, so verdicts \
                  stay exact.")
 
+(* Like --window, the cost model changes which substitutions are
+   accepted, so it is part of the hashed run-manifest options. *)
+let cost_arg =
+  let parse s =
+    match Pareto.Cost.of_string s with Ok c -> Ok c | Error m -> Error (`Msg m)
+  in
+  let print fmt c = Format.pp_print_string fmt (Pareto.Cost.to_string c) in
+  Arg.(value
+       & opt (conv (parse, print)) Pareto.Cost.Zero_delay
+       & info [ "cost" ] ~docv:"MODEL"
+           ~doc:"Acceptance cost model: zero-delay (default; the paper's \
+                 switched-capacitance gain) or glitch[:PAIRS] (weight each \
+                 candidate by per-node hazard multipliers from a timed \
+                 simulation over PAIRS random vector pairs, default 64).  \
+                 The glitch model changes which substitutions are accepted \
+                 and adds timed before/after power to the report.")
+
+let is3_credit_arg =
+  Arg.(value & flag & info [ "is3-credit" ]
+         ~doc:"Experimental: credit IS3 candidates with the sink gate's \
+               first-order downstream activity reduction during \
+               pre-selection, so they can survive the positive-gain filter \
+               (their new-gate load charge structurally outweighs the \
+               one-pin relief).  Exact PG_C still decides at refinement.")
+
 let delay_mode =
   let parse s =
     if s = "none" then Ok Optimizer.Unconstrained
@@ -212,7 +237,7 @@ let optimize_cmd =
   let run in_file circuit_name out_file words seed delay classes engine verify
       trace_file json_file profile_dir metrics time_budget check_seconds
       round_seconds max_rounds checkpoint resume verify_applies
-      checkpoint_every jobs sig_index window =
+      checkpoint_every jobs sig_index window cost is3_credit =
     let circ = load_circuit in_file circuit_name in
     let original = Circuit.clone circ in
     (* Resume: pick the checkpoint up before building the config so the
@@ -260,6 +285,8 @@ let optimize_cmd =
         jobs;
         sig_index;
         window;
+        cost;
+        is3_credit;
       }
     in
     (* The run manifest: identity of this run (host, toolchain, every
@@ -283,6 +310,8 @@ let optimize_cmd =
             );
             ( "window",
               match window with None -> "off" | Some k -> string_of_int k );
+            ("cost", Pareto.Cost.to_string cost);
+            ("is3_credit", string_of_bool is3_credit);
             ("verify_applies", string_of_bool verify_applies);
             ("max_rounds", opt_str string_of_int max_rounds);
             ("time_budget", opt_str string_of_float time_budget);
@@ -447,7 +476,8 @@ let optimize_cmd =
           $ delay_mode $ classes $ engine_arg $ verify $ trace_file
           $ json_file $ profile_dir $ metrics $ time_budget $ check_seconds
           $ round_seconds $ max_rounds $ checkpoint $ resume $ verify_applies
-          $ checkpoint_every $ jobs_arg $ sig_index_arg $ window_arg)
+          $ checkpoint_every $ jobs_arg $ sig_index_arg $ window_arg
+          $ cost_arg $ is3_credit_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Profile report: human-readable view of a --profile directory.       *)
@@ -711,6 +741,192 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Power-delay trade-off sweep (Figure 6 experiment).")
     Term.(const run $ names $ words)
+
+(* ------------------------------------------------------------------ *)
+(* pareto: power/delay frontier exploration.                           *)
+(* ------------------------------------------------------------------ *)
+
+let pareto_cmd =
+  let run in_file circuit_name words seed classes engine cost is3_credit
+      constraints jobs json_file profile_dir trace_file checkpoint_dir
+      max_rounds time_budget window sig_index =
+    let name =
+      match circuit_name with
+      | Some n -> n
+      | None -> Option.value in_file ~default:"-"
+    in
+    (* fresh circuit per point: each constraint optimizes its own copy *)
+    let build () = load_circuit in_file circuit_name in
+    ignore (build ());  (* fail on a bad input before any work is done *)
+    let config =
+      {
+        Optimizer.default_config with
+        words;
+        seed = Int64.of_int seed;
+        classes;
+        check_engine = engine;
+        cost;
+        is3_credit;
+        run_seconds = time_budget;
+        max_rounds =
+          (match max_rounds with
+          | Some n -> n
+          | None -> Optimizer.default_config.Optimizer.max_rounds);
+        sig_index;
+        window;
+      }
+    in
+    let manifest =
+      let opt_str f = function None -> "-" | Some v -> f v in
+      Obs.Runinfo.create ~jobs ~seed:(Int64.of_int seed) ~circuit:name
+        ~options:
+          [
+            ("mode", "pareto");
+            ("words", string_of_int words);
+            ( "constraints",
+              String.concat ","
+                (List.map Pareto.Sweep.spec_to_string constraints) );
+            ( "classes",
+              String.concat "," (List.map Powder.Subst.klass_name classes) );
+            ( "engine",
+              match engine with `Sat -> "sat" | `Podem -> "podem" | `Bdd -> "bdd"
+            );
+            ( "window",
+              match window with None -> "off" | Some k -> string_of_int k );
+            ("cost", Pareto.Cost.to_string cost);
+            ("is3_credit", string_of_bool is3_credit);
+            ("max_rounds", opt_str string_of_int max_rounds);
+            ("time_budget", opt_str string_of_float time_budget);
+          ]
+        ()
+    in
+    let fail_sys msg = prerr_endline ("powder_cli: " ^ msg); exit 1 in
+    let profile =
+      match profile_dir with
+      | None -> None
+      | Some dir -> (
+        try
+          (try Unix.mkdir dir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let chrome_oc = open_out (Filename.concat dir "trace.chrome.json") in
+          Some (dir, Obs.Profile.create (), chrome_oc)
+        with Sys_error m | Unix.Unix_error (Unix.EACCES, _, m) -> fail_sys m)
+    in
+    let json_out =
+      match json_file with
+      | None -> None
+      | Some f -> (try Some (f, open_out f) with Sys_error m -> fail_sys m)
+    in
+    let sinks =
+      (match trace_file with
+      | Some f -> (
+        try [ Obs.Trace.jsonl_sink f ] with Sys_error m -> fail_sys m)
+      | None -> [])
+      @
+      match profile with
+      | Some (_, p, chrome_oc) ->
+        [ Obs.Profile.sink p; Obs.Profile.chrome_sink chrome_oc ]
+      | None -> []
+    in
+    (match sinks with
+    | [] -> ()
+    | [ s ] -> Obs.Trace.set_sink s
+    | ss -> Obs.Trace.set_sink (Obs.Trace.tee_sink ss));
+    if sinks <> [] then Obs.Runinfo.emit_run_start manifest;
+    let report =
+      Pareto.Sweep.run ~config ~specs:constraints ~jobs ?checkpoint_dir ~name
+        build
+    in
+    Obs.Trace.close_sink ();
+    (match profile with
+    | None -> ()
+    | Some (dir, p, _) ->
+      let write fname s =
+        let f = Filename.concat dir fname in
+        let oc = open_out f in
+        output_string oc s;
+        close_out oc;
+        Printf.printf "wrote %s\n" f
+      in
+      write "profile.json"
+        (Obs.Json.to_string
+           (Obs.Profile.to_json ~run:(Obs.Runinfo.to_json manifest) p)
+        ^ "\n");
+      write "profile.folded" (Obs.Profile.to_folded p);
+      Printf.printf "wrote %s\n" (Filename.concat dir "trace.chrome.json"));
+    Format.printf "%a@." Pareto.Sweep.pp report;
+    match json_out with
+    | Some (f, oc) ->
+      let report_json =
+        match Pareto.Sweep.to_json report with
+        | Obs.Json.Obj fields ->
+          Obs.Json.Obj (("run", Obs.Runinfo.to_json manifest) :: fields)
+        | other -> other
+      in
+      output_string oc (Obs.Json.to_string report_json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" f
+    | None -> ()
+  in
+  let constraints =
+    let parse s =
+      match Pareto.Sweep.spec_of_string s with
+      | Ok sp -> Ok sp
+      | Error m -> Error (`Msg m)
+    in
+    let print fmt sp =
+      Format.pp_print_string fmt (Pareto.Sweep.spec_to_string sp)
+    in
+    Arg.(value
+         & opt (list (conv (parse, print))) Pareto.Sweep.default_specs
+         & info [ "constraints" ] ~docv:"LIST"
+             ~doc:"Comma-separated delay constraints, each a multiple of the \
+                   mapped netlist's initial critical path (e.g. 1.0,1.25) or \
+                   unbounded.  Default 1.0,1.1,1.25,unbounded.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the sweep report (points, dominance-pruned frontier, \
+                 per-point optimizer reports) as machine-readable JSON.  \
+                 Byte-identical across --jobs values modulo the volatile \
+                 timing fields json_check --compare-reports ignores.")
+  in
+  let profile_dir =
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"DIR"
+           ~doc:"Profile the sweep: write profile.json, profile.folded and \
+                 trace.chrome.json into DIR (see the optimize command).")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL event trace of the sweep (pareto.point spans \
+                 plus each point's optimizer events).")
+  in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Per-point crash recovery: each constraint checkpoints to \
+                 DIR/point-LABEL.json and an existing checkpoint there is \
+                 resumed, so re-running an interrupted sweep redoes only the \
+                 unfinished points.")
+  in
+  let time_budget =
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget per point (each point's optimizer stops \
+                 cleanly with stopped_by=run_budget on expiry).")
+  in
+  let max_rounds =
+    Arg.(value & opt (some int) None & info [ "max-rounds" ] ~docv:"N"
+           ~doc:"Round cap per point.")
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"Explore the power/delay trade-off: optimize under a list of \
+             delay constraints and report the dominance-pruned frontier, \
+             optionally under the glitch-aware cost model.")
+    Term.(const run $ in_file $ circuit_name $ words $ seed $ classes
+          $ engine_arg $ cost_arg $ is3_credit_arg $ constraints $ jobs_arg
+          $ json_file $ profile_dir $ trace_file $ checkpoint_dir $ max_rounds
+          $ time_budget $ window_arg $ sig_index_arg)
 
 let fuzz_cmd =
   let run seed budget cases max_ins candidates out_dir inject replay jobs =
@@ -978,6 +1194,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ optimize_cmd; report_cmd; map_cmd; stats_cmd; suite_cmd; atpg_cmd;
-            sweep_cmd; redundancy_cmd; resize_cmd; glitch_cmd; fuzz_cmd;
-            serve_cmd ]))
+          [ optimize_cmd; pareto_cmd; report_cmd; map_cmd; stats_cmd;
+            suite_cmd; atpg_cmd; sweep_cmd; redundancy_cmd; resize_cmd;
+            glitch_cmd; fuzz_cmd; serve_cmd ]))

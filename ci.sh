@@ -9,6 +9,8 @@
 #     fuzz    differential fuzz campaign + injected-fault catch
 #     serve   batch service drain + crash/kill chaos legs
 #     perf    bench self-consistency + committed-baseline perf gate
+#     pareto  frontier sweep: jobs determinism, frontier invariants,
+#             glitch cost model, bench gate vs the committed baseline
 #     scale   synthetic large-netlist bench: windowed-vs-global check
 #             agreement + throughput gate vs the committed baseline
 #     all     every stage above, in that order (the default)
@@ -291,6 +293,48 @@ stage_perf() {
 }
 
 # ------------------------------------------------------------------ #
+# pareto                                                             #
+# ------------------------------------------------------------------ #
+stage_pareto() {
+  echo "== pareto: cps sweep — determinism across --jobs, frontier invariants =="
+  # The sweep's contract in one leg: the default 4-constraint sweep on
+  # the largest suite circuit produces a dominance-pruned frontier
+  # (validated structurally by json_check), rejects candidates on the
+  # delay screen at the tightest constraint, and emits byte-identical
+  # JSON at any job count.
+  p1=$(mktemp /tmp/powder_ci_pareto_j1_XXXXXX.json)
+  p4=$(mktemp /tmp/powder_ci_pareto_j4_XXXXXX.json)
+  hard_timeout 600 dune exec bin/powder_cli.exe -- pareto --circuit cps \
+    --words 4 --max-rounds 4 --jobs 1 --json "$p1" >/dev/null
+  hard_timeout 600 dune exec bin/powder_cli.exe -- pareto --circuit cps \
+    --words 4 --max-rounds 4 --jobs 4 --json "$p4" >/dev/null
+  dune exec bin/json_check.exe -- --check-report "$p1"
+  dune exec bin/json_check.exe -- --compare-reports "$p1" "$p4"
+  # the tightest constraint must actually bite
+  if ! grep -q '"rejected_by_delay":[1-9]' "$p1"; then
+    echo "pareto: no point rejected anything on delay" >&2
+    exit 1
+  fi
+  rm -f "$p1" "$p4"
+
+  echo "== pareto: glitch cost model report validates =="
+  pg=$(mktemp /tmp/powder_ci_pareto_gl_XXXXXX.json)
+  hard_timeout 600 dune exec bin/powder_cli.exe -- pareto --circuit rd84 \
+    --cost glitch --words 4 --max-rounds 4 --json "$pg" >/dev/null
+  dune exec bin/json_check.exe -- --check-report "$pg"
+  rm -f "$pg"
+
+  echo "== pareto: bench section vs committed baseline =="
+  fresh=$(mktemp /tmp/powder_ci_pareto_bench_XXXXXX.json)
+  hard_timeout 600 dune exec bench/main.exe -- quick pareto \
+    --out "$fresh" >/dev/null
+  dune exec bin/json_check.exe -- "$fresh"
+  dune exec bin/bench_diff.exe -- BENCH_powder.json "$fresh" \
+    --rel-tol 0.5 --abs-floor 0.25
+  rm -f "$fresh"
+}
+
+# ------------------------------------------------------------------ #
 # scale                                                              #
 # ------------------------------------------------------------------ #
 stage_scale() {
@@ -329,12 +373,12 @@ fi
 for s in "$@"; do
   case "$s" in
     all)
-      for t in build test smoke fuzz serve perf scale; do run_stage "$t"; done ;;
-    build|test|smoke|fuzz|serve|perf|scale)
+      for t in build test smoke fuzz serve perf pareto scale; do run_stage "$t"; done ;;
+    build|test|smoke|fuzz|serve|perf|pareto|scale)
       run_stage "$s" ;;
     *)
       echo "ci.sh: unknown stage '$s'" >&2
-      echo "usage: ./ci.sh [build|test|smoke|fuzz|serve|perf|scale|all]..." >&2
+      echo "usage: ./ci.sh [build|test|smoke|fuzz|serve|perf|pareto|scale|all]..." >&2
       exit 2 ;;
   esac
 done

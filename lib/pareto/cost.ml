@@ -1,0 +1,27 @@
+type t = Powder.Optimizer.cost_model =
+  | Zero_delay
+  | Glitch of { pairs : int }
+
+let default_glitch_pairs = 64
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "zero-delay" | "zero_delay" | "zero" -> Ok Zero_delay
+  | "glitch" -> Ok (Glitch { pairs = default_glitch_pairs })
+  | s when String.length s > 7 && String.sub s 0 7 = "glitch:" -> (
+    let rest = String.sub s 7 (String.length s - 7) in
+    match int_of_string_opt rest with
+    | Some pairs when pairs >= 1 -> Ok (Glitch { pairs })
+    | _ -> Error (Printf.sprintf "bad glitch pair budget %S" rest))
+  | _ ->
+    Error
+      (Printf.sprintf "unknown cost model %S (expected zero-delay|glitch[:N])" s)
+
+let to_string = function
+  | Zero_delay -> "zero-delay"
+  | Glitch { pairs } when pairs = default_glitch_pairs -> "glitch"
+  | Glitch { pairs } -> Printf.sprintf "glitch:%d" pairs
+
+let name = Powder.Optimizer.cost_model_name
+
+let apply t config = { config with Powder.Optimizer.cost = t }

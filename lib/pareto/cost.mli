@@ -1,0 +1,31 @@
+(** The pluggable acceptance cost model, as a command-line-facing
+    wrapper around {!Powder.Optimizer.cost_model}.
+
+    [zero-delay] is the paper's model (rank by raw switched-capacitance
+    gain); [glitch] weights each candidate's PG_A / PG_B terms by the
+    involved nodes' hazard multipliers ({!Power.Glitch.node_factors}),
+    steering the loop toward nodes whose activity the zero-delay model
+    under-counts.  Because the model changes which substitutions are
+    accepted, it is part of a run's manifest, never a tuning detail. *)
+
+type t = Powder.Optimizer.cost_model =
+  | Zero_delay
+  | Glitch of { pairs : int }
+
+val default_glitch_pairs : int
+(** Vector pairs sampled per hazard-factor estimate (64). *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["zero-delay"], ["glitch"] (default pair budget) and
+    ["glitch:N"] (explicit budget, [N >= 1]). *)
+
+val to_string : t -> string
+(** Round-trips through {!of_string}; ["glitch"] when the pair budget
+    is the default, ["glitch:N"] otherwise. *)
+
+val name : t -> string
+(** ["zero-delay"] / ["glitch"] — the report-field form, without the
+    pair budget ({!Powder.Optimizer.cost_model_name}). *)
+
+val apply : t -> Powder.Optimizer.config -> Powder.Optimizer.config
+(** Set the model on an optimizer config. *)

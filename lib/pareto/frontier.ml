@@ -1,0 +1,93 @@
+type point = {
+  label : string;
+  delay_constraint : float option;
+  power : float;
+  glitch_power : float option;
+  delay : float;
+  area : float;
+  substitutions : int;
+}
+
+let dominates a b =
+  a.power <= b.power && a.delay <= b.delay
+  && (a.power < b.power || a.delay < b.delay)
+
+(* Stable total order: delay, then power, then label — so pruning (and
+   therefore frontier JSON) is independent of the sweep's run order. *)
+let compare_points a b =
+  match Float.compare a.delay b.delay with
+  | 0 -> (
+    match Float.compare a.power b.power with
+    | 0 -> String.compare a.label b.label
+    | c -> c)
+  | c -> c
+
+let prune points =
+  let sorted = List.stable_sort compare_points points in
+  let frontier =
+    List.fold_left
+      (fun kept p ->
+        match kept with
+        | best :: _ when p.power >= best.power -> kept
+        | _ -> p :: kept)
+      [] sorted
+  in
+  let frontier = List.rev frontier in
+  (frontier, List.length points - List.length frontier)
+
+let to_json p =
+  let open Obs.Json in
+  Obj
+    [
+      ("label", String p.label);
+      ( "delay_constraint",
+        match p.delay_constraint with None -> Null | Some d -> Float d );
+      ("power", Float p.power);
+      ( "glitch_power",
+        match p.glitch_power with None -> Null | Some g -> Float g );
+      ("delay", Float p.delay);
+      ("area", Float p.area);
+      ("substitutions", Int p.substitutions);
+    ]
+
+let of_json j =
+  let module J = Obs.Json in
+  let ( let* ) = Result.bind in
+  let field name = Option.to_result ~none:("missing " ^ name) (J.member name j) in
+  let num name =
+    let* v = field name in
+    Option.to_result ~none:("bad " ^ name) (J.get_float v)
+  in
+  let opt_num name =
+    match J.member name j with
+    | None -> Error ("missing " ^ name)
+    | Some J.Null -> Ok None
+    | Some v ->
+      let* f = Option.to_result ~none:("bad " ^ name) (J.get_float v) in
+      Ok (Some f)
+  in
+  let* label = field "label" in
+  let* label = Option.to_result ~none:"bad label" (J.get_string label) in
+  let* delay_constraint = opt_num "delay_constraint" in
+  let* power = num "power" in
+  let* glitch_power = opt_num "glitch_power" in
+  let* delay = num "delay" in
+  let* area = num "area" in
+  let* subst = field "substitutions" in
+  let* substitutions = Option.to_result ~none:"bad substitutions" (J.get_int subst) in
+  Ok { label; delay_constraint; power; glitch_power; delay; area; substitutions }
+
+let pp fmt points =
+  Format.fprintf fmt "@[<v>%-12s | %10s | %8s | %10s | %9s | %6s@," "point"
+    "constraint" "delay" "power" "area" "substs";
+  List.iter
+    (fun p ->
+      let c =
+        match p.delay_constraint with
+        | None -> "-"
+        | Some d -> Printf.sprintf "%.3f" d
+      in
+      Format.fprintf fmt "%-12s | %10s | %8.3f | %10.1f | %9.1f | %6d@,"
+        p.label c p.delay p.power p.area p.substitutions)
+    points;
+  Format.fprintf fmt "@]"

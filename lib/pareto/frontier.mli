@@ -1,0 +1,40 @@
+(** Dominance-pruned power/delay frontiers.
+
+    A sweep over delay constraints yields one (power, delay) point per
+    constraint; the frontier is the subset no other point dominates.
+    Point [a] dominates [b] iff [a.power <= b.power] and
+    [a.delay <= b.delay] with at least one strict — the usual Pareto
+    order on (minimize power, minimize delay).  Area and substitution
+    counts ride along as annotations and play no part in dominance. *)
+
+type point = {
+  label : string;  (** the constraint spec that produced the point *)
+  delay_constraint : float option;  (** [None] for the unbounded point *)
+  power : float;  (** final zero-delay switched capacitance *)
+  glitch_power : float option;
+      (** final timed switched capacitance; present iff the sweep ran
+          under the glitch cost model *)
+  delay : float;  (** final critical-path delay *)
+  area : float;
+  substitutions : int;
+}
+
+val dominates : point -> point -> bool
+(** [dominates a b]: [a] is at least as good on both axes and strictly
+    better on one. *)
+
+val prune : point list -> point list * int
+(** [(frontier, dominated)]: the non-dominated subset sorted by delay
+    ascending (therefore power strictly descending), and the number of
+    input points that were dropped.  Duplicate (power, delay) pairs
+    collapse to the first in the stable (delay, power, label) order, and
+    count as dominated. *)
+
+val to_json : point -> Obs.Json.t
+(** Stable field order: [label], [delay_constraint], [power],
+    [glitch_power], [delay], [area], [substitutions]. *)
+
+val of_json : Obs.Json.t -> (point, string) result
+
+val pp : Format.formatter -> point list -> unit
+(** One row per point: label, constraint, delay, power, area, substs. *)

@@ -13,6 +13,7 @@ type config = {
   per_target : int;
   pool_limit : int;
   require_positive : bool;
+  credit_downstream : bool;
   index : index_mode;
 }
 
@@ -22,6 +23,7 @@ let default_config =
     per_target = 4;
     pool_limit = 16;
     require_positive = true;
+    credit_downstream = false;
     index = Hash;
   }
 
@@ -372,10 +374,11 @@ let scan_target ~config ~store ~est ~gates2 ti =
          | Subst.Gate2 _ -> false)
     in
     if not skip then begin
+      let credit_downstream = config.credit_downstream in
       let g =
         match dom with
-        | Some d -> Subst.gain_ab ~dom:(Lazy.force d) est subst
-        | None -> Subst.gain_ab est subst
+        | Some d -> Subst.gain_ab ~dom:(Lazy.force d) ~credit_downstream est subst
+        | None -> Subst.gain_ab ~credit_downstream est subst
       in
       if (not config.require_positive) || Subst.total_gain g > margin then
         acc := (subst, g) :: !acc

@@ -31,6 +31,9 @@ type config = {
   per_target : int;            (** keep the best k per target (by PG_A+PG_B) *)
   pool_limit : int;            (** pool size for 3-signal pair enumeration *)
   require_positive : bool;     (** drop candidates with PG_A+PG_B+margin <= 0 *)
+  credit_downstream : bool;
+      (** score IS3 candidates with the first-order downstream credit
+          of {!Subst.gain_ab} ([--is3-credit]); off by default *)
   index : index_mode;          (** how signatures are matched *)
 }
 

@@ -1,7 +1,7 @@
 module J = Obs.Json
 
 (* Bump when the schema changes; load refuses other versions. *)
-let version = 3
+let version = 4
 
 let magic = "powder-checkpoint"
 
@@ -38,6 +38,9 @@ type t = {
   initial_power : float;
   initial_area : float;
   initial_delay : float;
+  initial_glitch_power : float option;
+      (** measured at the original run start under [--cost glitch];
+          [None] under the zero-delay cost model *)
   degradation_level : int;
 }
 
@@ -92,6 +95,9 @@ let to_json c =
       ("initial_power", J.Float c.initial_power);
       ("initial_area", J.Float c.initial_area);
       ("initial_delay", J.Float c.initial_delay);
+      ( "initial_glitch_power",
+        match c.initial_glitch_power with None -> J.Null | Some g -> J.Float g
+      );
       ("degradation_level", J.Int c.degradation_level);
     ]
 
@@ -228,6 +234,15 @@ let of_json j =
       let* initial_power = field "initial_power" J.get_float j in
       let* initial_area = field "initial_area" J.get_float j in
       let* initial_delay = field "initial_delay" J.get_float j in
+      let* initial_glitch_power =
+        match J.member "initial_glitch_power" j with
+        | Some J.Null -> Ok None
+        | Some v -> (
+          match J.get_float v with
+          | Some g -> Ok (Some g)
+          | None -> Error (Corrupt "bad initial_glitch_power"))
+        | None -> Error (Corrupt "missing initial_glitch_power")
+      in
       let* degradation_level = field "degradation_level" J.get_int j in
       Ok
         {
@@ -259,6 +274,7 @@ let of_json j =
           initial_power;
           initial_area;
           initial_delay;
+          initial_glitch_power;
           degradation_level;
         }
 

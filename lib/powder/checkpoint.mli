@@ -43,6 +43,11 @@ type t = {
   initial_power : float;
   initial_area : float;
   initial_delay : float;
+  initial_glitch_power : float option;
+      (** measured at the original run start under the glitch cost
+          model; [None] under zero-delay cost.  Restored on resume so
+          the resumed report's glitch accounting matches the
+          uninterrupted run byte for byte. *)
   degradation_level : int;
 }
 

@@ -7,6 +7,12 @@ module Deadline = Obs.Deadline
 
 type delay_mode = Unconstrained | Keep_initial | Ratio of float | Absolute of float
 
+type cost_model = Zero_delay | Glitch of { pairs : int }
+
+let cost_model_name = function
+  | Zero_delay -> "zero-delay"
+  | Glitch _ -> "glitch"
+
 type config = {
   words : int;
   seed : int64;
@@ -32,6 +38,8 @@ type config = {
   jobs : int;
   sig_index : Candidates.index_mode;
   window : int option;
+  cost : cost_model;
+  is3_credit : bool;
 }
 
 let default_config =
@@ -60,6 +68,8 @@ let default_config =
     jobs = 1;
     sig_index = Candidates.Hash;
     window = None;
+    cost = Zero_delay;
+    is3_credit = false;
   }
 
 module Trace = Obs.Trace
@@ -75,6 +85,9 @@ type report = {
   initial_delay : float;
   final_delay : float;
   delay_constraint : float option;
+  cost_model : string;
+  initial_glitch_power : float option;
+  final_glitch_power : float option;
   substitutions : int;
   by_class : (Subst.klass * class_stats) list;
   candidates_generated : int;
@@ -243,6 +256,34 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
     | Ratio r -> Some (initial_delay *. (1.0 +. r))
     | Absolute d -> Some d
   in
+  (* Glitch-aware costing (--cost glitch): the timed estimator runs on
+     its own derived seed stream, so turning it on perturbs nothing in
+     the zero-delay engines, and both the total measurements and the
+     per-node hazard factors are deterministic for a given seed. *)
+  let glitch_seed = Sim.Rng.derive config.seed "powder/glitch" in
+  let measure_glitch () =
+    match config.cost with
+    | Zero_delay -> None
+    | Glitch { pairs } ->
+      Some
+        (Power.Glitch.estimate ~pairs ~seed:glitch_seed
+           ~input_prob:config.input_prob circ)
+          .Power.Glitch.timed_switched_cap
+  in
+  let glitch_factors () =
+    match config.cost with
+    | Zero_delay -> None
+    | Glitch { pairs } ->
+      Some
+        (Power.Glitch.node_factors ~pairs ~seed:glitch_seed
+           ~input_prob:config.input_prob circ)
+  in
+  let factors = ref (glitch_factors ()) in
+  let initial_glitch_power =
+    match resume with
+    | Some ck -> ck.Checkpoint.initial_glitch_power
+    | None -> measure_glitch ()
+  in
   let sta = ref (analyze_timed ?required_time:constraint_ circ) in
   (* Incremental STA: the cursor marks the edit-log position the current
      [!sta] snapshot reflects; each accept pulls the suffix and updates
@@ -356,6 +397,7 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
           (Guard.make_verifier ~words:config.verify_words ~seed:verify_seed
              ~input_probs:prob_of circ));
     sigstore := Sim.Sigstore.create ~cex:!cex_eng ~base:!eng ();
+    factors := glitch_factors ();
     sta := analyze_timed ?required_time:constraint_ circ;
     sta_cursor := Circuit.edit_cursor circ
   in
@@ -420,14 +462,11 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
   (* A checkpoint taken after the loop decided to stop marks the run
      finished; resuming it must reproduce the finished report, not run
      one more (empty) round that the uninterrupted run never saw. *)
-  let finished_on_resume =
-    match resume with
-    | Some ck when not (String.equal ck.Checkpoint.status "running") ->
-      continue_ := false;
-      stopped_by := ck.Checkpoint.status;
-      true
-    | _ -> false
-  in
+  (match resume with
+  | Some ck when not (String.equal ck.Checkpoint.status "running") ->
+    continue_ := false;
+    stopped_by := ck.Checkpoint.status
+  | _ -> ());
   let escalate reason =
     if !degradation < 3 then begin
       incr degradation;
@@ -465,6 +504,30 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
      Returns [`Accepted], [`Tried] (pool consumed but nothing accepted
      yet), [`Exhausted], [`Round_over] (round budget expired) or
      [`Stop] (run budget expired or the ladder topped out). *)
+  (* Glitch-aware scoring: scale the estimated gain components by the
+     hazard multipliers of the signals whose activity they price — PG_A
+     removes activity at (or behind) the substituted signal, PG_B adds
+     load driven at the source's density; PG_C stays zero-delay (the
+     exact re-simulation has no hazard model).  Factors are sampled
+     from the canonical circuit at every rebuild barrier; nodes created
+     since (new inverters/gates) default to 1. *)
+  let node_factor id =
+    match !factors with
+    | None -> 1.0
+    | Some f -> if id < Array.length f then f.(id) else 1.0
+  in
+  let scored s (g : Subst.gain) =
+    match !factors with
+    | None -> Subst.total_gain g
+    | Some _ ->
+      let tgt = node_factor (Subst.substituted_signal circ s) in
+      let src =
+        match s.Subst.source with
+        | Subst.Signal b | Subst.Inverted b -> node_factor b
+        | Subst.Gate2 (_, b, d) -> Float.max (node_factor b) (node_factor d)
+      in
+      (g.Subst.pg_a *. tgt) +. (g.Subst.pg_b *. src) +. g.Subst.pg_c
+  in
   let try_pick pool used ranked_cache =
     let compute_ranked () =
       (* rank the still-valid unused candidates by fresh PG_A+PG_B;
@@ -497,17 +560,20 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
               then begin
                 let g =
                   match dom_for s with
-                  | Some d -> Subst.gain_ab ~dom:d !est s
-                  | None -> Subst.gain_ab !est s
+                  | Some d ->
+                    Subst.gain_ab ~dom:d ~credit_downstream:config.is3_credit
+                      !est s
+                  | None ->
+                    Subst.gain_ab ~credit_downstream:config.is3_credit !est s
                 in
-                if Subst.total_gain g > 0.0 then ranked := (i, s, g) :: !ranked
+                if scored s g > 0.0 then ranked := (i, s, g) :: !ranked
                 else used.(i) <- true
               end
               else used.(i) <- true)
             pool;
           List.sort
-            (fun (_, _, g1) (_, _, g2) ->
-              Float.compare (Subst.total_gain g2) (Subst.total_gain g1))
+            (fun (_, s1, g1) (_, s2, g2) ->
+              Float.compare (scored s2 g2) (scored s1 g1))
             !ranked)
     in
     let ranked =
@@ -525,7 +591,7 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
             List.filter_map
               (fun (i, s, _) ->
                 let g = Subst.gain_full !est s in
-                if Subst.total_gain g > 0.0 then Some (i, s, g)
+                if scored s g > 0.0 then Some (i, s, g)
                 else begin
                   used.(i) <- true;
                   None
@@ -542,7 +608,7 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
       let refined =
         List.sort
           (fun (_, s1, g1) (_, s2, g2) ->
-            let c = Float.compare (Subst.total_gain g2) (Subst.total_gain g1) in
+            let c = Float.compare (scored s2 g2) (scored s1 g1) in
             if c <> 0 then c else Int.compare (class_rank s1) (class_rank s2))
           refined
       in
@@ -911,6 +977,7 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
           per_target = config.per_target;
           pool_limit = config.pool_limit;
           require_positive = true;
+          credit_downstream = config.is3_credit;
           index = config.sig_index;
         }
       in
@@ -968,17 +1035,13 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
         match config.checkpoint_file with
         | None -> ()
         | Some file ->
-          let status =
-            if not !continue_ then
-              if
-                String.equal !stopped_by "converged"
-                && !substitutions >= config.max_substitutions
-              then "max_substitutions"
-              else !stopped_by
-            else if !substitutions >= config.max_substitutions then
-              "max_substitutions"
-            else "running"
-          in
+          (* The checkpoint carries the raw stop reason, never the
+             promoted one: "converged" at a round cap means different
+             things to different resumers (a slice driver's per-slice
+             cap is not the job's), so the promotion into
+             max_substitutions / max_rounds happens at report time
+             against the resuming config's own bounds. *)
+          let status = if !continue_ then "running" else !stopped_by in
           Checkpoint.save file
             {
               Checkpoint.round = !rounds;
@@ -1017,12 +1080,20 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
               initial_power;
               initial_area;
               initial_delay;
+              initial_glitch_power;
               degradation_level = !degradation;
             }
       end
     end
   done;
-  if (not finished_on_resume) && String.equal !stopped_by "converged" then begin
+  (* Promote "converged" into the bound that actually stopped the run.
+     This applies to finished resumes too: a run that converged exactly
+     in its last allowed round checkpoints the raw "converged", and the
+     resumed report must repeat the promoted reason the uninterrupted
+     run printed.  [!rounds] / [!substitutions] come from the
+     checkpoint on resume, so the comparison is against the same
+     counters either way. *)
+  if String.equal !stopped_by "converged" then begin
     if !substitutions >= config.max_substitutions then
       stopped_by := "max_substitutions"
     else if !rounds >= config.max_rounds then stopped_by := "max_rounds"
@@ -1052,6 +1123,9 @@ let optimize_with ~pool:dom_pool ~jobs ~config ?resume circ =
     initial_delay;
     final_delay = Timing.circuit_delay final_sta;
     delay_constraint = constraint_;
+    cost_model = cost_model_name config.cost;
+    initial_glitch_power;
+    final_glitch_power = measure_glitch ();
     substitutions = !substitutions;
     by_class = List.map (fun k -> (k, Hashtbl.find stats k)) Subst.all_klasses;
     candidates_generated = !candidates_generated;
@@ -1111,6 +1185,11 @@ let pp_report fmt r =
     r.sig_hits r.sig_filtered r.is3_candidates r.sig_resim_nodes
     r.window_checks r.window_proved r.window_escalated
     r.verified_applies r.degradation_level r.stopped_by;
+  (match (r.initial_glitch_power, r.final_glitch_power) with
+  | Some gi, Some gf ->
+    Format.fprintf fmt "glitch power (timed, %s cost): %.4f -> %.4f@,"
+      r.cost_model gi gf
+  | _ -> ());
   (match r.giveup_breakdown with
   | [] -> ()
   | breakdown ->
@@ -1142,6 +1221,11 @@ let report_to_json r =
       ("final_delay", Float r.final_delay);
       ( "delay_constraint",
         match r.delay_constraint with None -> Null | Some d -> Float d );
+      ("cost_model", String r.cost_model);
+      ( "initial_glitch_power",
+        match r.initial_glitch_power with None -> Null | Some g -> Float g );
+      ( "final_glitch_power",
+        match r.final_glitch_power with None -> Null | Some g -> Float g );
       ("substitutions", Int r.substitutions);
       ( "by_class",
         Obj

@@ -20,6 +20,24 @@ type delay_mode =
           rejected — POWDER reduces power under a constraint, it does
           not repair timing *)
 
+type cost_model =
+  | Zero_delay
+      (** the paper's model: rank candidates by raw zero-delay
+          switched-capacitance gain *)
+  | Glitch of { pairs : int }
+      (** glitch-aware ranking: per-node hazard multipliers from
+          {!Power.Glitch.node_factors} (sampled over [pairs] random
+          vector pairs on a derived seed stream) weight the PG_A / PG_B
+          terms, steering the loop toward nodes whose activity the
+          zero-delay model under-counts.  Factors are resampled at
+          every canonicalization barrier; nodes created between
+          barriers score with factor 1.0.  The report additionally
+          carries timed power measured before and after the run. *)
+
+val cost_model_name : cost_model -> string
+(** ["zero-delay"] / ["glitch"] — the [cost_model] field of reports and
+    the values accepted by [powder_cli --cost]. *)
+
 type config = {
   words : int;                  (** simulation words; patterns = 64 * words *)
   seed : int64;
@@ -72,6 +90,15 @@ type config = {
           [sig_index], windowing can change results — a window can
           prove a candidate the global engine gives up on — so the
           window size belongs in a run's manifest. *)
+  cost : cost_model;
+      (** acceptance/ranking cost model (default [Zero_delay]).  NOTE:
+          like [window], the cost model changes which substitutions are
+          accepted, so it belongs in a run's manifest. *)
+  is3_credit : bool;
+      (** experimental: pass [~credit_downstream:true] to
+          {!Subst.gain_ab} during generation and ranking, crediting IS3
+          candidates with the sink's first-order activity drop so they
+          survive the positive-gain filter (see [--is3-credit]). *)
 }
 
 val default_config : config
@@ -90,6 +117,12 @@ type report = {
   initial_delay : float;
   final_delay : float;
   delay_constraint : float option;
+  cost_model : string;  (** {!cost_model_name} of the run's cost model *)
+  initial_glitch_power : float option;
+      (** timed switched capacitance ({!Power.Glitch.estimate}) before
+          the run; [None] under [Zero_delay] cost *)
+  final_glitch_power : float option;
+      (** same measurement after the run, on the same derived seed *)
   substitutions : int;
   by_class : (Subst.klass * class_stats) list;
   candidates_generated : int;

@@ -81,7 +81,22 @@ let simulate_transition circ values new_vector transitions =
       (List.rev events)
   done
 
-let estimate ?(pairs = 256) ?(seed = 42L) ?(input_prob = fun _ -> 0.5) circ =
+let count_pair circ ~before ~after =
+  let n = Circuit.num_nodes circ in
+  let values = Array.make n false in
+  let timed = Array.make n 0 in
+  let zero_delay = Array.make n 0 in
+  steady_state circ values before;
+  let previous = Array.copy values in
+  simulate_transition circ values after timed;
+  steady_state circ values after;
+  Circuit.iter_live circ (fun id ->
+      if values.(id) <> previous.(id) then zero_delay.(id) <- 1);
+  (timed, zero_delay)
+
+(* Shared sampling loop: apply [pairs] random vector transitions and
+   accumulate per-node timed and zero-delay transition counts. *)
+let sample_counts ~pairs ~seed ~input_prob circ =
   let n = Circuit.num_nodes circ in
   let rng = Sim.Rng.create seed in
   let values = Array.make n false in
@@ -104,6 +119,10 @@ let estimate ?(pairs = 256) ?(seed = 42L) ?(input_prob = fun _ -> 0.5) circ =
         if values.(id) <> previous.(id) then
           zero_delay.(id) <- zero_delay.(id) + 1)
   done;
+  (timed, zero_delay)
+
+let estimate ?(pairs = 256) ?(seed = 42L) ?(input_prob = fun _ -> 0.5) circ =
+  let timed, zero_delay = sample_counts ~pairs ~seed ~input_prob circ in
   let cap_weighted counts =
     let acc = ref 0.0 in
     Circuit.iter_live circ (fun id ->
@@ -122,6 +141,19 @@ let estimate ?(pairs = 256) ?(seed = 42L) ?(input_prob = fun _ -> 0.5) circ =
     glitch_fraction = (if td > 0.0 then (td -. zd) /. td else 0.0);
     pairs;
   }
+
+let node_factors ?(pairs = 64) ?(seed = 42L) ?(input_prob = fun _ -> 0.5) circ =
+  let timed, zero_delay = sample_counts ~pairs ~seed ~input_prob circ in
+  Array.init (Circuit.num_nodes circ) (fun id ->
+      (* a node that never switched functionally carries no zero-delay
+         power, so there is nothing to scale: weight 1.  Timed counts
+         can only exceed the functional ones (a functional flip is at
+         least one timed event), so the ratio is clamped at 1 purely
+         against event-budget truncation on pathological netlists. *)
+      if zero_delay.(id) = 0 then 1.0
+      else
+        Float.max 1.0
+          (float_of_int timed.(id) /. float_of_int zero_delay.(id)))
 
 let pp_report fmt r =
   Format.fprintf fmt

@@ -7,7 +7,9 @@
     output transition, hazards included.  Comparing against the
     zero-delay count of the same vector pairs isolates the glitch
     contribution, letting the benchmark report how POWDER's
-    optimizations affect it. *)
+    optimizations affect it — and letting the optimizer's glitch-aware
+    cost model ({!Powder.Optimizer}, [--cost glitch]) weight each
+    node's estimated activity by its hazard multiplier. *)
 
 type report = {
   zero_delay_switched_cap : float;
@@ -26,5 +28,29 @@ val estimate :
   Netlist.Circuit.t ->
   report
 (** Default 256 vector pairs. *)
+
+val count_pair :
+  Netlist.Circuit.t ->
+  before:bool list ->
+  after:bool list ->
+  int array * int array
+(** [(timed, zero_delay)] transition counts per node id for the single
+    input transition [before -> after] (vectors in {!Netlist.Circuit.pis}
+    order).  [timed] counts every transport-delay event the node emits,
+    [zero_delay] is 0 or 1 per node.  This is the unit the differential
+    tests check against an independent waveform-algebra reference. *)
+
+val node_factors :
+  ?pairs:int ->
+  ?seed:int64 ->
+  ?input_prob:(string -> float) ->
+  Netlist.Circuit.t ->
+  float array
+(** Per-node hazard multiplier [timed / zero_delay] transition counts
+    over [pairs] random vector pairs (default 64), indexed by node id
+    and clamped to [>= 1.0]; nodes that never switch functionally get
+    1.0.  Multiplying a node's zero-delay activity by its factor gives
+    a glitch-inclusive activity estimate — the basis of the optimizer's
+    [--cost glitch] ranking. *)
 
 val pp_report : Format.formatter -> report -> unit

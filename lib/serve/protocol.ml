@@ -1,18 +1,36 @@
 module J = Obs.Json
 
 type source = Suite of string | Blif of string
+type kind = Optimize | Pareto
+
+let kind_name = function Optimize -> "optimize" | Pareto -> "pareto"
 
 type options = {
   words : int;
   seed : int;
   max_rounds : int;
   budget_seconds : float option;
+  cost : Pareto.Cost.t;
+  constraints : Pareto.Sweep.spec list option;
 }
 
 let default_options =
-  { words = 8; seed = 0xC0FFEE; max_rounds = 32; budget_seconds = None }
+  {
+    words = 8;
+    seed = 0xC0FFEE;
+    max_rounds = 32;
+    budget_seconds = None;
+    cost = Pareto.Cost.Zero_delay;
+    constraints = None;
+  }
 
-type job = { id : string; priority : int; source : source; options : options }
+type job = {
+  id : string;
+  priority : int;
+  kind : kind;
+  source : source;
+  options : options;
+}
 type request = Submit of job | Status | Drain | Shutdown
 
 type error =
@@ -62,6 +80,7 @@ let max_words = 256
 let max_rounds_limit = 10_000
 let max_budget_seconds = 3600.0
 let priority_limit = 100
+let max_constraints = 16
 
 let id_ok id =
   let n = String.length id in
@@ -111,6 +130,41 @@ let parse_options fields =
                ( "options.budget_seconds",
                  Printf.sprintf "%g outside (0, %g]" b max_budget_seconds ))
         | Some b -> Ok { o with budget_seconds = Some b })
+      | "cost" -> (
+        match J.get_string v with
+        | None -> Error (Bad_field ("options.cost", "must be a string"))
+        | Some s -> (
+          match Pareto.Cost.of_string s with
+          | Ok c -> Ok { o with cost = c }
+          | Error m -> Error (Bad_field ("options.cost", m))))
+      | "constraints" -> (
+        match J.get_list v with
+        | None ->
+          Error (Bad_field ("options.constraints", "must be a list of strings"))
+        | Some [] ->
+          Error (Bad_field ("options.constraints", "must not be empty"))
+        | Some items when List.length items > max_constraints ->
+          Error
+            (Absurd_value
+               ( "options.constraints",
+                 Printf.sprintf "more than %d points" max_constraints ))
+        | Some items ->
+          let* specs =
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match J.get_string item with
+                | None ->
+                  Error
+                    (Bad_field
+                       ("options.constraints", "must be a list of strings"))
+                | Some s -> (
+                  match Pareto.Sweep.spec_of_string s with
+                  | Ok sp -> Ok (sp :: acc)
+                  | Error m -> Error (Bad_field ("options.constraints", m))))
+              (Ok []) items
+          in
+          Ok { o with constraints = Some (List.rev specs) })
       | other -> Error (Unknown_field ("options." ^ other)))
     (Ok default_options) fields
 
@@ -134,7 +188,7 @@ let job_of_fields ~with_op fields =
       (fun acc (k, _) ->
         let* () = acc in
         match k with
-        | "id" | "priority" | "circuit" | "blif" | "options" -> Ok ()
+        | "id" | "priority" | "kind" | "circuit" | "blif" | "options" -> Ok ()
         | "op" when with_op -> Ok ()
         | other -> Error (Unknown_field other))
       (Ok ()) fields
@@ -184,13 +238,32 @@ let job_of_fields ~with_op fields =
       Error (Bad_field ("blif", "must be a string"))
     | _ -> Ok ()
   in
+  let* kind =
+    match mem "kind" with
+    | None -> Ok Optimize
+    | Some v -> (
+      match J.get_string v with
+      | Some "optimize" -> Ok Optimize
+      | Some "pareto" -> Ok Pareto
+      | Some k -> Error (Bad_field ("kind", Printf.sprintf "unknown kind %S" k))
+      | None -> Error (Bad_field ("kind", "must be a string")))
+  in
   let* options =
     match mem "options" with
     | None -> Ok default_options
     | Some (J.Obj ofields) -> parse_options ofields
     | Some _ -> Error (Bad_field ("options", "must be an object"))
   in
-  Ok { id; priority; source; options }
+  (* a constraint list on a plain optimize job is a contradiction the
+     submitter should hear about, not a field to silently ignore *)
+  let* () =
+    match (kind, options.constraints) with
+    | Optimize, Some _ ->
+      Error
+        (Bad_field ("options.constraints", "only valid on \"kind\":\"pareto\""))
+    | _ -> Ok ()
+  in
+  Ok { id; priority; kind; source; options }
 
 let parse line =
   match J.of_string line with
@@ -222,15 +295,29 @@ let job_to_json j =
       ("seed", J.Int j.options.seed);
       ("max_rounds", J.Int j.options.max_rounds);
     ]
+    @ (match j.options.budget_seconds with
+      | None -> []
+      | Some b -> [ ("budget_seconds", J.Float b) ])
+    @ (match j.options.cost with
+      | Pareto.Cost.Zero_delay -> []
+      | c -> [ ("cost", J.String (Pareto.Cost.to_string c)) ])
     @
-    match j.options.budget_seconds with
+    match j.options.constraints with
     | None -> []
-    | Some b -> [ ("budget_seconds", J.Float b) ]
+    | Some specs ->
+      [
+        ( "constraints",
+          J.List
+            (List.map
+               (fun sp -> J.String (Pareto.Sweep.spec_to_string sp))
+               specs) );
+      ]
   in
   J.Obj
     [
       ("id", J.String j.id);
       ("priority", J.Int j.priority);
+      ("kind", J.String (kind_name j.kind));
       source_field;
       ("options", J.Obj opt_fields);
     ]

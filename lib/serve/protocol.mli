@@ -6,6 +6,8 @@
     {"op":"submit","id":"j1","priority":2,"circuit":"rd84",
      "options":{"words":8,"seed":7,"max_rounds":16,"budget_seconds":30.0}}
     {"op":"submit","id":"j2","blif":".model m\n..."}
+    {"op":"submit","id":"j3","kind":"pareto","circuit":"rd84",
+     "options":{"constraints":["1.0","1.25","unbounded"],"cost":"glitch"}}
     {"op":"status"}
     {"op":"drain"}
     {"op":"shutdown"}
@@ -23,19 +25,40 @@ type source =
   | Suite of string  (** a [Circuits.Suite] benchmark name *)
   | Blif of string   (** an embedded mapped-BLIF payload *)
 
+(** What a job computes.  [Optimize] is the classic single POWDER run;
+    [Pareto] runs a {!Pareto.Sweep} over the job's delay-constraint
+    list and returns the frontier report instead of an optimizer
+    report (its result carries no BLIF — each frontier point is a
+    different netlist). *)
+type kind = Optimize | Pareto
+
+val kind_name : kind -> string
+(** ["optimize"] / ["pareto"] — the wire and event-log label. *)
+
 type options = {
   words : int;                    (** simulation words, 1..256 *)
   seed : int;                     (** optimizer pattern seed *)
-  max_rounds : int;               (** total optimization rounds, 1..10000 *)
+  max_rounds : int;               (** total optimization rounds, 1..10000
+                                      (per point for pareto jobs) *)
   budget_seconds : float option;  (** total job wall-clock budget *)
+  cost : Pareto.Cost.t;
+      (** acceptance cost model, ["zero-delay"] (default) or
+          ["glitch[:N]"] on the wire *)
+  constraints : Pareto.Sweep.spec list option;
+      (** pareto jobs only: the delay-constraint list, each entry a
+          scale string (["1.25"]) or ["unbounded"]; at most 16 points,
+          [None] means {!Pareto.Sweep.default_specs}.  Rejected on
+          optimize jobs. *)
 }
 
 val default_options : options
-(** words 8, seed 0xC0FFEE, max_rounds 32, no budget. *)
+(** words 8, seed 0xC0FFEE, max_rounds 32, no budget, zero-delay cost,
+    default constraint list. *)
 
 type job = {
   id : string;       (** [A-Za-z0-9._-]{1,64} — doubles as a file stem *)
   priority : int;    (** higher runs first; -100..100, default 0 *)
+  kind : kind;       (** default [Optimize] when absent on the wire *)
   source : source;
   options : options;
 }

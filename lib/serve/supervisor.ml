@@ -88,6 +88,9 @@ let rec mkdir_p dir =
 let queue_file c = Filename.concat c.state_dir "queue.json"
 let ck_dir c = Filename.concat c.state_dir "ck"
 let ck_file c id = Filename.concat (ck_dir c) (id ^ ".json")
+
+(* pareto jobs checkpoint per frontier point, into a directory *)
+let ck_pareto_dir c id = Filename.concat (ck_dir c) (id ^ ".pareto")
 let results_dir c = Filename.concat c.state_dir "results"
 let result_json c id = Filename.concat (results_dir c) (id ^ ".json")
 let result_blif c id = Filename.concat (results_dir c) (id ^ ".blif")
@@ -121,6 +124,14 @@ let persist_queue ?extra st =
     (J.to_string (Jobq.to_json ?extra st.queue) ^ "\n")
 
 let remove_quiet file = try Sys.remove file with Sys_error _ -> ()
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> remove_quiet path
+  | exception Sys_error _ -> ()
 
 let line_prefix line =
   if String.length line <= 80 then line else String.sub line 0 80 ^ "..."
@@ -196,27 +207,55 @@ let manifest st (job : Protocol.job) =
       | Protocol.Suite n -> n
       | Protocol.Blif _ -> "blif:" ^ job.Protocol.id)
     ~options:
-      [
-        ("words", string_of_int o.Protocol.words);
-        ("max_rounds", string_of_int o.Protocol.max_rounds);
-        ( "budget_seconds",
-          match o.Protocol.budget_seconds with
-          | None -> "-"
-          | Some b -> string_of_float b );
-        ("priority", string_of_int job.Protocol.priority);
-      ]
+      ([
+         ("kind", Protocol.kind_name job.Protocol.kind);
+         ("words", string_of_int o.Protocol.words);
+         ("max_rounds", string_of_int o.Protocol.max_rounds);
+         ( "budget_seconds",
+           match o.Protocol.budget_seconds with
+           | None -> "-"
+           | Some b -> string_of_float b );
+         ("cost", Pareto.Cost.to_string o.Protocol.cost);
+         ("priority", string_of_int job.Protocol.priority);
+       ]
+      @
+      match job.Protocol.kind with
+      | Protocol.Optimize -> []
+      | Protocol.Pareto ->
+        [
+          ( "constraints",
+            String.concat ","
+              (List.map Pareto.Sweep.spec_to_string
+                 (Option.value o.Protocol.constraints
+                    ~default:Pareto.Sweep.default_specs)) );
+        ])
     ()
 
-type prepared = {
-  entry : Jobq.entry;
-  task : unit -> Powder.Optimizer.report * string * float;
-}
+(* What a slice returns: a classic optimizer slice (report + final
+   BLIF) or a whole frontier sweep (pareto jobs run in one slice —
+   their preemption granularity is the per-point checkpoint, not the
+   round). *)
+type payload =
+  | Optimized of Powder.Optimizer.report * string
+  | Swept of Pareto.Sweep.report
+
+type prepared = { entry : Jobq.entry; task : unit -> payload * float }
+
+let has_checkpoint c (job : Protocol.job) =
+  match job.Protocol.kind with
+  | Protocol.Optimize -> Sys.file_exists (ck_file c job.Protocol.id)
+  | Protocol.Pareto -> Sys.file_exists (ck_pareto_dir c job.Protocol.id)
+
+let remove_checkpoint c (job : Protocol.job) =
+  match job.Protocol.kind with
+  | Protocol.Optimize -> remove_quiet (ck_file c job.Protocol.id)
+  | Protocol.Pareto -> rm_rf (ck_pareto_dir c job.Protocol.id)
 
 (* Resolve the checkpoint (surfacing corruption as a typed event and a
    rollback) and build the slice closure.  Chaos decisions are made
    here, on the main domain — the task body must not touch shared
    mutable state. *)
-let prepare st (entry : Jobq.entry) =
+let prepare_optimize st (entry : Jobq.entry) =
   let job = entry.Jobq.job in
   let id = job.Protocol.id in
   let file = ck_file st.config id in
@@ -283,16 +322,81 @@ let prepare st (entry : Jobq.entry) =
     (* injected crash fires after the slice's checkpoint is on disk:
        the retry must resume mid-job, the hardest recovery path *)
     if crash then raise (Failure.Crashed "injected worker crash");
-    (report, blif, elapsed)
+    (Optimized (report, blif), elapsed)
   in
   { entry; task }
+
+(* A pareto job is one slice: the sweep runs every constraint point to
+   completion, checkpointing each point to the job's .pareto directory
+   so a crashed or stormed slice retries by re-running only the
+   unfinished points (finished ones resume to their final report
+   instantly). *)
+let prepare_pareto st (entry : Jobq.entry) =
+  let job = entry.Jobq.job in
+  let id = job.Protocol.id in
+  let o = job.Protocol.options in
+  let dir = ck_pareto_dir st.config id in
+  let budget_left =
+    match o.Protocol.budget_seconds with
+    | None -> None
+    | Some b -> Some (Float.max 0.0 (b -. entry.Jobq.consumed))
+  in
+  let stormed =
+    match st.config.chaos with
+    | Some c -> Chaos.storm_now c ~id
+    | None -> false
+  in
+  let crash =
+    match st.config.chaos with
+    | Some c -> Chaos.crash_now c ~id
+    | None -> false
+  in
+  (* the budget is per point: each point's optimizer stops cleanly on
+     expiry, and handle_outcome decides timeout vs. spurious storm *)
+  let run_seconds = if stormed then Some 0.0 else budget_left in
+  let opt_config =
+    {
+      Powder.Optimizer.default_config with
+      words = o.Protocol.words;
+      seed = Int64.of_int o.Protocol.seed;
+      max_rounds = o.Protocol.max_rounds;
+      run_seconds;
+      cost = o.Protocol.cost;
+      jobs = 1;
+    }
+  in
+  let specs =
+    Option.value o.Protocol.constraints ~default:Pareto.Sweep.default_specs
+  in
+  let name =
+    match job.Protocol.source with
+    | Protocol.Suite n -> n
+    | Protocol.Blif _ -> "blif:" ^ id
+  in
+  let task () =
+    let t0 = Obs.Clock.now () in
+    let sweep =
+      Pareto.Sweep.run ~config:opt_config ~specs ~jobs:1 ~checkpoint_dir:dir
+        ~name
+        (fun () -> circuit_of_job job)
+    in
+    let elapsed = Obs.Clock.now () -. t0 in
+    if crash then raise (Failure.Crashed "injected worker crash");
+    (Swept sweep, elapsed)
+  in
+  { entry; task }
+
+let prepare st (entry : Jobq.entry) =
+  match entry.Jobq.job.Protocol.kind with
+  | Protocol.Optimize -> prepare_optimize st entry
+  | Protocol.Pareto -> prepare_pareto st entry
 
 let fail_job st (entry : Jobq.entry) ~klass ~why =
   let id = entry.Jobq.job.Protocol.id in
   st.failed <- st.failed + 1;
   Obs.Fleet.transition st.fleet ~id Obs.Fleet.Failed;
   Obs.Fleet.count st.fleet "failed";
-  remove_quiet (ck_file st.config id);
+  remove_checkpoint st.config entry.Jobq.job;
   Hashtbl.remove st.retries id;
   event st "job_failed"
     [
@@ -316,7 +420,7 @@ let transient st (entry : Jobq.entry) ~now ~why =
   | Some delay ->
     entry.Jobq.retries <- entry.Jobq.retries + 1;
     entry.Jobq.not_before <- now +. delay;
-    entry.Jobq.resumable <- Sys.file_exists (ck_file st.config id);
+    entry.Jobq.resumable <- has_checkpoint st.config entry.Jobq.job;
     Obs.Fleet.count st.fleet "retries";
     Obs.Fleet.transition st.fleet ~id Obs.Fleet.Retrying;
     event st "retry"
@@ -328,19 +432,18 @@ let transient st (entry : Jobq.entry) ~now ~why =
       ];
     Jobq.requeue st.queue entry
 
-let finalize st (entry : Jobq.entry) (report : Powder.Optimizer.report) blif =
+let finalize_common st (entry : Jobq.entry) ~report_json ~done_fields =
   let job = entry.Jobq.job in
   let id = job.Protocol.id in
   let report_json =
-    match Powder.Optimizer.report_to_json report with
+    match report_json with
     | J.Obj fields ->
       J.Obj (("run", Obs.Runinfo.to_json (manifest st job)) :: fields)
     | other -> other
   in
   Persist.write_atomic (result_json st.config id)
     (J.to_string report_json ^ "\n");
-  Persist.write_atomic (result_blif st.config id) blif;
-  remove_quiet (ck_file st.config id);
+  remove_checkpoint st.config job;
   Hashtbl.remove st.retries id;
   st.completed <- st.completed + 1;
   Obs.Fleet.transition st.fleet ~id Obs.Fleet.Done;
@@ -352,17 +455,46 @@ let finalize st (entry : Jobq.entry) (report : Powder.Optimizer.report) blif =
   in
   Obs.Fleet.observe_latency st.fleet latency;
   event st "job_done"
-    [
-      ("id", J.String id);
-      ("rounds", J.Int report.Powder.Optimizer.rounds);
-      ("substitutions", J.Int report.Powder.Optimizer.substitutions);
-      ("stopped_by", J.String report.Powder.Optimizer.stopped_by);
-      ( "power_reduction_percent",
-        J.Float (Powder.Optimizer.power_reduction_percent report) );
-      ("latency_s", J.Float latency);
-      ("retries", J.Int entry.Jobq.retries);
-      ("preemptions", J.Int entry.Jobq.preemptions);
-    ]
+    ([ ("id", J.String id); ("kind", J.String (Protocol.kind_name job.Protocol.kind)) ]
+    @ done_fields
+    @ [
+        ("latency_s", J.Float latency);
+        ("retries", J.Int entry.Jobq.retries);
+        ("preemptions", J.Int entry.Jobq.preemptions);
+      ])
+
+let finalize st (entry : Jobq.entry) (report : Powder.Optimizer.report) blif =
+  Persist.write_atomic
+    (result_blif st.config entry.Jobq.job.Protocol.id)
+    blif;
+  finalize_common st entry
+    ~report_json:(Powder.Optimizer.report_to_json report)
+    ~done_fields:
+      [
+        ("rounds", J.Int report.Powder.Optimizer.rounds);
+        ("substitutions", J.Int report.Powder.Optimizer.substitutions);
+        ("stopped_by", J.String report.Powder.Optimizer.stopped_by);
+        ( "power_reduction_percent",
+          J.Float (Powder.Optimizer.power_reduction_percent report) );
+      ]
+
+(* No result BLIF for a sweep: every frontier point is a different
+   netlist; the per-point reports live inside the result JSON. *)
+let finalize_pareto st (entry : Jobq.entry) (sweep : Pareto.Sweep.report) =
+  finalize_common st entry
+    ~report_json:(Pareto.Sweep.to_json sweep)
+    ~done_fields:
+      [
+        ("points", J.Int (List.length sweep.Pareto.Sweep.points));
+        ("frontier", J.Int (List.length sweep.Pareto.Sweep.frontier));
+        ("dominated", J.Int sweep.Pareto.Sweep.dominated);
+        ( "substitutions",
+          J.Int
+            (List.fold_left
+               (fun acc (p : Pareto.Frontier.point) ->
+                 acc + p.Pareto.Frontier.substitutions)
+               0 sweep.Pareto.Sweep.points) );
+      ]
 
 (* corrupt half the checkpoint: enough to garble the JSON, with the
    file still present so the load path (not a missing-file path) runs *)
@@ -387,7 +519,32 @@ let handle_outcome st prep result =
     | Failure.Transient -> transient st entry ~now ~why
     | (Failure.Fatal | Failure.Malformed | Failure.Timeout) as k ->
       fail_job st entry ~klass:k ~why)
-  | Some (Ok ((report : Powder.Optimizer.report), blif, elapsed)) ->
+  | Some (Ok (Swept sweep, elapsed)) ->
+    entry.Jobq.consumed <- entry.Jobq.consumed +. elapsed;
+    let hit_budget =
+      List.exists
+        (fun (_, (r : Powder.Optimizer.report)) ->
+          String.equal r.Powder.Optimizer.stopped_by "run_budget")
+        sweep.Pareto.Sweep.reports
+    in
+    if hit_budget then begin
+      (* same spurious-timeout rule as optimize slices: a stormed
+         deadline with budget to spare is transient, a genuinely
+         exhausted budget is a timeout *)
+      let spurious =
+        match o.Protocol.budget_seconds with
+        | None -> true
+        | Some b -> b -. entry.Jobq.consumed > 1e-6
+      in
+      if spurious then transient st entry ~now ~why:"spurious deadline expiry"
+      else
+        fail_job st entry ~klass:Failure.Timeout
+          ~why:
+            (Printf.sprintf "wall-clock budget (%.3fs) exhausted"
+               (Option.value o.Protocol.budget_seconds ~default:0.0))
+    end
+    else finalize_pareto st entry sweep
+  | Some (Ok (Optimized (report, blif), elapsed)) ->
     entry.Jobq.consumed <- entry.Jobq.consumed +. elapsed;
     if String.equal report.Powder.Optimizer.stopped_by "run_budget" then begin
       (* Spurious-timeout rule: the optimizer's deadline fired, but is
@@ -527,7 +684,7 @@ let recover st =
             e'.Jobq.retries <- e.Jobq.retries;
             e'.Jobq.preemptions <- e.Jobq.preemptions;
             e'.Jobq.consumed <- e.Jobq.consumed;
-            e'.Jobq.resumable <- Sys.file_exists (ck_file st.config id);
+            e'.Jobq.resumable <- has_checkpoint st.config e.Jobq.job;
             Hashtbl.replace st.submit_time id (Obs.Clock.now ());
             Obs.Fleet.transition st.fleet ~id Obs.Fleet.Queued;
             st.recovered <- st.recovered + 1;

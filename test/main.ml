@@ -7,4 +7,5 @@ let () =
    @ Test_sigstore.suite
    @ Test_window.suite
    @ Test_obs.suite @ Test_profile.suite @ Test_par.suite @ Test_guard.suite @ Test_fuzz.suite
+   @ Test_pareto.suite
    @ Test_serve.suite @ Test_integration.suite)

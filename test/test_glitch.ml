@@ -61,6 +61,172 @@ let test_timed_at_least_zero_delay () =
         (r.Glitch.timed_switched_cap >= r.Glitch.zero_delay_switched_cap -. 1e-9))
     [ "rd84"; "alu2"; "f51m" ]
 
+(* --- differential reference for [Glitch.count_pair] ---------------
+
+   An independent re-implementation of the transport-delay transition
+   count by waveform algebra: instead of a global event queue, each
+   node's output waveform is computed in topological order from its
+   fanins' complete waveforms.  A node's candidate fire times are its
+   fanins' change times shifted by the node's own delay; at each fire
+   time the cell re-evaluates against its fanins' values at that
+   instant (matching the queue's fire-time re-evaluation, which lets a
+   later input change cancel a scheduled event), and only actual output
+   changes are recorded.  Two genuinely different algorithms that must
+   agree transition-for-transition on every node. *)
+
+(* steady-state values under [vector], by direct topological evaluation *)
+let eval_steady circ vector =
+  let values = Array.make (Circuit.num_nodes circ) false in
+  List.iteri (fun i pi -> values.(pi) <- List.nth vector i) (Circuit.pis circ);
+  Array.iter
+    (fun id ->
+      match Circuit.kind circ id with
+      | Circuit.Pi -> ()
+      | Circuit.Const b -> values.(id) <- b
+      | Circuit.Po d -> values.(id) <- values.(d)
+      | Circuit.Cell (c, fs) ->
+        values.(id) <- Gatelib.Cell.eval c (Array.map (fun f -> values.(f)) fs))
+    (Circuit.topo_order circ);
+  values
+
+let reference_count_pair circ ~before ~after =
+  let n = Circuit.num_nodes circ in
+  let init = eval_steady circ before in
+  (* per node: time-ordered (time, new value) changes; [init] holds the
+     value before the first change.  When a fanin changes at exactly one
+     of a node's fire times, the event queue's intra-batch order decides
+     whether the node's re-evaluation sees the old or the new value —
+     such a pair is flagged ambiguous and the caller skips it rather
+     than baking the queue's tie-breaking into the reference. *)
+  let waves = Array.make n [] in
+  let ambiguous = ref false in
+  List.iteri
+    (fun i pi ->
+      let v = List.nth after i in
+      if init.(pi) <> v then waves.(pi) <- [ (0.0, v) ])
+    (Circuit.pis circ);
+  let value_at id t =
+    (* inclusive: a change at exactly [t] is visible at [t] *)
+    List.fold_left
+      (fun acc (tc, v) -> if tc <= t then v else acc)
+      init.(id) waves.(id)
+  in
+  Array.iter
+    (fun id ->
+      match Circuit.kind circ id with
+      | Circuit.Pi | Circuit.Const _ | Circuit.Po _ -> ()
+      | Circuit.Cell (c, fs) when Circuit.is_live circ id ->
+        let d = Sta.Timing.gate_delay circ id in
+        let input_changes =
+          Array.to_list fs
+          |> List.concat_map (fun f -> List.map fst waves.(f))
+          |> List.sort_uniq compare
+        in
+        let fire_times = List.map (fun t -> t +. d) input_changes in
+        if List.exists (fun t -> List.mem t fire_times) input_changes then
+          ambiguous := true;
+        let v = ref init.(id) in
+        waves.(id) <-
+          List.filter_map
+            (fun t ->
+              let v' =
+                Gatelib.Cell.eval c (Array.map (fun f -> value_at f t) fs)
+              in
+              if v' <> !v then begin
+                v := v';
+                Some (t, v')
+              end
+              else None)
+            fire_times
+      | Circuit.Cell _ -> ())
+    (Circuit.topo_order circ);
+  let final = eval_steady circ after in
+  let timed = Array.map List.length waves in
+  let zero_delay =
+    Array.init n (fun id -> if init.(id) <> final.(id) then 1 else 0)
+  in
+  (timed, zero_delay, !ambiguous)
+
+(* returns true when the pair was actually compared *)
+let check_pair_against_reference circ ~before ~after =
+  let ref_timed, ref_zero, ambiguous = reference_count_pair circ ~before ~after in
+  if ambiguous then false
+  else begin
+    let timed, zero_delay = Glitch.count_pair circ ~before ~after in
+    Circuit.iter_live circ (fun id ->
+        Alcotest.(check int)
+          (Printf.sprintf "node %d zero-delay transitions" id)
+          ref_zero.(id) zero_delay.(id);
+        if not (Circuit.is_po_node circ id) then begin
+          Alcotest.(check int)
+            (Printf.sprintf "node %d timed transitions" id)
+            ref_timed.(id) timed.(id);
+          (* a functional flip is at least one timed event *)
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d timed >= zero-delay" id)
+            true
+            (timed.(id) >= zero_delay.(id));
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d zero-delay in {0,1}" id)
+            true
+            (zero_delay.(id) = 0 || zero_delay.(id) = 1)
+        end);
+    true
+  end
+
+let vectors n =
+  let rec go = function
+    | 0 -> [ [] ]
+    | k -> List.concat_map (fun v -> [ false :: v; true :: v ]) (go (k - 1))
+  in
+  go n
+
+let all_pairs circ =
+  let vs = vectors (List.length (Circuit.pis circ)) in
+  let compared = ref 0 and total = ref 0 in
+  List.iter
+    (fun before ->
+      List.iter
+        (fun after ->
+          incr total;
+          if check_pair_against_reference circ ~before ~after then
+            incr compared)
+        vs)
+    vs;
+  (* tie-ambiguous pairs may be skipped, but they must stay the
+     exception or the differential check is vacuous *)
+  Alcotest.(check bool)
+    (Printf.sprintf "compared %d of %d pairs" !compared !total)
+    true
+    (!compared * 2 >= !total)
+
+let test_count_pair_vs_reference_hazard () =
+  (* the inverter-chain hazard circuit: every before/after pair on its
+     single input, including the glitching rising edge *)
+  let lib = Build.lib in
+  let c = Circuit.create lib in
+  let a = Circuit.add_pi c ~name:"a" in
+  let inv = Gatelib.Library.inverter lib in
+  let i1 = Circuit.add_cell c inv [| a |] in
+  let i2 = Circuit.add_cell c inv [| i1 |] in
+  let i3 = Circuit.add_cell c inv [| i2 |] in
+  let f = Circuit.add_cell c (Library.find lib "and2") [| a; i3 |] in
+  ignore (Circuit.add_po c ~name:"o" f);
+  all_pairs c
+
+let test_count_pair_vs_reference_fig2 () =
+  let c, _, _, _, _, _, _ = Build.fig2_a () in
+  all_pairs c
+
+let test_count_pair_vs_reference_random () =
+  (* exhaustive vector pairs on small random mapped netlists: 4 PIs
+     means 256 transitions per circuit, <= 10 gates each *)
+  List.iter
+    (fun seed ->
+      let c = Build.random_circuit ~seed ~n_pis:4 ~n_gates:10 in
+      all_pairs c)
+    [ 1; 2; 3; 7; 11 ]
+
 let suite =
   [
     ( "glitch",
@@ -69,5 +235,11 @@ let suite =
         Alcotest.test_case "hazard pulses counted" `Quick test_unbalanced_paths_glitch;
         Alcotest.test_case "agrees with estimator" `Quick test_zero_delay_matches_estimator_scale;
         Alcotest.test_case "timed >= functional" `Quick test_timed_at_least_zero_delay;
+        Alcotest.test_case "count_pair vs reference (hazard)" `Quick
+          test_count_pair_vs_reference_hazard;
+        Alcotest.test_case "count_pair vs reference (fig2)" `Quick
+          test_count_pair_vs_reference_fig2;
+        Alcotest.test_case "count_pair vs reference (random)" `Quick
+          test_count_pair_vs_reference_random;
       ] );
   ]

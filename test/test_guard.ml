@@ -256,6 +256,7 @@ let test_checkpoint_roundtrip () =
       initial_power = 61.15178050994873;
       initial_area = 91408.0;
       initial_delay = 13.325999999999999;
+      initial_glitch_power = None;
       degradation_level = 1;
     }
   in
@@ -307,6 +308,7 @@ let sample_ck () =
     initial_power = 1.0;
     initial_area = 1.0;
     initial_delay = 1.0;
+    initial_glitch_power = None;
     degradation_level = 0;
   }
 
